@@ -1,0 +1,45 @@
+"""Shared benchmark plumbing.
+
+Every module regenerates one table/figure of the paper's evaluation:
+it prints the same rows/series the paper plots (simulated milliseconds
+per configuration) and asserts the qualitative shape — who wins, by
+roughly what factor, where lines end.  ``pytest-benchmark`` wraps one
+representative sweep per figure for wall-clock tracking.
+"""
+
+import pytest
+
+from repro import cl
+from repro.bench.report import format_series
+
+
+def emit(series):
+    """Print a figure table through pytest's capture-friendly path."""
+    print()
+    print(format_series(series))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def testbed_banner():
+    """Print the §5.1 device inventory once per benchmark session."""
+    lines = ["", "== §5.1 simulated testbed =="]
+    for platform in cl.get_platforms():
+        for device in platform.get_devices():
+            p = device.profile
+            lines.append(
+                f"  {p.name}: {p.compute_cores} cores x "
+                f"{p.units_per_core} units @ {p.clock_ghz} GHz, "
+                f"{p.global_mem_bytes / cl.GB:.0f} GB, "
+                f"{p.stream_bw_gbs:.0f} GB/s"
+            )
+    print("\n".join(lines))
+    yield
+
+
+def val(series, label, x):
+    point = next(p for p in series.points if p.x == x)
+    return point.millis[label]
+
+
+def column(series, label):
+    return [p.millis.get(label) for p in series.points]

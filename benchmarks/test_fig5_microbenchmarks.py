@@ -1,0 +1,172 @@
+"""Fig. 5 (a)-(i): the nine operator microbenchmarks (paper §5.2).
+
+One test per panel; each prints the paper-style series and asserts the
+qualitative result the paper reports for that panel.
+"""
+
+import pytest
+
+from conftest import column, emit, val
+from repro.bench import microbench as mb
+from repro.bench.report import monotone_increasing, roughly_flat
+
+ACTUAL = 1 << 19  # in-process elements standing for the nominal MBs
+RUNS = 3
+
+
+@pytest.fixture(scope="module")
+def fig5a():
+    return mb.selection_by_size(runs=RUNS, actual_elems=ACTUAL)
+
+
+def test_fig5a_selection_by_size(fig5a, benchmark):
+    """Linear scaling; Ocelot's bitmap output beats even parallel
+    MonetDB's oid lists; GPU fastest (§5.2.1)."""
+    emit(fig5a)
+    for label in ("MS", "MP", "CPU", "GPU"):
+        assert monotone_increasing(column(fig5a, label)[1:])
+    at = 1024
+    assert val(fig5a, "CPU", at) < val(fig5a, "MP", at) < val(fig5a, "MS", at)
+    assert val(fig5a, "GPU", at) < val(fig5a, "CPU", at)
+    benchmark.pedantic(
+        lambda: mb.selection_by_size(sizes=(256,), runs=1,
+                                     actual_elems=ACTUAL),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig5b_selection_by_selectivity(benchmark):
+    """Ocelot's runtime is selectivity-independent (bitmaps); MonetDB's
+    oid materialisation grows with the result (§5.2.1)."""
+    series = mb.selection_by_selectivity(runs=RUNS, actual_elems=ACTUAL)
+    emit(series)
+    assert roughly_flat(column(series, "CPU"), ratio=1.3)
+    assert roughly_flat(column(series, "GPU"), ratio=1.3)
+    ms = column(series, "MS")
+    assert ms[-1] > 1.5 * ms[0]
+    mp = column(series, "MP")
+    assert mp[-1] > 1.5 * mp[0]
+    benchmark.pedantic(
+        lambda: mb.selection_by_selectivity(selectivities=(45,), runs=1,
+                                            actual_elems=ACTUAL),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig5c_left_fetch_join(benchmark):
+    """Linear; Ocelot-CPU rivals MP (merge excluded per footnote 11);
+    GPU fastest while the data fits (§5.2.2)."""
+    series = mb.fetchjoin_by_size(runs=RUNS, actual_elems=ACTUAL)
+    emit(series)
+    at = 512
+    assert val(series, "CPU", at) < val(series, "MS", at)
+    assert val(series, "CPU", at) < 2.5 * val(series, "MP", at)
+    assert val(series, "GPU", at) < val(series, "MP", at)
+    # 3 GB working set at 1024 MB exceeds the 2 GB card: line ends
+    assert val(series, "GPU", 1024) is None
+    benchmark.pedantic(
+        lambda: mb.fetchjoin_by_size(sizes=(256,), runs=1,
+                                     actual_elems=ACTUAL),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig5d_aggregation(benchmark):
+    """MP is ~30 % faster than Ocelot-CPU (the Intel SDK's unvectorised
+    reduction, §5.2.3); GPU fastest."""
+    series = mb.aggregation_by_size(runs=RUNS, actual_elems=ACTUAL)
+    emit(series)
+    at = 1024
+    ratio = val(series, "CPU", at) / val(series, "MP", at)
+    assert 1.1 < ratio < 1.7
+    assert val(series, "GPU", at) < val(series, "MP", at)
+    assert val(series, "MS", at) > val(series, "CPU", at)
+    benchmark.pedantic(
+        lambda: mb.aggregation_by_size(sizes=(256,), runs=1,
+                                       actual_elems=ACTUAL),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig5e_hash_build_by_size(benchmark):
+    """Ocelot-CPU hashing is slower than even sequential MonetDB
+    (atomic contention, §5.2.4); the GPU line ends on device memory."""
+    series = mb.hash_build_by_size(runs=RUNS, actual_elems=ACTUAL)
+    emit(series)
+    at = 256
+    assert val(series, "CPU", at) > val(series, "MS", at)
+    assert val(series, "GPU", at) < val(series, "MS", at)
+    assert val(series, "GPU", 1024) is None  # 1.4x n table exceeds 2 GB
+    assert monotone_increasing(column(series, "CPU"))
+    benchmark.pedantic(
+        lambda: mb.hash_build_by_size(sizes=(128,), runs=1,
+                                      actual_elems=ACTUAL),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig5f_hash_build_by_groups(benchmark):
+    """CPU hashing *improves* with more distinct values (contention
+    fades); MonetDB flat; GPU nearly flat (§5.2.4)."""
+    series = mb.hash_build_by_groups(runs=RUNS, actual_elems=ACTUAL)
+    emit(series)
+    cpu = column(series, "CPU")
+    assert cpu[0] > 1.5 * cpu[-1]          # decreasing
+    assert roughly_flat(column(series, "MS"), ratio=1.1)
+    assert roughly_flat(column(series, "GPU"), ratio=2.5)
+    # contended end: CPU slower than MS; relieved end: CPU faster
+    assert val(series, "CPU", 10) > val(series, "MS", 10)
+    assert val(series, "CPU", 10000) < val(series, "MS", 10000)
+    benchmark.pedantic(
+        lambda: mb.hash_build_by_groups(groups=(100,), runs=1,
+                                        actual_elems=ACTUAL),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig5g_grouping_by_size(benchmark):
+    """Linear for all; Ocelot-CPU is clearly the slowest option
+    (hash-grouping atomics, §5.2.5)."""
+    series = mb.groupby_by_size(runs=RUNS, actual_elems=ACTUAL)
+    emit(series)
+    at = 256
+    assert val(series, "CPU", at) > val(series, "MS", at)
+    assert val(series, "CPU", at) > val(series, "MP", at)
+    assert monotone_increasing(column(series, "CPU"))
+    benchmark.pedantic(
+        lambda: mb.groupby_by_size(sizes=(128,), runs=1,
+                                   actual_elems=ACTUAL),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig5h_grouping_by_groups(benchmark):
+    """Even on the GPU, grouping is only about as fast as MP (§5.2.5)."""
+    series = mb.groupby_by_groups(runs=RUNS, actual_elems=ACTUAL)
+    emit(series)
+    for count in (10, 100, 1000):
+        gpu, mp = val(series, "GPU", count), val(series, "MP", count)
+        assert gpu < 1.5 * mp                 # "only as fast as MP"
+        assert val(series, "CPU", count) > mp  # CPU slowest
+    benchmark.pedantic(
+        lambda: mb.groupby_by_groups(groups=(100,), runs=1,
+                                     actual_elems=ACTUAL),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig5i_hash_join_probe(benchmark):
+    """Once built, Ocelot look-ups clearly outperform MonetDB (build
+    excluded per footnote 12); GPU line ends on device memory."""
+    series = mb.hashjoin_by_size(runs=RUNS, actual_elems=ACTUAL)
+    emit(series)
+    at = 256
+    assert val(series, "CPU", at) < val(series, "MP", at)
+    assert val(series, "GPU", at) < val(series, "CPU", at)
+    assert val(series, "MS", at) > val(series, "MP", at)
+    assert column(series, "GPU")[-1] is None
+    benchmark.pedantic(
+        lambda: mb.hashjoin_by_size(sizes=(128,), runs=1,
+                                    actual_elems=ACTUAL),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,43 @@
+"""Fig. 6: sort performance (paper §5.2.7).
+
+Ocelot's binary radix sort (radix 8 on the CPU, 4 on the GPU) against
+MonetDB's comparison sort — Ocelot wins on both devices.
+"""
+
+import pytest
+
+from conftest import column, emit, val
+from repro.bench import microbench as mb
+from repro.bench.report import monotone_increasing
+
+ACTUAL = 1 << 18
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return mb.sort_by_size(runs=3, actual_elems=ACTUAL)
+
+
+def test_fig6_sort(fig6, benchmark):
+    emit(fig6)
+    at = 256
+    assert val(fig6, "CPU", at) < val(fig6, "MP", at) < val(fig6, "MS", at)
+    assert val(fig6, "GPU", at) < val(fig6, "MP", at)
+    for label in ("MS", "MP", "CPU"):
+        assert monotone_increasing(column(fig6, label))
+    benchmark.pedantic(
+        lambda: mb.sort_by_size(sizes=(128,), runs=1, actual_elems=ACTUAL),
+        rounds=1, iterations=1,
+    )
+
+
+def test_radix_width_is_device_specific():
+    """§5.2.7: radix 8 bits on the CPU, 4 bits on the GPU."""
+    from repro.monetdb import Catalog
+    from repro.ocelot import OcelotBackend
+    import numpy as np
+
+    catalog = Catalog()
+    catalog.create_table("t", {"a": np.zeros(4, np.int32)})
+    assert OcelotBackend(catalog, "cpu").engine.radix_bits == 8
+    assert OcelotBackend(catalog, "gpu").engine.radix_bits == 4

@@ -1,0 +1,67 @@
+"""Quickstart: one SQL query on all four engine configurations.
+
+Creates a small database, runs an aggregation query on the sequential
+and parallel MonetDB baselines and on Ocelot (simulated CPU and GPU),
+and shows that the hardware-oblivious operators return identical results
+with device-appropriate performance.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    n = 200_000
+
+    db = repro.Database()
+    db.create_table(
+        "trips",
+        {
+            "city": rng.integers(0, 8, n).astype(np.int32),
+            "distance_km": rng.gamma(3.0, 4.0, n).astype(np.float32),
+            "fare": rng.gamma(2.0, 9.0, n).astype(np.float32),
+            "passengers": rng.integers(1, 5, n).astype(np.int32),
+        },
+        dictionaries={
+            "city": ["Berlin", "Amsterdam", "Paris", "Riva", "Trento",
+                     "Munich", "Vienna", "Zurich"],
+        },
+    )
+
+    sql = """
+        SELECT city, count(*) AS trips, sum(fare) AS revenue
+        FROM trips
+        WHERE distance_km BETWEEN 2 AND 25 AND passengers >= 2
+        GROUP BY city
+        ORDER BY revenue DESC
+    """
+
+    print(f"{n:,} trips loaded; running on all four configurations:\n")
+    reference = None
+    for engine in ("MS", "MP", "CPU", "GPU"):
+        result = db.execute(sql, engine=engine)
+        if reference is None:
+            reference = result
+            print("city  trips  revenue")
+            for c, t, r in zip(result.columns["city"],
+                               result.columns["trips"],
+                               result.columns["revenue"]):
+                print(f"{c:4d}  {t:5d}  {r:12.2f}")
+            print()
+        else:
+            same = np.allclose(result.columns["revenue"],
+                               reference.columns["revenue"], rtol=1e-6)
+            assert same, f"{engine} disagrees with MS!"
+        print(f"  {engine:3s}: {result.elapsed * 1e3:8.2f} ms simulated "
+              f"({result.instruction_count} MAL instructions)")
+
+    print("\nAll four configurations returned identical results — the")
+    print("hardware-oblivious drop-in contract of the paper, end to end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""TPC-H analytics: the paper's workload on the mini-scale warehouse.
+
+Loads the Appendix-A-modified TPC-H instance at (mini) scale factor 1,
+prints a couple of business answers, and compares all four engine
+configurations on a selection of the paper's queries — a small version
+of Fig. 7(a).
+
+    python examples/tpch_analytics.py [SF]
+"""
+
+import sys
+
+import repro
+from repro.tpch import DICTIONARIES, WORKLOAD
+
+
+def main() -> None:
+    sf = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    print(f"Generating mini-scale TPC-H at SF {sf} "
+          f"(nominal sizes match the real scale factor)...")
+    db = repro.tpch_database(sf=sf)
+
+    # A business question through the SQL frontend: Q6, forecast revenue.
+    q6 = db.execute(WORKLOAD["Q6"], engine="GPU")
+    print(f"\nQ6 forecast revenue change: "
+          f"{q6.columns['revenue'][0]:,.2f}")
+
+    # Top shipping priorities (Q4-flavoured).
+    late = db.execute(
+        """
+        SELECT o_orderpriority, count(*) AS late_orders
+        FROM orders
+        SEMI JOIN (
+            SELECT l_orderkey FROM lineitem
+            WHERE l_commitdate < l_receiptdate
+        ) l ON o_orderkey = l.l_orderkey
+        GROUP BY o_orderpriority
+        ORDER BY o_orderpriority
+        """,
+        engine="CPU",
+    )
+    print("\nLate orders by priority:")
+    priorities = DICTIONARIES["orderpriority"]
+    for code, count in zip(late.columns["o_orderpriority"],
+                           late.columns["late_orders"]):
+        print(f"  {priorities[code]:<16s} {count:6d}")
+
+    # A mini Fig. 7(a): four queries across the four configurations.
+    queries = ("Q1", "Q6", "Q12", "Q21")
+    print(f"\nPer-query simulated runtimes at SF {sf} (ms, hot cache):")
+    print(f"{'query':>6s} {'MS':>9s} {'MP':>9s} {'CPU':>9s} {'GPU':>9s}")
+    connections = {e: db.connect(e) for e in ("MS", "MP", "CPU", "GPU")}
+    for query_id in queries:
+        row = [f"{query_id:>6s}"]
+        for engine, conn in connections.items():
+            conn.execute(WORKLOAD[query_id])           # warm the caches
+            result = conn.execute(WORKLOAD[query_id])  # measured run
+            row.append(f"{result.elapsed * 1e3:9.1f}")
+        print(" ".join(row))
+
+    print("\nShapes to recognise from the paper: Ocelot-CPU pays the Intel")
+    print("SDK's fixed overhead (worst at small SF), the GPU leads, and")
+    print("Q21's hash joins narrow its margin.")
+
+
+if __name__ == "__main__":
+    main()

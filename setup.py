@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on modern pip requires PEP 660 wheel builds; this
+shim keeps the legacy ``--no-use-pep517`` editable path working offline.
+"""
+
+from setuptools import setup
+
+setup()

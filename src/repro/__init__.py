@@ -1,0 +1,41 @@
+"""repro — a reproduction of *Hardware-Oblivious Parallelism for
+In-Memory Column-Stores* (Heimel et al., PVLDB 6(9), 2013: **Ocelot**).
+
+One hardware-oblivious operator set, written against a (simulated) OpenCL
+kernel programming model, integrated as drop-in MAL operators into a
+MonetDB-style column-store, evaluated against sequential and parallel
+MonetDB baselines on calibrated CPU/GPU device models.
+
+Quick start::
+
+    import repro
+
+    db = repro.tpch_database(sf=1)
+    for engine in ("MS", "MP", "CPU", "GPU"):
+        result = db.execute(repro.tpch.WORKLOAD["Q6"], engine=engine)
+        print(engine, result.columns["revenue"], f"{result.elapsed*1e3:.1f} ms")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from . import bench, cl, kernels, monetdb, ocelot, sql, tpch
+from .api import CatalogSchema, Connection, Database, tpch_database
+from .monetdb.interpreter import QueryResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CatalogSchema",
+    "Connection",
+    "Database",
+    "QueryResult",
+    "bench",
+    "cl",
+    "kernels",
+    "monetdb",
+    "ocelot",
+    "sql",
+    "tpch",
+    "tpch_database",
+]

@@ -1,0 +1,144 @@
+"""Public façade: a small embedded-database API over the whole stack.
+
+    >>> import repro
+    >>> db = repro.Database()
+    >>> db.create_table("points", {"x": xs, "y": ys})
+    >>> result = db.execute("SELECT x, sum(y) AS total FROM points GROUP BY x")
+    >>> result.columns["total"]
+
+A :class:`Database` owns the catalog; :meth:`connect` opens a connection
+bound to one of the paper's four engine configurations ("MS", "MP",
+"CPU", "GPU").  ``execute`` parses SQL, lowers it to MAL, applies the
+configuration's optimizer pipeline (the Ocelot rewriter for CPU/GPU) and
+interprets the plan.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .bench.configs import CONFIGS
+from .monetdb.interpreter import QueryResult, run_program
+from .monetdb.mal import MALProgram
+from .monetdb.storage import Catalog
+from .sql.lower import SchemaProvider, compile_sql
+
+
+class CatalogSchema(SchemaProvider):
+    """Schema provider over a live catalog, with optional dictionaries."""
+
+    def __init__(self, catalog: Catalog,
+                 dictionaries: Optional[dict] = None):
+        self.catalog = catalog
+        #: (table, column) -> dictionary name, plus name -> values list
+        self.column_dicts: dict[tuple, str] = {}
+        self.dictionaries: dict[str, list] = dict(dictionaries or {})
+
+    def has_table(self, table: str) -> bool:
+        return self.catalog.has_table(table)
+
+    def columns(self, table: str) -> list[str]:
+        return self.catalog.columns(table)
+
+    def dictionary(self, table: str, column: str):
+        return self.column_dicts.get((table, column))
+
+    def dictionary_code(self, dictionary: str, literal: str) -> int:
+        try:
+            return self.dictionaries[dictionary].index(literal)
+        except (KeyError, ValueError):
+            raise LookupError(
+                f"literal {literal!r} not in dictionary {dictionary!r}"
+            ) from None
+
+
+class Connection:
+    """One engine configuration bound to a database."""
+
+    def __init__(self, database: "Database", engine: str):
+        if engine not in CONFIGS:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {sorted(CONFIGS)}"
+            )
+        self.database = database
+        self.config = CONFIGS[engine]
+        self.backend = self.config.make(
+            database.catalog, database.data_scale
+        )
+
+    @property
+    def engine(self) -> str:
+        return self.config.label
+
+    def execute(self, sql: str, name: str = "query") -> QueryResult:
+        """Parse, lower, optimize and run one SQL statement."""
+        program = compile_sql(sql, self.database.schema, name=name)
+        return self.run_plan(program)
+
+    def run_plan(self, program: MALProgram) -> QueryResult:
+        plan = self.config.plan(program)
+        return run_program(plan, self.backend)
+
+    def explain(self, sql: str, name: str = "query") -> str:
+        """The optimized MAL plan this connection would execute."""
+        program = compile_sql(sql, self.database.schema, name=name)
+        return self.config.plan(program).format()
+
+
+class Database:
+    """An in-memory column-store database (catalog + schema)."""
+
+    def __init__(self, data_scale: float = 1.0):
+        self.catalog = Catalog()
+        self.schema = CatalogSchema(self.catalog)
+        self.data_scale = float(data_scale)
+
+    # -- DDL -------------------------------------------------------------
+
+    def create_table(self, name: str, columns: dict[str, np.ndarray],
+                     dictionaries: Optional[dict[str, list[str]]] = None):
+        """Register a table from numpy columns.
+
+        ``dictionaries`` maps column names to string-value lists; such
+        columns must contain int32 dictionary codes and become queryable
+        with string equality literals.
+        """
+        self.catalog.create_table(name, columns)
+        for column, values in (dictionaries or {}).items():
+            dict_name = f"{name}.{column}"
+            self.schema.dictionaries[dict_name] = list(values)
+            self.schema.column_dicts[(name, column)] = dict_name
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+
+    # -- connections -----------------------------------------------------------
+
+    def connect(self, engine: str = "CPU") -> Connection:
+        """Open a connection on one of the four configurations."""
+        return Connection(self, engine)
+
+    def execute(self, sql: str, engine: str = "CPU") -> QueryResult:
+        """One-shot convenience: connect + execute."""
+        return self.connect(engine).execute(sql)
+
+
+def tpch_database(sf: float = 1.0, seed: int = 7) -> Database:
+    """A :class:`Database` pre-loaded with the mini-scale TPC-H instance
+    (Appendix-A schema, nominal sizes matching the real scale factor)."""
+    from .tpch.dbgen import generate
+    from .tpch.schema import DICTIONARIES, TABLES
+
+    data = generate(sf=sf, seed=seed)
+    db = Database(data_scale=data.data_scale)
+    for name, columns in data.tables.items():
+        dictionaries = {}
+        for column in TABLES[name].columns:
+            if column.dictionary is not None:
+                dictionaries[column.name] = DICTIONARIES.get(
+                    column.dictionary, []
+                )
+        db.create_table(name, columns, dictionaries or None)
+    return db

@@ -1,0 +1,27 @@
+"""``repro.bench`` — the benchmark harness (S7): the four configurations,
+microbenchmark and TPC-H drivers, and paper-style reporting."""
+
+from .configs import ALL_LABELS, CONFIGS, EngineConfig
+from .harness import BenchContext, Measurement, Series, uniform_column
+from .report import (
+    format_series,
+    monotone_increasing,
+    print_series,
+    roughly_flat,
+    speedup,
+)
+
+__all__ = [
+    "ALL_LABELS",
+    "BenchContext",
+    "CONFIGS",
+    "EngineConfig",
+    "Measurement",
+    "Series",
+    "format_series",
+    "monotone_increasing",
+    "print_series",
+    "roughly_flat",
+    "speedup",
+    "uniform_column",
+]

@@ -1,0 +1,56 @@
+"""The four evaluated configurations (paper §5.1).
+
+=====  ==========================================================
+MS     sequential MonetDB — single-core baseline
+MP     parallel MonetDB — Mitosis + Dataflow hand-tuned parallelism
+CPU    Ocelot on the (simulated) Intel Xeon through the Intel SDK
+GPU    Ocelot on the (simulated) NVIDIA GTX 460
+=====  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..monetdb.backends import MonetDBParallel, MonetDBSequential
+from ..monetdb.interpreter import Backend
+from ..monetdb.mal import MALProgram
+from ..monetdb.storage import Catalog
+from ..ocelot.engine import OcelotBackend
+from ..ocelot.rewriter import rewrite_for_ocelot
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    label: str
+    make: Callable[[Catalog, float], Backend]
+    is_ocelot: bool
+
+    def plan(self, program: MALProgram) -> MALProgram:
+        """Optimizer pipeline for this configuration."""
+        if self.is_ocelot:
+            return rewrite_for_ocelot(program)
+        return program
+
+
+CONFIGS: dict[str, EngineConfig] = {
+    "MS": EngineConfig(
+        "MS", lambda cat, scale: MonetDBSequential(cat, data_scale=scale),
+        is_ocelot=False,
+    ),
+    "MP": EngineConfig(
+        "MP", lambda cat, scale: MonetDBParallel(cat, data_scale=scale),
+        is_ocelot=False,
+    ),
+    "CPU": EngineConfig(
+        "CPU", lambda cat, scale: OcelotBackend(cat, "cpu", data_scale=scale),
+        is_ocelot=True,
+    ),
+    "GPU": EngineConfig(
+        "GPU", lambda cat, scale: OcelotBackend(cat, "gpu", data_scale=scale),
+        is_ocelot=True,
+    ),
+}
+
+ALL_LABELS = tuple(CONFIGS)

@@ -1,0 +1,261 @@
+"""Microbenchmark drivers — one per panel of Fig. 5 / Fig. 6 (paper §5.2).
+
+Each driver builds the stripped single-operator plan the paper obtained
+via EXPLAIN, sweeps the paper's x-axis, and returns a
+:class:`~repro.bench.harness.Series` of simulated milliseconds per
+configuration.  Synthetic columns are uniform (paper §5.2); sizes are
+nominal megabytes backed by proportionally smaller arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..monetdb.mal import MALBuilder
+from ..monetdb.storage import Catalog
+from .configs import ALL_LABELS
+from .harness import BenchContext, Measurement, Series, uniform_column
+
+#: The paper's input-size axis (MB).
+SIZES_MB = (64, 128, 256, 512, 1024)
+#: The paper's selectivity axis (%).
+SELECTIVITIES = (15, 30, 45, 60, 75)
+#: The paper's distinct-value axis.
+GROUP_COUNTS = (10, 100, 1000, 10000)
+
+_DOMAIN = 2**30
+
+
+def _context(columns: dict[str, np.ndarray], scale: float,
+             labels=ALL_LABELS) -> BenchContext:
+    catalog = Catalog()
+    catalog.create_table("t", columns)
+    return BenchContext(catalog, data_scale=scale, labels=labels,
+                        operator_timing=True)
+
+
+def _series(name: str, x_label: str, labels) -> Series:
+    return Series(name=name, x_label=x_label, labels=tuple(labels))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5(a)/(b): range selection
+# ---------------------------------------------------------------------------
+
+def _selection_plan(selectivity: float):
+    builder = MALBuilder("micro_select")
+    col = builder.bind("t", "a")
+    hi = int(_DOMAIN * selectivity)
+    cand = builder.emit(
+        "algebra", "select", (col, None, 0, hi, True, False, False)
+    )
+    # return the cardinality: keeps Ocelot's bitmap internal (paper
+    # §4.1.1) instead of materialising the oid list into the result set
+    count = builder.emit("aggr", "count", (cand,))
+    return builder.returns([("n", count)])
+
+
+def selection_by_size(sizes=SIZES_MB, selectivity=0.05, labels=ALL_LABELS,
+                      runs=10, actual_elems=1 << 21) -> Series:
+    series = _series("fig5a_selection_size", "MB", labels)
+    for size in sizes:
+        values, scale = uniform_column(size, actual_elems=actual_elems)
+        ctx = _context({"a": values}, scale, labels)
+        series.points.append(
+            Measurement(size, ctx.measure(_selection_plan(selectivity),
+                                          runs=runs))
+        )
+    return series
+
+
+def selection_by_selectivity(selectivities=SELECTIVITIES, size_mb=400,
+                             labels=ALL_LABELS, runs=10,
+                             actual_elems=1 << 21) -> Series:
+    series = _series("fig5b_selection_selectivity", "sel%", labels)
+    values, scale = uniform_column(size_mb, actual_elems=actual_elems)
+    ctx = _context({"a": values}, scale, labels)
+    for selectivity in selectivities:
+        series.points.append(
+            Measurement(
+                selectivity,
+                ctx.measure(_selection_plan(selectivity / 100.0), runs=runs),
+            )
+        )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5(c): left fetch join (two-column projection via row ids)
+# ---------------------------------------------------------------------------
+
+def fetchjoin_by_size(sizes=SIZES_MB, labels=ALL_LABELS, runs=10,
+                      actual_elems=1 << 21) -> Series:
+    series = _series("fig5c_fetchjoin", "MB", labels)
+    builder = MALBuilder("micro_fetchjoin")
+    a = builder.bind("t", "a")
+    b = builder.bind("t", "b")
+    oids = builder.emit("bat", "mirror", (a,))
+    fetched = builder.emit("algebra", "projection", (oids, b))
+    # return the cardinality only: §5.2 measurements exclude transfers
+    count = builder.emit("aggr", "count", (fetched,))
+    plan = builder.returns([("n", count)])
+    for size in sizes:
+        values, scale = uniform_column(size, actual_elems=actual_elems)
+        rng = np.random.default_rng(3)
+        other = rng.random(values.size).astype(np.float32)
+        ctx = _context({"a": values, "b": other}, scale, labels)
+        millis = {}
+        for label in labels:
+            seconds, _ = ctx.run_query(label, plan, runs=runs)
+            if seconds is not None and label == "MP":
+                # footnote 11: the final merge is excluded for MP
+                seconds = ctx.trace_seconds(label, exclude_merge=True)
+            millis[label] = None if seconds is None else seconds * 1e3
+        series.points.append(Measurement(size, millis))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5(d): ungrouped aggregation (min)
+# ---------------------------------------------------------------------------
+
+def aggregation_by_size(sizes=SIZES_MB, labels=ALL_LABELS, runs=10,
+                        actual_elems=1 << 21) -> Series:
+    series = _series("fig5d_aggregation", "MB", labels)
+    builder = MALBuilder("micro_agg")
+    col = builder.bind("t", "a")
+    low = builder.emit("aggr", "min", (col,))
+    plan = builder.returns([("m", low)])
+    for size in sizes:
+        values, scale = uniform_column(size, actual_elems=actual_elems)
+        ctx = _context({"a": values}, scale, labels)
+        series.points.append(
+            Measurement(size, ctx.measure(plan, runs=runs))
+        )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5(e)/(f): parallel hash-table build
+# ---------------------------------------------------------------------------
+
+def _hashbuild_plan():
+    builder = MALBuilder("micro_hash")
+    col = builder.bind("t", "a")
+    size = builder.emit("algebra", "hashbuild", (col,))
+    return builder.returns([("m", size)])
+
+
+def hash_build_by_size(sizes=SIZES_MB, distinct=100, labels=ALL_LABELS,
+                       runs=10, actual_elems=1 << 21) -> Series:
+    series = _series("fig5e_hash_build_size", "MB", labels)
+    plan = _hashbuild_plan()
+    for size in sizes:
+        values, scale = uniform_column(size, distinct=distinct,
+                                       actual_elems=actual_elems)
+        ctx = _context({"a": values}, scale, labels)
+        series.points.append(Measurement(size, ctx.measure(plan, runs=runs)))
+    return series
+
+
+def hash_build_by_groups(groups=GROUP_COUNTS, size_mb=400,
+                         labels=ALL_LABELS, runs=10,
+                         actual_elems=1 << 21) -> Series:
+    series = _series("fig5f_hash_build_groups", "#groups", labels)
+    plan = _hashbuild_plan()
+    for count in groups:
+        values, scale = uniform_column(size_mb, distinct=count,
+                                       actual_elems=actual_elems)
+        ctx = _context({"a": values}, scale, labels)
+        series.points.append(Measurement(count, ctx.measure(plan, runs=runs)))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5(g)/(h): grouping
+# ---------------------------------------------------------------------------
+
+def _group_plan():
+    builder = MALBuilder("micro_group")
+    col = builder.bind("t", "a")
+    gids, ngroups = builder.emit("group", "group", (col,), n_results=2)
+    return builder.returns([("n", ngroups)])
+
+
+def groupby_by_size(sizes=SIZES_MB, distinct=100, labels=ALL_LABELS,
+                    runs=10, actual_elems=1 << 21) -> Series:
+    series = _series("fig5g_groupby_size", "MB", labels)
+    plan = _group_plan()
+    for size in sizes:
+        values, scale = uniform_column(size, distinct=distinct,
+                                       actual_elems=actual_elems)
+        ctx = _context({"a": values}, scale, labels)
+        series.points.append(Measurement(size, ctx.measure(plan, runs=runs)))
+    return series
+
+
+def groupby_by_groups(groups=GROUP_COUNTS, size_mb=400, labels=ALL_LABELS,
+                      runs=10, actual_elems=1 << 21) -> Series:
+    series = _series("fig5h_groupby_groups", "#groups", labels)
+    plan = _group_plan()
+    for count in groups:
+        values, scale = uniform_column(size_mb, distinct=count,
+                                       actual_elems=actual_elems)
+        ctx = _context({"a": values}, scale, labels)
+        series.points.append(Measurement(count, ctx.measure(plan, runs=runs)))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5(i): PK-FK hash join, build excluded (footnote 12)
+# ---------------------------------------------------------------------------
+
+def hashjoin_by_size(sizes=SIZES_MB, build_keys=100, labels=ALL_LABELS,
+                     runs=10, actual_elems=1 << 21) -> Series:
+    series = _series("fig5i_hashjoin", "MB", labels)
+    builder = MALBuilder("micro_hashjoin")
+    probe = builder.bind("t", "fk")
+    build = builder.bind("dim", "pk")
+    lpos, rpos = builder.emit("algebra", "join", (probe, build), n_results=2)
+    count = builder.emit("aggr", "count", (lpos,))
+    plan = builder.returns([("n", count)])
+    for size in sizes:
+        fk, scale = uniform_column(size, distinct=build_keys,
+                                   actual_elems=actual_elems)
+        catalog = Catalog()
+        catalog.create_table("t", {"fk": fk})
+        catalog.create_table(
+            "dim", {"pk": np.arange(build_keys, dtype=np.int32)}
+        )
+        ctx = BenchContext(catalog, data_scale=scale, labels=labels,
+                           operator_timing=True)
+        millis = {}
+        for label in labels:
+            seconds, _ = ctx.run_query(label, plan, runs=runs)
+            if seconds is not None and label in ("MS", "MP"):
+                # footnote 12: hash-table build time is excluded
+                seconds = ctx.trace_seconds(label, exclude_serial=True)
+            millis[label] = None if seconds is None else seconds * 1e3
+        series.points.append(Measurement(size, millis))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6: sort
+# ---------------------------------------------------------------------------
+
+def sort_by_size(sizes=SIZES_MB, labels=ALL_LABELS, runs=10,
+                 actual_elems=1 << 20) -> Series:
+    series = _series("fig6_sort", "MB", labels)
+    builder = MALBuilder("micro_sort")
+    col = builder.bind("t", "a")
+    sorted_col, order = builder.emit(
+        "algebra", "sort", (col, False), n_results=2
+    )
+    count = builder.emit("aggr", "count", (order,))
+    plan = builder.returns([("n", count)])
+    for size in sizes:
+        values, scale = uniform_column(size, actual_elems=actual_elems)
+        ctx = _context({"a": values}, scale, labels)
+        series.points.append(Measurement(size, ctx.measure(plan, runs=runs)))
+    return series

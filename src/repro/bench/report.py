@@ -1,0 +1,54 @@
+"""Plain-text reporting: print figures the way the paper tabulates them."""
+
+from __future__ import annotations
+
+from .harness import Series
+
+
+def format_series(series: Series) -> str:
+    """Render a series as an aligned table (None -> '-': device OOM)."""
+    header = [series.x_label] + [str(label) for label in series.labels]
+    rows = [header]
+    for point in series.points:
+        row = [str(point.x)]
+        for label in series.labels:
+            value = point.millis.get(label)
+            row.append("-" if value is None else f"{value:.1f}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    ]
+    title = f"== {series.name} (simulated ms) =="
+    return "\n".join([title] + lines)
+
+
+def print_series(series: Series) -> None:
+    print()
+    print(format_series(series))
+
+
+def speedup(series: Series, fast: str, slow: str, at=None) -> float:
+    """Ratio slow/fast at coordinate ``at`` (default: last point)."""
+    point = series.points[-1] if at is None else next(
+        p for p in series.points if p.x == at
+    )
+    numerator, denominator = point.millis[slow], point.millis[fast]
+    if numerator is None or denominator is None:
+        raise ValueError(f"missing data at {point.x}")
+    return numerator / denominator
+
+
+def monotone_increasing(values, tolerance: float = 0.05) -> bool:
+    """True when the sequence grows (within ``tolerance`` jitter)."""
+    cleaned = [v for v in values if v is not None]
+    return all(
+        b >= a * (1 - tolerance) for a, b in zip(cleaned, cleaned[1:])
+    )
+
+
+def roughly_flat(values, ratio: float = 1.6) -> bool:
+    """True when max/min stays below ``ratio`` (a 'flat' paper line)."""
+    cleaned = [v for v in values if v is not None]
+    return max(cleaned) / min(cleaned) <= ratio

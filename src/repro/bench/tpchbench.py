@@ -1,0 +1,50 @@
+"""TPC-H benchmark drivers — Fig. 7(a)-(d) (paper §5.3).
+
+Queries run through the SQL frontend, MonetDB's optimizer pipelines and
+Ocelot's query rewriter, exactly as the paper describes; measurements are
+hot-cache averages of five runs and include uncached-input and result
+transfers for the GPU.
+"""
+
+from __future__ import annotations
+
+from ..monetdb.storage import Catalog
+from ..tpch.dbgen import TPCHData, generate
+from ..tpch.queries import WORKLOAD
+from ..tpch.workload import compile_query
+from .configs import ALL_LABELS
+from .harness import BenchContext, Measurement, Series
+
+
+def tpch_context(sf: float, labels=ALL_LABELS,
+                 data: TPCHData | None = None) -> BenchContext:
+    if data is None:
+        data = generate(sf=sf)
+    catalog = Catalog()
+    data.install(catalog)
+    return BenchContext(catalog, data_scale=data.data_scale, labels=labels)
+
+
+def tpch_queries(sf: float, labels=ALL_LABELS, queries=None,
+                 runs: int = 5) -> Series:
+    """One Fig. 7(a)/(b)/(c) panel: per-query runtimes at one SF."""
+    series = Series(
+        name=f"tpch_sf{sf}", x_label="query", labels=tuple(labels)
+    )
+    ctx = tpch_context(sf, labels)
+    for query_id in queries or WORKLOAD:
+        plan = compile_query(query_id)
+        series.points.append(Measurement(query_id, ctx.measure(plan, runs=runs)))
+    return series
+
+
+def q1_scaling(scale_factors=(1, 2, 4, 8, 10), labels=ALL_LABELS,
+               runs: int = 5) -> Series:
+    """Fig. 7(d): Q1 runtime against the scale factor."""
+    series = Series(name="fig7d_q1_scaling", x_label="SF",
+                    labels=tuple(labels))
+    plan = compile_query("Q1")
+    for sf in scale_factors:
+        ctx = tpch_context(sf, labels)
+        series.points.append(Measurement(sf, ctx.measure(plan, runs=runs)))
+    return series

@@ -1,0 +1,121 @@
+"""``cl_mem``-style device buffers.
+
+A :class:`Buffer` owns a numpy array standing in for device-resident
+storage, plus the per-buffer event registry the paper describes in §3.4:
+*producer* events are tied to operations writing the buffer, *consumer*
+events to operations reading it.  New commands wait on the producers of
+their inputs (and, to order write-after-read, on the consumers of their
+outputs); the Memory Manager consults consumers to decide when a buffer can
+safely be discarded.
+
+Buffer sizes are accounted in **nominal bytes** (actual bytes times the
+context's ``data_scale``), so that device-capacity effects — eviction,
+offloading, out-of-memory — trigger at the paper's data volumes even when
+benchmarks run on proportionally smaller arrays (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .errors import DeviceLost
+from .event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+
+_buffer_ids = itertools.count(1)
+
+
+class Buffer:
+    """A device-resident memory object holding a typed array."""
+
+    def __init__(self, context: "Context", array: np.ndarray, tag: str = ""):
+        self.buffer_id = next(_buffer_ids)
+        self.context = context
+        self._array: np.ndarray | None = np.ascontiguousarray(array)
+        self.tag = tag or f"buf{self.buffer_id}"
+        self.nominal_nbytes = int(self._array.nbytes * context.data_scale)
+        # metadata survives release/offload (host code may still inspect
+        # the shape of an offloaded buffer before restoring it)
+        self._dtype = self._array.dtype
+        self._size = int(self._array.size)
+        self._nbytes = int(self._array.nbytes)
+        # Event registry (paper §3.4).
+        self.producer_events: list[Event] = []
+        self.consumer_events: list[Event] = []
+        self._released = False
+
+    # -- data access -------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The device-side contents.  Only kernels and transfer commands
+        should touch this; host code goes through ``enqueue_read``."""
+        if self._released or self._array is None:
+            raise DeviceLost(f"buffer {self.tag!r} was released")
+        return self._array
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def size(self) -> int:
+        """Element count."""
+        return self._size
+
+    @property
+    def nbytes(self) -> int:
+        """Actual (in-process) byte size."""
+        return self._nbytes
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    # -- event registry ------------------------------------------------------
+
+    def record_producer(self, event: Event) -> None:
+        """Register ``event`` as the (new) producer of this buffer.
+
+        A write defines fresh contents; earlier producer/consumer events
+        are superseded and dropped from the registry.
+        """
+        self.producer_events = [event]
+        self.consumer_events = []
+
+    def record_consumer(self, event: Event) -> None:
+        self.consumer_events.append(event)
+
+    def dependencies_for_read(self) -> tuple[Event, ...]:
+        """Events that must complete before a command may *read* this buffer."""
+        return tuple(self.producer_events)
+
+    def dependencies_for_write(self) -> tuple[Event, ...]:
+        """Events that must complete before a command may *write* this buffer
+        (write-after-write and write-after-read hazards)."""
+        return tuple(self.producer_events) + tuple(self.consumer_events)
+
+    def last_activity(self) -> float:
+        """Simulated time at which the last registered operation ends.
+
+        The Memory Manager uses this to know when eviction is safe."""
+        events = self.producer_events + self.consumer_events
+        return max((e.t_end for e in events), default=0.0)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def release(self) -> None:
+        """Free the device allocation.  Idempotent."""
+        if not self._released:
+            self._released = True
+            self._array = None
+            self.context._on_buffer_released(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "released" if self._released else f"{self.nominal_nbytes}B nominal"
+        return f"<Buffer #{self.buffer_id} {self.tag!r} {state}>"

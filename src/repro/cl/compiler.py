@@ -1,0 +1,88 @@
+"""The "vendor compiler": specialises kernel libraries for a device.
+
+The paper's central mechanism (§4.2) is that a *single* kernel text is
+compiled at runtime per device, with the architecture injected as a
+pre-processor constant so kernels can pick device-appropriate memory
+access patterns without becoming hardware-conscious at the source level.
+
+:func:`build` mirrors ``clBuildProgram``: it takes a kernel library and a
+set of defines, injects ``DEVICE_TYPE`` (and the derived access pattern),
+and returns a :class:`~repro.cl.kernel.Program` whose kernels carry the
+specialisation.  Programs are cached on the context keyed by the defines,
+like a real driver's binary cache — the paper's "hot cache" measurements
+(§5.3) assume compiled kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .context import Context
+from .device import DeviceType
+from .errors import BuildError
+from .kernel import KernelDef, Program
+
+#: Access-pattern constants selected per device type (paper §4.2, Fig. 4):
+#: GPUs want neighbouring threads to touch neighbouring addresses
+#: (coalescing); CPUs want each thread to stream a contiguous chunk
+#: (prefetch/caching).
+ACCESS_COALESCED = "coalesced"
+ACCESS_SEQUENTIAL = "sequential"
+
+#: Simulated one-off compilation latency per kernel (seconds).  Tracked on
+#: the program for completeness; hot-cache measurements never include it.
+_COMPILE_SECONDS_PER_KERNEL = 0.018
+
+
+def default_defines(device_type: DeviceType) -> dict[str, object]:
+    """Pre-processor constants the runtime injects for ``device_type``."""
+    access = (
+        ACCESS_COALESCED if device_type is DeviceType.GPU else ACCESS_SEQUENTIAL
+    )
+    return {
+        "DEVICE_TYPE": device_type.value,
+        "ACCESS_PATTERN": access,
+    }
+
+
+def build(
+    context: Context,
+    library: Mapping[str, KernelDef],
+    defines: Mapping[str, object] | None = None,
+) -> Program:
+    """Compile ``library`` for ``context``'s device (``clBuildProgram``).
+
+    Parameters
+    ----------
+    library:
+        Mapping of kernel name to :class:`KernelDef`.
+    defines:
+        Extra pre-processor constants (e.g. ``RADIX_BITS``); merged over
+        the injected device defaults.
+
+    Returns the cached program when an identical specialisation was built
+    before.
+    """
+    if not library:
+        raise BuildError("cannot build an empty kernel library")
+    merged = default_defines(context.device.device_type)
+    if defines:
+        merged.update(defines)
+    key = (id(library), tuple(sorted((k, repr(v)) for k, v in merged.items())))
+    cached = context.cached_program(key)
+    if cached is not None:
+        return cached
+
+    program = Program(context=context, defines=dict(merged))
+    for name, definition in library.items():
+        if definition.name != name:
+            raise BuildError(
+                f"library key {name!r} does not match kernel name "
+                f"{definition.name!r}"
+            )
+        if definition.vec_fn is None or definition.work_fn is None:
+            raise BuildError(f"kernel {name!r} lacks an implementation")
+        program.add(definition)
+    program.build_time = _COMPILE_SECONDS_PER_KERNEL * len(library)
+    context.cache_program(key, program)
+    return program

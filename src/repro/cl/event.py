@@ -1,0 +1,105 @@
+"""The OpenCL event model (simulated).
+
+Events are the backbone of Ocelot's lazy execution model (paper §3.4):
+operators only *schedule* kernels and transfers; ordering constraints are
+expressed through event wait-lists, letting the driver overlap independent
+work.  In this simulation, results are computed eagerly (numpy), while the
+*simulated timeline* — queued / submit / start / end timestamps, like
+``CL_PROFILING_COMMAND_*`` — is derived from the dependency graph and the
+device cost model, including transfer/compute overlap.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterable, Sequence
+
+
+class CommandType(enum.Enum):
+    KERNEL = "kernel"
+    WRITE_BUFFER = "write_buffer"
+    READ_BUFFER = "read_buffer"
+    COPY_BUFFER = "copy_buffer"
+    MARKER = "marker"
+
+
+class EventStatus(enum.Enum):
+    QUEUED = "queued"
+    COMPLETE = "complete"
+
+
+_event_ids = itertools.count(1)
+
+
+class Event:
+    """Completion handle for one enqueued command.
+
+    Attributes
+    ----------
+    t_queued, t_submit, t_start, t_end:
+        Simulated timestamps in seconds on the queue's timeline.
+    wait_for:
+        The explicit + implicit (buffer producer/consumer) dependencies that
+        gated this command's start.
+    """
+
+    __slots__ = (
+        "event_id",
+        "command_type",
+        "label",
+        "wait_for",
+        "t_queued",
+        "t_submit",
+        "t_start",
+        "t_end",
+        "status",
+        "engine",
+    )
+
+    def __init__(
+        self,
+        command_type: CommandType,
+        label: str,
+        wait_for: Sequence["Event"] = (),
+    ):
+        self.event_id = next(_event_ids)
+        self.command_type = command_type
+        self.label = label
+        self.wait_for: tuple[Event, ...] = tuple(wait_for)
+        self.t_queued = 0.0
+        self.t_submit = 0.0
+        self.t_start = 0.0
+        self.t_end = 0.0
+        self.status = EventStatus.QUEUED
+        self.engine = ""
+
+    # -- OpenCL-style API ----------------------------------------------------
+
+    def wait(self) -> None:
+        """Block until the command completed.
+
+        Execution is eager in the simulation, so this only asserts state;
+        it exists so host code reads like real OpenCL host code.
+        """
+        assert self.status is EventStatus.COMPLETE
+
+    @property
+    def duration(self) -> float:
+        """Simulated execution seconds (``end - start``)."""
+        return self.t_end - self.t_start
+
+    @property
+    def complete(self) -> bool:
+        return self.status is EventStatus.COMPLETE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Event #{self.event_id} {self.command_type.value} {self.label!r} "
+            f"[{self.t_start * 1e3:.3f}ms..{self.t_end * 1e3:.3f}ms]>"
+        )
+
+
+def latest_end(events: Iterable[Event]) -> float:
+    """Largest simulated end time among ``events`` (0.0 when empty)."""
+    return max((e.t_end for e in events), default=0.0)

@@ -1,0 +1,211 @@
+"""Kernel objects: the hardware-oblivious unit of computation.
+
+A :class:`KernelDef` carries everything the runtime needs for one kernel:
+
+* ``source`` — pseudo-OpenCL C text (documentation / flavour; the paper's
+  kernels are OpenCL C, ours are executable Python equivalents),
+* ``params`` — the typed signature, from which the command queue derives
+  buffer dependencies automatically (producer/consumer events, §3.4),
+* ``ref_fn`` — a *work-item level* generator function executed by the
+  reference interpreter (:mod:`repro.cl.workitem`); ``yield`` is
+  ``barrier(CLK_LOCAL_MEM_FENCE)``,
+* ``vec_fn`` — the "vendor compiler output": a vectorised numpy
+  implementation specialised by pre-processor defines (``DEVICE_TYPE``,
+  access pattern, radix width, ...),
+* ``work_fn`` — the cost-model estimator returning a
+  :class:`~repro.cl.profile.KernelWork`.
+
+Both execution drivers consume the *same* ``KernelDef`` — this is the
+hardware-oblivious contract the paper's design rests on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+import numpy as np
+
+from .buffer import Buffer
+from .errors import InvalidKernelArgs
+from .profile import KernelWork
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+    from .device import Device
+    from .event import Event
+    from .queue import CommandQueue
+
+
+class ParamKind(enum.Enum):
+    IN = "in"          # __global const T*  (read)
+    OUT = "out"        # __global T*        (written)
+    INOUT = "inout"    # __global T*        (read + written)
+    SCALAR = "scalar"  # pass-by-value
+    LOCAL = "local"    # __local T*         (per-work-group scratch)
+
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+    kind: ParamKind
+
+
+def params(spec: str) -> tuple[Param, ...]:
+    """Parse a compact signature spec: ``"out:res in:inp scalar:n local:tmp"``."""
+    out = []
+    for token in spec.split():
+        kind_s, _, name = token.partition(":")
+        out.append(Param(name, ParamKind(kind_s)))
+    return tuple(out)
+
+
+class Local:
+    """Launch-time placeholder for a ``__local`` memory argument.
+
+    The reference interpreter materialises one array per work-group; the
+    vectorised driver receives ``None`` (it does not emulate local memory).
+    """
+
+    def __init__(self, shape, dtype):
+        self.shape = shape if isinstance(shape, tuple) else (int(shape),)
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def nbytes(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= int(s)
+        return n * self.dtype.itemsize
+
+
+@dataclass
+class ExecContext:
+    """Runtime information handed to ``vec_fn`` / ``work_fn``."""
+
+    device: "Device"
+    defines: Mapping[str, object]
+    global_size: int
+    local_size: int
+
+    @property
+    def num_groups(self) -> int:
+        return max(1, self.global_size // max(self.local_size, 1))
+
+
+@dataclass(frozen=True)
+class KernelDef:
+    """Definition of one hardware-oblivious kernel (see module docstring)."""
+
+    name: str
+    params: tuple[Param, ...]
+    vec_fn: Callable
+    work_fn: Callable
+    ref_fn: Callable | None = None
+    source: str = ""
+
+    def validate_args(self, args: Sequence[object]) -> None:
+        if len(args) != len(self.params):
+            raise InvalidKernelArgs(
+                f"kernel {self.name!r} takes {len(self.params)} args, "
+                f"got {len(args)}"
+            )
+        for param, arg in zip(self.params, args):
+            if param.kind in (ParamKind.IN, ParamKind.OUT, ParamKind.INOUT):
+                if not isinstance(arg, Buffer):
+                    raise InvalidKernelArgs(
+                        f"kernel {self.name!r} arg {param.name!r} must be a "
+                        f"Buffer, got {type(arg).__name__}"
+                    )
+            elif param.kind is ParamKind.LOCAL:
+                if not isinstance(arg, Local):
+                    raise InvalidKernelArgs(
+                        f"kernel {self.name!r} arg {param.name!r} must be a "
+                        f"Local placeholder, got {type(arg).__name__}"
+                    )
+            elif isinstance(arg, (Buffer, Local)):
+                raise InvalidKernelArgs(
+                    f"kernel {self.name!r} arg {param.name!r} is scalar but a "
+                    f"memory object was passed"
+                )
+
+    def reads(self, args: Sequence[object]) -> list[Buffer]:
+        return [
+            a
+            for p, a in zip(self.params, args)
+            if p.kind in (ParamKind.IN, ParamKind.INOUT)
+        ]
+
+    def writes(self, args: Sequence[object]) -> list[Buffer]:
+        return [
+            a
+            for p, a in zip(self.params, args)
+            if p.kind in (ParamKind.OUT, ParamKind.INOUT)
+        ]
+
+
+class Kernel:
+    """A kernel bound to a compiled :class:`Program` (device + defines)."""
+
+    def __init__(self, program: "Program", definition: KernelDef):
+        self.program = program
+        self.definition = definition
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    def launch(
+        self,
+        queue: "CommandQueue",
+        *args,
+        global_size: int | None = None,
+        local_size: int | None = None,
+        wait_for: Sequence["Event"] = (),
+    ) -> "Event":
+        """Enqueue this kernel (``clEnqueueNDRangeKernel``)."""
+        return queue.enqueue_kernel(
+            self,
+            args,
+            global_size=global_size,
+            local_size=local_size,
+            wait_for=wait_for,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Kernel {self.name!r} of {self.program!r}>"
+
+
+@dataclass
+class Program:
+    """A kernel library compiled ("specialised") for one device.
+
+    ``defines`` holds the pre-processor constants injected at build time —
+    the paper's mechanism for choosing device-specific access patterns
+    inside otherwise hardware-oblivious kernels (§4.2).
+    """
+
+    context: "Context"
+    defines: dict = field(default_factory=dict)
+    build_time: float = 0.0
+    _kernels: dict[str, Kernel] = field(default_factory=dict)
+
+    def add(self, definition: KernelDef) -> None:
+        self._kernels[definition.name] = Kernel(self, definition)
+
+    def kernel(self, name: str) -> Kernel:
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise InvalidKernelArgs(f"program has no kernel {name!r}") from None
+
+    def kernel_names(self) -> list[str]:
+        return sorted(self._kernels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dev = self.context.device.profile.device_type.value
+        return f"<Program {len(self._kernels)} kernels for {dev}>"

@@ -1,0 +1,79 @@
+"""Platform discovery: the simulated equivalent of ``clGetPlatformIDs``.
+
+Two stock platforms mirror the paper's testbed: an Intel OpenCL SDK
+platform exposing the Xeon E5620, and an NVIDIA platform exposing the
+GTX 460.  Tests and benchmarks can also register custom profiles (e.g. a
+GPU with tiny memory to provoke eviction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import (
+    Device,
+    DeviceProfile,
+    DeviceType,
+    INTEL_XEON_E5620,
+    NVIDIA_GTX460,
+    checked_profile,
+)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A vendor OpenCL implementation exposing one or more devices."""
+
+    name: str
+    vendor: str
+    profiles: tuple[DeviceProfile, ...]
+
+    def get_devices(self, device_type: DeviceType | None = None) -> list[Device]:
+        return [
+            Device(p)
+            for p in self.profiles
+            if device_type is None or p.device_type is device_type
+        ]
+
+
+_STOCK_PLATFORMS = (
+    Platform(
+        name="Intel OpenCL SDK 2013 XE (simulated)",
+        vendor="Intel",
+        profiles=(INTEL_XEON_E5620,),
+    ),
+    Platform(
+        name="NVIDIA CUDA OpenCL (simulated, driver 310.32)",
+        vendor="NVIDIA",
+        profiles=(NVIDIA_GTX460,),
+    ),
+)
+
+
+def get_platforms() -> tuple[Platform, ...]:
+    """All available (simulated) OpenCL platforms."""
+    return _STOCK_PLATFORMS
+
+
+def get_device(kind: str | DeviceType, global_mem_bytes: int | None = None) -> Device:
+    """Convenience lookup: ``get_device("cpu")`` / ``get_device("gpu")``.
+
+    ``global_mem_bytes`` overrides the profile's device memory; mini-scale
+    TPC-H runs never need this (they scale via ``data_scale`` instead), but
+    targeted tests use it to provoke memory pressure cheaply.
+    """
+    if isinstance(kind, str):
+        try:
+            kind = DeviceType(kind.upper())
+        except ValueError:
+            raise LookupError(f"no simulated device of type {kind!r}") from None
+    for platform in _STOCK_PLATFORMS:
+        devices = platform.get_devices(kind)
+        if devices:
+            device = devices[0]
+            if global_mem_bytes is not None:
+                device = Device(
+                    checked_profile(device.profile.with_memory(global_mem_bytes))
+                )
+            return device
+    raise LookupError(f"no simulated device of type {kind}")

@@ -1,0 +1,282 @@
+"""Command queues: lazy scheduling with simulated timelines.
+
+Ocelot's execution model (paper §3.4) only *schedules* kernel invocations
+and data transfers; ordering is communicated to the driver through event
+wait-lists, and the driver is free to overlap independent operations.
+
+This simulation executes commands eagerly (so results are always
+available) but derives a *simulated schedule* from the dependency graph:
+
+* the device has two engines — ``compute`` (kernels) and ``copy`` (DMA
+  transfers) — each executing its commands in order,
+* a command starts at ``max(engine available, host submit time, latest
+  dependency end)``; transfers therefore overlap independent kernels
+  exactly as Fig. 3 of the paper illustrates,
+* the host timeline advances by the device driver's per-enqueue submit
+  cost — which is how the Intel SDK's framework overhead (§5.3.2) enters
+  the model.
+
+``finish()`` joins all timelines (like ``clFinish``) and returns the
+current makespan; measurements bracket work between two ``finish()`` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .buffer import Buffer
+from .errors import DeviceLost, InvalidKernelArgs
+from .event import CommandType, Event, EventStatus, latest_end
+from .kernel import ExecContext, Kernel, Local, ParamKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import Context
+
+
+@dataclass
+class QueueStats:
+    """Cumulative activity counters (nominal bytes)."""
+
+    kernels_launched: int = 0
+    transfers_to_device: int = 0
+    transfers_from_device: int = 0
+    bytes_to_device: int = 0
+    bytes_from_device: int = 0
+    kernel_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    events: list[Event] = field(default_factory=list)
+
+    def snapshot(self) -> "QueueStats":
+        return QueueStats(
+            kernels_launched=self.kernels_launched,
+            transfers_to_device=self.transfers_to_device,
+            transfers_from_device=self.transfers_from_device,
+            bytes_to_device=self.bytes_to_device,
+            bytes_from_device=self.bytes_from_device,
+            kernel_seconds=self.kernel_seconds,
+            transfer_seconds=self.transfer_seconds,
+        )
+
+
+class CommandQueue:
+    """Simulated in-order-per-engine ``cl_command_queue``."""
+
+    COMPUTE = "compute"
+    COPY = "copy"
+
+    def __init__(self, context: "Context"):
+        self.context = context
+        self.device = context.device
+        self.host_time = 0.0
+        self._engine_time = {self.COMPUTE: 0.0, self.COPY: 0.0}
+        self.stats = QueueStats()
+        self._released = False
+
+    # -- internal scheduling --------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._released:
+            raise DeviceLost("command queue was released")
+
+    def _schedule(
+        self,
+        engine: str,
+        duration: float,
+        deps: Sequence[Event],
+        command_type: CommandType,
+        label: str,
+    ) -> Event:
+        self.host_time += self.device.host_submit_time()
+        event = Event(command_type, label, wait_for=deps)
+        event.t_queued = self.host_time
+        event.t_submit = self.host_time
+        start = max(self._engine_time[engine], event.t_submit, latest_end(deps))
+        event.t_start = start
+        event.t_end = start + duration
+        event.status = EventStatus.COMPLETE
+        event.engine = engine
+        self._engine_time[engine] = event.t_end
+        self.stats.events.append(event)
+        return event
+
+    @staticmethod
+    def _merge_deps(*groups: Sequence[Event]) -> tuple[Event, ...]:
+        seen: dict[int, Event] = {}
+        for group in groups:
+            for ev in group:
+                seen[ev.event_id] = ev
+        return tuple(seen.values())
+
+    # -- kernels ---------------------------------------------------------------
+
+    def enqueue_kernel(
+        self,
+        kernel: Kernel,
+        args: Sequence[object],
+        global_size: int | None = None,
+        local_size: int | None = None,
+        wait_for: Sequence[Event] = (),
+    ) -> Event:
+        """Execute ``kernel`` and schedule it on the compute engine."""
+        self._check_alive()
+        definition = kernel.definition
+        definition.validate_args(args)
+        reads = definition.reads(args)
+        writes = definition.writes(args)
+        for buf in reads + writes:
+            if buf.released:
+                raise InvalidKernelArgs(
+                    f"kernel {definition.name!r} got released buffer {buf.tag!r}"
+                )
+
+        profile = self.device.profile
+        if local_size is None:
+            local_size = profile.work_group_size
+        if global_size is None:
+            global_size = profile.total_invocations
+        exec_ctx = ExecContext(
+            device=self.device,
+            defines=kernel.program.defines,
+            global_size=int(global_size),
+            local_size=int(local_size),
+        )
+        values = [
+            arg.array
+            if isinstance(arg, Buffer)
+            else (None if isinstance(arg, Local) else arg)
+            for arg in args
+        ]
+        # Eager execution: results materialise now; timing is simulated.
+        definition.vec_fn(exec_ctx, *values)
+        work = definition.work_fn(exec_ctx, *values)
+        work = work.scaled(self.context.data_scale)
+        duration = self.device.kernel_time(work)
+
+        deps = self._merge_deps(
+            wait_for,
+            *(b.dependencies_for_read() for b in reads),
+            *(b.dependencies_for_write() for b in writes),
+        )
+        event = self._schedule(
+            self.COMPUTE, duration, deps, CommandType.KERNEL, definition.name
+        )
+        for buf in writes:
+            buf.record_producer(event)
+        for buf in reads:
+            buf.record_consumer(event)
+        self.stats.kernels_launched += 1
+        self.stats.kernel_seconds += duration
+        return event
+
+    # -- transfers --------------------------------------------------------------
+
+    def enqueue_write(
+        self,
+        buffer: Buffer,
+        host_array: np.ndarray,
+        wait_for: Sequence[Event] = (),
+    ) -> Event:
+        """Copy ``host_array`` into ``buffer`` (host -> device)."""
+        self._check_alive()
+        host_array = np.asarray(host_array)
+        if host_array.nbytes != buffer.nbytes:
+            raise InvalidKernelArgs(
+                f"write of {host_array.nbytes} bytes into buffer "
+                f"{buffer.tag!r} of {buffer.nbytes} bytes"
+            )
+        np.copyto(buffer.array.view(host_array.dtype), host_array)
+        duration = self.device.transfer_time(buffer.nominal_nbytes)
+        deps = self._merge_deps(wait_for, buffer.dependencies_for_write())
+        event = self._schedule(
+            self.COPY, duration, deps, CommandType.WRITE_BUFFER, buffer.tag
+        )
+        buffer.record_producer(event)
+        self.stats.transfers_to_device += 1
+        self.stats.bytes_to_device += buffer.nominal_nbytes
+        self.stats.transfer_seconds += duration
+        return event
+
+    def enqueue_read(
+        self, buffer: Buffer, wait_for: Sequence[Event] = ()
+    ) -> tuple[np.ndarray, Event]:
+        """Copy ``buffer`` back to the host (device -> host).
+
+        Returns the host array and the transfer's event.
+        """
+        self._check_alive()
+        host_array = buffer.array.copy()
+        duration = self.device.transfer_time(buffer.nominal_nbytes)
+        deps = self._merge_deps(wait_for, buffer.dependencies_for_read())
+        event = self._schedule(
+            self.COPY, duration, deps, CommandType.READ_BUFFER, buffer.tag
+        )
+        buffer.record_consumer(event)
+        self.stats.transfers_from_device += 1
+        self.stats.bytes_from_device += buffer.nominal_nbytes
+        self.stats.transfer_seconds += duration
+        return host_array, event
+
+    def enqueue_copy(
+        self, dst: Buffer, src: Buffer, wait_for: Sequence[Event] = ()
+    ) -> Event:
+        """Device-to-device copy."""
+        self._check_alive()
+        if dst.nbytes != src.nbytes:
+            raise InvalidKernelArgs("copy size mismatch")
+        np.copyto(dst.array.view(src.dtype), src.array)
+        # On-device copies run at streaming bandwidth (read + write).
+        profile = self.device.profile
+        gbs = profile.stream_bw_gbs * profile.bandwidth_efficiency * 1024**3
+        duration = 2 * src.nominal_nbytes / gbs
+        deps = self._merge_deps(
+            wait_for, src.dependencies_for_read(), dst.dependencies_for_write()
+        )
+        event = self._schedule(
+            self.COPY, duration, deps, CommandType.COPY_BUFFER, dst.tag
+        )
+        dst.record_producer(event)
+        src.record_consumer(event)
+        return event
+
+    def enqueue_marker(self, wait_for: Sequence[Event] = ()) -> Event:
+        """Zero-duration synchronisation point on the compute engine."""
+        self._check_alive()
+        return self._schedule(
+            self.COMPUTE, 0.0, tuple(wait_for), CommandType.MARKER, "marker"
+        )
+
+    # -- synchronisation -----------------------------------------------------------
+
+    def makespan(self) -> float:
+        """Current simulated completion time across host and both engines."""
+        return max(self.host_time, *self._engine_time.values())
+
+    def finish(self) -> float:
+        """Block until all scheduled work completed (``clFinish``).
+
+        Joins the host timeline with the device engines — subsequent
+        commands cannot start earlier than the returned makespan — and
+        returns that makespan in simulated seconds.
+        """
+        self._check_alive()
+        t = self.makespan()
+        self.host_time = t
+        for engine in self._engine_time:
+            self._engine_time[engine] = t
+        return t
+
+    def timeline(self) -> list[Event]:
+        """All scheduled events ordered by simulated start time."""
+        return sorted(self.stats.events, key=lambda e: (e.t_start, e.event_id))
+
+    def release(self) -> None:
+        self._released = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CommandQueue {self.device.name!r} t={self.makespan() * 1e3:.3f}ms "
+            f"kernels={self.stats.kernels_launched}>"
+        )

@@ -1,0 +1,186 @@
+"""Reference work-item interpreter for the kernel programming model.
+
+This is the slow-but-faithful execution driver: it runs a kernel exactly as
+the model specifies — one logical thread per work-item, work-items grouped
+into work-groups sharing ``__local`` memory, and group-wide barriers.
+
+Reference kernels are *generator functions*::
+
+    def histogram_ref(wi, hist, keys, n):
+        lid = wi.local_id()
+        for i in wi.chunk(n):          # this thread's slice of the input
+            ...
+        yield                          # barrier(CLK_LOCAL_MEM_FENCE)
+        ...
+
+``yield`` is the barrier.  The interpreter advances every work-item of a
+group to its next barrier before any item proceeds — and raises
+:class:`~repro.cl.errors.BarrierDivergence` when items disagree on barrier
+counts, which on real hardware would deadlock or corrupt memory.
+
+The vectorised driver (:mod:`repro.cl.queue` via each kernel's ``vec_fn``)
+must produce identical results; the test-suite cross-validates the two on
+small inputs, which is how this repo demonstrates that one
+hardware-oblivious kernel text serves every device.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .buffer import Buffer
+from .device import Device
+from .errors import BarrierDivergence, InvalidKernelArgs
+from .kernel import KernelDef, Local, ParamKind
+
+
+class WorkItem:
+    """The view of the NDRange a single kernel invocation sees.
+
+    Mirrors the OpenCL work-item functions: ``get_global_id`` etc.  Also
+    provides :meth:`chunk` / :meth:`strided`, the two §4.2 access patterns,
+    selected automatically by :meth:`partition` from the build defines.
+    """
+
+    __slots__ = ("_gid", "_lid", "_group", "_lsize", "_gsize", "_defines")
+
+    def __init__(self, gid, lid, group, lsize, gsize, defines):
+        self._gid = gid
+        self._lid = lid
+        self._group = group
+        self._lsize = lsize
+        self._gsize = gsize
+        self._defines = defines
+
+    def global_id(self) -> int:
+        return self._gid
+
+    def local_id(self) -> int:
+        return self._lid
+
+    def group_id(self) -> int:
+        return self._group
+
+    def local_size(self) -> int:
+        return self._lsize
+
+    def global_size(self) -> int:
+        return self._gsize
+
+    def define(self, name: str, default=None):
+        return self._defines.get(name, default)
+
+    # -- §4.2 access patterns -------------------------------------------------
+
+    def chunk(self, n: int) -> range:
+        """Contiguous partition: thread *t* owns one consecutive slice.
+
+        Optimal on CPUs (prefetching, caching)."""
+        per = -(-n // self._gsize)  # ceil division
+        lo = min(self._gid * per, n)
+        hi = min(lo + per, n)
+        return range(lo, hi)
+
+    def strided(self, n: int) -> range:
+        """Round-robin partition: neighbouring threads touch neighbouring
+        elements.  Optimal on GPUs (coalescing)."""
+        return range(self._gid, n, self._gsize)
+
+    def partition(self, n: int) -> range:
+        """The device-appropriate pattern, chosen via the injected
+        ``ACCESS_PATTERN`` pre-processor constant (paper §4.2)."""
+        if self._defines.get("ACCESS_PATTERN") == "coalesced":
+            return self.strided(n)
+        return self.chunk(n)
+
+
+def run_reference(
+    definition: KernelDef,
+    args: Sequence[object],
+    global_size: int,
+    local_size: int,
+    defines: Mapping[str, object] | None = None,
+    device: Device | None = None,
+) -> None:
+    """Execute ``definition.ref_fn`` work-item by work-item.
+
+    ``args`` uses the same conventions as a launch: :class:`Buffer` or raw
+    numpy arrays for memory params, :class:`Local` placeholders for
+    ``__local`` params, plain values for scalars.  Mutations happen
+    in-place on the arrays.
+    """
+    if definition.ref_fn is None:
+        raise InvalidKernelArgs(
+            f"kernel {definition.name!r} has no reference implementation"
+        )
+    if global_size <= 0 or local_size <= 0:
+        raise InvalidKernelArgs("global/local size must be positive")
+    if global_size % local_size != 0:
+        raise InvalidKernelArgs(
+            f"global size {global_size} not divisible by local size {local_size}"
+        )
+    defines = dict(defines or {})
+    if device is not None and "DEVICE_TYPE" not in defines:
+        from .compiler import default_defines
+
+        defines = {**default_defines(device.device_type), **defines}
+
+    resolved: list[object] = []
+    local_specs: list[tuple[int, Local]] = []
+    for index, (param, arg) in enumerate(zip(definition.params, args)):
+        if param.kind is ParamKind.LOCAL:
+            if not isinstance(arg, Local):
+                raise InvalidKernelArgs(
+                    f"param {param.name!r} needs a Local placeholder"
+                )
+            local_specs.append((index, arg))
+            resolved.append(None)  # replaced per work-group
+        elif isinstance(arg, Buffer):
+            resolved.append(arg.array)
+        else:
+            resolved.append(arg)
+
+    num_groups = global_size // local_size
+    for group in range(num_groups):
+        group_args = list(resolved)
+        for index, spec in local_specs:
+            group_args[index] = np.zeros(spec.shape, dtype=spec.dtype)
+        _run_group(
+            definition, group_args, group, local_size, global_size, defines
+        )
+
+
+def _run_group(definition, group_args, group, local_size, global_size, defines):
+    """Run one work-group: advance all items barrier-by-barrier."""
+    items = []
+    for lid in range(local_size):
+        gid = group * local_size + lid
+        wi = WorkItem(gid, lid, group, local_size, global_size, defines)
+        gen = definition.ref_fn(wi, *group_args)
+        if gen is None or not hasattr(gen, "__next__"):
+            raise InvalidKernelArgs(
+                f"reference kernel {definition.name!r} must be a generator "
+                f"function (use 'yield' for barriers, end with 'return')"
+            )
+        items.append(gen)
+
+    live = list(range(local_size))
+    while live:
+        at_barrier: list[int] = []
+        finished: list[int] = []
+        for idx in live:
+            try:
+                next(items[idx])
+            except StopIteration:
+                finished.append(idx)
+            else:
+                at_barrier.append(idx)
+        if at_barrier and finished:
+            raise BarrierDivergence(
+                f"kernel {definition.name!r}, group {group}: work-items "
+                f"{finished[:4]} finished while {at_barrier[:4]} wait at a "
+                f"barrier"
+            )
+        live = at_barrier

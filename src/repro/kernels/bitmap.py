@@ -1,0 +1,276 @@
+"""Bitmap algebra and materialisation kernels (paper §4.1.1-4.1.2).
+
+Complex predicates combine selection bitmaps with bit operations; when a
+downstream operator (or MonetDB) needs tuple IDs, the bitmap is
+materialised into a list of qualifying oids in two steps: a per-partition
+set-bit count, a prefix sum over the counts to obtain unique write
+offsets, and an offset-addressed write (paper §4.1.2, scan after [33]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cl import KernelDef, KernelWork, params
+from .selection import bitmap_nbytes
+
+#: Per-byte population counts, the classic table-lookup popcount.
+POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint32)
+
+_BITOPS = {
+    "and": np.bitwise_and,
+    "or": np.bitwise_or,
+    "xor": np.bitwise_xor,
+}
+
+
+def tail_mask(n_bits: int) -> int:
+    """Mask for the valid bits of the (possibly partial) final byte."""
+    rem = n_bits % 8
+    return 0xFF if rem == 0 else (1 << rem) - 1
+
+
+def _bitmap_binop_vec(ctx, out, a, b, nbytes, op):
+    nbytes = int(nbytes)
+    _BITOPS[op](a[:nbytes], b[:nbytes], out=out[:nbytes])
+
+
+def _bitmap_binop_work(ctx, out, a, b, nbytes, op):
+    nbytes = int(nbytes)
+    return KernelWork(
+        elements=nbytes * 8,
+        bytes_read=2 * nbytes,
+        bytes_written=nbytes,
+        ops=nbytes,
+    )
+
+
+def _bitmap_binop_ref(wi, out, a, b, nbytes, op):
+    fn = _BITOPS[op]
+    for j in wi.partition(int(nbytes)):
+        out[j] = fn(a[j], b[j])
+    return
+    yield  # pragma: no cover
+
+
+BITMAP_BINOP = KernelDef(
+    name="bitmap_binop",
+    params=params("out:res in:a in:b scalar:nbytes scalar:op"),
+    vec_fn=_bitmap_binop_vec,
+    work_fn=_bitmap_binop_work,
+    ref_fn=_bitmap_binop_ref,
+    source="""
+__kernel void bitmap_binop(__global uchar* res, __global const uchar* a,
+                           __global const uchar* b, uint nbytes) {
+    res[global_id()] = a[global_id()] OP b[global_id()];
+}
+""",
+)
+
+
+def _bitmap_not_vec(ctx, out, a, n_bits, nbytes):
+    nbytes = int(nbytes)
+    np.bitwise_not(a[:nbytes], out=out[:nbytes])
+    if nbytes:
+        out[nbytes - 1] &= tail_mask(int(n_bits))
+
+
+def _bitmap_not_work(ctx, out, a, n_bits, nbytes):
+    nbytes = int(nbytes)
+    return KernelWork(
+        elements=nbytes * 8, bytes_read=nbytes, bytes_written=nbytes, ops=nbytes
+    )
+
+
+def _bitmap_not_ref(wi, out, a, n_bits, nbytes):
+    nbytes = int(nbytes)
+    for j in wi.partition(nbytes):
+        byte = (~int(a[j])) & 0xFF
+        if j == nbytes - 1:
+            byte &= tail_mask(int(n_bits))
+        out[j] = byte
+    return
+    yield  # pragma: no cover
+
+
+BITMAP_NOT = KernelDef(
+    name="bitmap_not",
+    params=params("out:res in:a scalar:n_bits scalar:nbytes"),
+    vec_fn=_bitmap_not_vec,
+    work_fn=_bitmap_not_work,
+    ref_fn=_bitmap_not_ref,
+    source="""
+__kernel void bitmap_not(__global uchar* res, __global const uchar* a,
+                         uint n_bits, uint nbytes) {
+    uchar byte = ~a[global_id()];
+    if (global_id() == nbytes - 1) byte &= TAIL_MASK(n_bits);
+    res[global_id()] = byte;
+}
+""",
+)
+
+
+def _partition_bounds(nbytes: int, parts: int) -> np.ndarray:
+    return np.linspace(0, nbytes, parts + 1, dtype=np.int64)
+
+
+def _bitmap_count_vec(ctx, counts, bitmap, nbytes, parts):
+    """Per-partition set-bit counts (stage 1 of materialisation)."""
+    nbytes, parts = int(nbytes), int(parts)
+    bounds = _partition_bounds(nbytes, parts)
+    per_byte = POPCOUNT[bitmap[:nbytes]]
+    sums = np.add.reduceat(per_byte, bounds[:-1]) if nbytes else np.zeros(parts)
+    # reduceat quirk: empty trailing partitions repeat the previous slice.
+    sizes = np.diff(bounds)
+    counts[:parts] = np.where(sizes > 0, sums, 0)
+
+
+def _bitmap_count_work(ctx, counts, bitmap, nbytes, parts):
+    nbytes = int(nbytes)
+    return KernelWork(
+        elements=nbytes * 8,
+        bytes_read=nbytes,
+        bytes_written=int(parts) * counts.dtype.itemsize,
+        ops=nbytes,
+    )
+
+
+def _bitmap_count_ref(wi, counts, bitmap, nbytes, parts):
+    nbytes, parts = int(nbytes), int(parts)
+    bounds = _partition_bounds(nbytes, parts)
+    for p in wi.partition(parts):
+        total = 0
+        for j in range(bounds[p], bounds[p + 1]):
+            total += int(POPCOUNT[bitmap[j]])
+        counts[p] = total
+    return
+    yield  # pragma: no cover
+
+
+BITMAP_COUNT = KernelDef(
+    name="bitmap_count",
+    params=params("out:counts in:bitmap scalar:nbytes scalar:parts"),
+    vec_fn=_bitmap_count_vec,
+    work_fn=_bitmap_count_work,
+    ref_fn=_bitmap_count_ref,
+    source="""
+__kernel void bitmap_count(__global uint* counts,
+                           __global const uchar* bitmap, uint nbytes) {
+    uint total = 0;
+    for (uint j = FIRST(nbytes); j < LAST(nbytes); j += STEP)
+        total += popcount(bitmap[j]);
+    counts[group_id()] = total;   /* after local reduction */
+}
+""",
+)
+
+
+def _bitmap_write_oids_vec(ctx, oids, bitmap, offsets, n_bits, parts):
+    """Stage 3: write positions of set bits at per-partition offsets.
+
+    The vectorised driver emits all set-bit positions in ascending order —
+    identical to the concatenation of the per-partition writes, because
+    partitions are contiguous and offsets come from the prefix sum.
+    """
+    n_bits = int(n_bits)
+    bits = np.unpackbits(bitmap, bitorder="little", count=n_bits)
+    positions = np.nonzero(bits)[0]
+    oids[: positions.size] = positions.astype(oids.dtype)
+
+
+def _bitmap_write_oids_work(ctx, oids, bitmap, offsets, n_bits, parts):
+    n_bits = int(n_bits)
+    nbytes = bitmap_nbytes(n_bits)
+    return KernelWork(
+        elements=n_bits,
+        bytes_read=nbytes + int(parts) * offsets.dtype.itemsize,
+        bytes_written=oids.nbytes,
+        ops=n_bits,
+    )
+
+
+def _bitmap_write_oids_ref(wi, oids, bitmap, offsets, n_bits, parts):
+    n_bits, parts = int(n_bits), int(parts)
+    nbytes = bitmap_nbytes(n_bits)
+    bounds = _partition_bounds(nbytes, parts)
+    for p in wi.partition(parts):
+        cursor = int(offsets[p])
+        for j in range(bounds[p], bounds[p + 1]):
+            byte = int(bitmap[j])
+            for k in range(8):
+                if byte & (1 << k):
+                    oids[cursor] = 8 * j + k
+                    cursor += 1
+    return
+    yield  # pragma: no cover
+
+
+BITMAP_WRITE_OIDS = KernelDef(
+    name="bitmap_write_oids",
+    params=params("out:oids in:bitmap in:offsets scalar:n_bits scalar:parts"),
+    vec_fn=_bitmap_write_oids_vec,
+    work_fn=_bitmap_write_oids_work,
+    ref_fn=_bitmap_write_oids_ref,
+    source="""
+__kernel void bitmap_write_oids(__global uint* oids,
+                                __global const uchar* bitmap,
+                                __global const uint* offsets, uint n) {
+    uint cursor = offsets[group_id()];
+    for (uint j = FIRST(NBYTES(n)); j < LAST(NBYTES(n)); j += STEP)
+        for (int k = 0; k < 8; ++k)
+            if (bitmap[j] & (1 << k)) oids[cursor++] = 8 * j + k;
+}
+""",
+)
+
+
+def _oids_to_bitmap_vec(ctx, bitmap, oids, count, n_bits):
+    count = int(count)
+    bits = np.zeros(int(n_bits), dtype=np.uint8)
+    bits[oids[:count].astype(np.int64, copy=False)] = 1
+    packed = np.packbits(bits, bitorder="little")
+    bitmap[: packed.size] = packed
+    bitmap[packed.size :] = 0
+
+
+def _oids_to_bitmap_work(ctx, bitmap, oids, count, n_bits):
+    count = int(count)
+    return KernelWork(
+        elements=count,
+        bytes_read=count * oids.dtype.itemsize,
+        bytes_written=bitmap_nbytes(int(n_bits)),
+        random_bytes=count,
+        ops=count,
+    )
+
+
+OIDS_TO_BITMAP = KernelDef(
+    name="oids_to_bitmap",
+    params=params("out:bitmap in:oids scalar:count scalar:n_bits"),
+    vec_fn=_oids_to_bitmap_vec,
+    work_fn=_oids_to_bitmap_work,
+    source="""
+__kernel void oids_to_bitmap(__global uchar* bitmap,
+                             __global const uint* oids, uint count) {
+    atomic_or(&bitmap[oids[i] >> 3], 1 << (oids[i] & 7));
+}
+""",
+)
+
+
+def count_bits(bitmap: np.ndarray, n_bits: int) -> int:
+    """Host-side helper: total set bits among the first ``n_bits``."""
+    nbytes = bitmap_nbytes(n_bits)
+    return int(POPCOUNT[bitmap[:nbytes]].sum())
+
+
+LIBRARY = {
+    k.name: k
+    for k in (
+        BITMAP_BINOP,
+        BITMAP_NOT,
+        BITMAP_COUNT,
+        BITMAP_WRITE_OIDS,
+        OIDS_TO_BITMAP,
+    )
+}

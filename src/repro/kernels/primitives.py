@@ -1,0 +1,676 @@
+"""Parallel primitives: scan, gather, scatter, reduce, element-wise maps.
+
+These are the building blocks the paper's operators are composed from
+(prefix sums for write-offset computation [33], gather/scatter [18],
+binary reduction [24]).  Every kernel follows the package conventions:
+
+* ``vec_fn`` — vectorised numpy execution ("compiled" code),
+* ``work_fn`` — cost-model :class:`~repro.cl.profile.KernelWork`,
+* ``ref_fn`` — work-item-level reference semantics (where instructive),
+* ``source`` — the pseudo-OpenCL C the kernel corresponds to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cl import KernelDef, KernelWork, params
+
+# Operator tables for the element-wise kernels.  MonetDB's batcalc module
+# has one operator per arithmetic op; we keep a single kernel with the op
+# as a launch argument (a compile-time constant in real OpenCL).
+def _rsub(a, b, out=None, casting="same_kind"):
+    """Reversed subtraction: ``b - a`` (scalar-minus-column expressions)."""
+    return np.subtract(b, a, out=out, casting=casting)
+
+
+def _rdiv(a, b, out=None, casting="same_kind"):
+    """Reversed division: ``b / a``."""
+    return np.divide(b, a, out=out, casting=casting)
+
+
+def _logical_and(a, b, out=None, casting="same_kind"):
+    result = np.logical_and(a, b)
+    if out is not None:
+        out[...] = result
+        return out
+    return result.astype(np.uint8)
+
+
+def _logical_or(a, b, out=None, casting="same_kind"):
+    result = np.logical_or(a, b)
+    if out is not None:
+        out[...] = result
+        return out
+    return result.astype(np.uint8)
+
+
+_BINOPS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.divide,
+    "intdiv": np.floor_divide,
+    "xor": np.bitwise_xor,
+    "rsub": _rsub,
+    "rdiv": _rdiv,
+    "and": _logical_and,
+    "or": _logical_or,
+}
+
+_REDUCERS = {
+    "sum": (np.sum, np.add),
+    "min": (np.min, np.minimum),
+    "max": (np.max, np.maximum),
+}
+
+
+# ---------------------------------------------------------------------------
+# prefix sum (exclusive scan)
+# ---------------------------------------------------------------------------
+
+def _prefix_sum_vec(ctx, out, inp, n):
+    n = int(n)
+    np.cumsum(inp[:n], out=out[:n])
+    if n:
+        total = out[n - 1]
+        out[1:n] = out[: n - 1]
+        out[0] = 0
+        if out.size > n:  # optional total slot appended by the host
+            out[n] = total
+
+
+def _prefix_sum_work(ctx, out, inp, n):
+    n = int(n)
+    item = inp.dtype.itemsize
+    # Work-efficient scan: ~2n reads + 2n writes across up/down sweeps.
+    return KernelWork(
+        elements=n,
+        bytes_read=2 * n * item,
+        bytes_written=2 * n * item,
+        ops=2 * n,
+    )
+
+
+def _prefix_sum_ref(wi, out, inp, n):
+    """Hillis-Steele scan, one work-group over the whole (small) input.
+
+    A faithful local-memory scan: each step reads the neighbour ``stride``
+    away and barriers between steps.  Only used by the reference driver on
+    work-group-sized inputs; the host composes larger scans from chunks.
+    """
+    n = int(n)
+    gid = wi.global_id()
+    # inclusive scan in-place on a copy staged into 'out'
+    if gid < n:
+        out[gid] = inp[gid]
+    yield
+    stride = 1
+    while stride < wi.global_size():
+        val = out[gid - stride] if gid >= stride and gid < n else None
+        yield
+        if val is not None:
+            out[gid] += val
+        yield
+        stride *= 2
+    # shift to exclusive
+    prev = out[gid - 1] if 0 < gid < n else None
+    yield
+    if gid < n:
+        out[gid] = prev if gid else 0
+    return
+
+
+PREFIX_SUM = KernelDef(
+    name="prefix_sum",
+    params=params("out:res in:inp scalar:n"),
+    vec_fn=_prefix_sum_vec,
+    work_fn=_prefix_sum_work,
+    ref_fn=_prefix_sum_ref,
+    source="""
+__kernel void prefix_sum(__global T* res, __global const T* inp, uint n) {
+    /* work-efficient Blelloch scan over local tiles + tile-offset pass */
+}
+""",
+)
+
+
+# ---------------------------------------------------------------------------
+# gather / scatter
+# ---------------------------------------------------------------------------
+
+def _gather_vec(ctx, out, src, idx, n):
+    n = int(n)
+    np.take(src, idx[:n].astype(np.int64, copy=False), out=out[:n])
+
+
+def _gather_work(ctx, out, src, idx, n):
+    n = int(n)
+    return KernelWork(
+        elements=n,
+        bytes_read=n * idx.dtype.itemsize,
+        bytes_written=n * out.dtype.itemsize,
+        random_bytes=n * src.dtype.itemsize,
+        ops=n,
+    )
+
+
+def _gather_ref(wi, out, src, idx, n):
+    for i in wi.partition(int(n)):
+        out[i] = src[idx[i]]
+    return
+    yield  # pragma: no cover - marks this as a generator
+
+
+GATHER = KernelDef(
+    name="gather",
+    params=params("out:res in:src in:idx scalar:n"),
+    vec_fn=_gather_vec,
+    work_fn=_gather_work,
+    ref_fn=_gather_ref,
+    source="""
+__kernel void gather(__global T* res, __global const T* src,
+                     __global const uint* idx, uint n) {
+    for (uint i = FIRST(n); i < LAST(n); i += STEP)
+        res[i] = src[idx[i]];
+}
+""",
+)
+
+
+def _scatter_vec(ctx, out, src, idx, n):
+    n = int(n)
+    out[idx[:n].astype(np.int64, copy=False)] = src[:n]
+
+
+def _scatter_work(ctx, out, src, idx, n):
+    n = int(n)
+    return KernelWork(
+        elements=n,
+        bytes_read=n * (src.dtype.itemsize + idx.dtype.itemsize),
+        random_bytes=n * out.dtype.itemsize,
+        ops=n,
+    )
+
+
+def _scatter_ref(wi, out, src, idx, n):
+    for i in wi.partition(int(n)):
+        out[idx[i]] = src[i]
+    return
+    yield  # pragma: no cover
+
+
+SCATTER = KernelDef(
+    name="scatter",
+    params=params("inout:res in:src in:idx scalar:n"),
+    vec_fn=_scatter_vec,
+    work_fn=_scatter_work,
+    ref_fn=_scatter_ref,
+    source="""
+__kernel void scatter(__global T* res, __global const T* src,
+                      __global const uint* idx, uint n) {
+    for (uint i = FIRST(n); i < LAST(n); i += STEP)
+        res[idx[i]] = src[i];
+}
+""",
+)
+
+
+# ---------------------------------------------------------------------------
+# binary reduction (ungrouped aggregation, paper §4.1.7 / [18])
+# ---------------------------------------------------------------------------
+
+def _reduce_partial_vec(ctx, partials, inp, n, op):
+    """Stage 1: each work-group reduces its partition into one slot."""
+    n = int(n)
+    reducer, _ = _REDUCERS[op]
+    groups = partials.shape[0]
+    bounds = np.linspace(0, n, groups + 1, dtype=np.int64)
+    identity = _identity_for(op, partials.dtype)
+    for g in range(groups):
+        lo, hi = bounds[g], bounds[g + 1]
+        partials[g] = reducer(inp[lo:hi]) if hi > lo else identity
+
+
+def _identity_for(op: str, dtype) -> object:
+    if op == "sum":
+        return dtype.type(0)
+    info = np.finfo(dtype) if dtype.kind == "f" else np.iinfo(dtype)
+    return info.max if op == "min" else info.min
+
+
+def _reduce_partial_work(ctx, partials, inp, n, op):
+    n = int(n)
+    # The 2013-beta Intel SDK failed to vectorise the accumulation loop
+    # (paper §5.2.3 measured Ocelot ~30 % behind MP on this operator);
+    # the scalar loop costs ~12 issue slots per element, which makes the
+    # kernel compute-bound on the CPU while GPUs stay bandwidth-bound.
+    return KernelWork(
+        elements=n,
+        bytes_read=n * inp.dtype.itemsize,
+        bytes_written=partials.nbytes,
+        ops=12 * n,
+    )
+
+
+def _reduce_partial_ref(wi, partials, inp, n, op):
+    """Tree reduction in local memory — the classic binary reduction.
+
+    Each thread accumulates a private value over its partition, then the
+    work-group folds values pairwise with barriers between levels.
+    Partials are staged through the output slice of this group.
+    """
+    n = int(n)
+    _, pairwise = _REDUCERS[op]
+    acc = None
+    for i in wi.partition(n):
+        acc = inp[i] if acc is None else pairwise(acc, inp[i])
+    # Stage private accumulators through a group-local window of `partials`
+    # laid out as [groups, local_size] by the reference launcher.
+    row = partials[wi.group_id()]
+    identity = _identity_for(op, partials.dtype)
+    row[wi.local_id()] = identity if acc is None else acc
+    yield
+    size = wi.local_size() // 2
+    while size >= 1:
+        if wi.local_id() < size:
+            row[wi.local_id()] = pairwise(
+                row[wi.local_id()], row[wi.local_id() + size]
+            )
+        yield
+        size //= 2
+    return
+
+
+REDUCE_PARTIAL = KernelDef(
+    name="reduce_partial",
+    params=params("out:partials in:inp scalar:n scalar:op"),
+    vec_fn=_reduce_partial_vec,
+    work_fn=_reduce_partial_work,
+    source="""
+__kernel void reduce_partial(__global ACC* partials, __global const T* inp,
+                             uint n) {
+    ACC acc = IDENTITY;
+    for (uint i = FIRST(n); i < LAST(n); i += STEP) acc = OP(acc, inp[i]);
+    __local ACC tile[WG]; tile[lid] = acc; barrier(CLK_LOCAL_MEM_FENCE);
+    for (uint s = WG/2; s; s >>= 1) { /* pairwise fold */ }
+}
+""",
+)
+
+
+def _reduce_final_vec(ctx, out, partials, count, op):
+    reducer, _ = _REDUCERS[op]
+    out[0] = reducer(partials[: int(count)])
+
+
+def _reduce_final_work(ctx, out, partials, count, op):
+    count = int(count)
+    return KernelWork(
+        elements=count,
+        bytes_read=count * partials.dtype.itemsize,
+        bytes_written=out.dtype.itemsize,
+        ops=count,
+    )
+
+
+REDUCE_FINAL = KernelDef(
+    name="reduce_final",
+    params=params("out:res in:partials scalar:count scalar:op"),
+    vec_fn=_reduce_final_vec,
+    work_fn=_reduce_final_work,
+    source="""
+__kernel void reduce_final(__global ACC* res, __global const ACC* partials,
+                           uint count) { /* single work-group fold */ }
+""",
+)
+
+
+# ---------------------------------------------------------------------------
+# element-wise maps (MonetDB batcalc equivalents)
+# ---------------------------------------------------------------------------
+
+def _ewise_vec(ctx, out, a, b, n, op):
+    n = int(n)
+    _BINOPS[op](a[:n], b[:n], out=out[:n], casting="unsafe")
+
+
+def _ewise_work(ctx, out, a, b, n, op):
+    n = int(n)
+    return KernelWork(
+        elements=n,
+        bytes_read=n * (a.dtype.itemsize + b.dtype.itemsize),
+        bytes_written=n * out.dtype.itemsize,
+        ops=n,
+    )
+
+
+def _ewise_ref(wi, out, a, b, n, op):
+    fn = _BINOPS[op]
+    for i in wi.partition(int(n)):
+        out[i] = fn(a[i], b[i])
+    return
+    yield  # pragma: no cover
+
+
+EWISE = KernelDef(
+    name="ewise",
+    params=params("out:res in:a in:b scalar:n scalar:op"),
+    vec_fn=_ewise_vec,
+    work_fn=_ewise_work,
+    ref_fn=_ewise_ref,
+    source="""
+__kernel void ewise(__global T* res, __global const T* a,
+                    __global const T* b, uint n) {
+    for (uint i = FIRST(n); i < LAST(n); i += STEP) res[i] = OP(a[i], b[i]);
+}
+""",
+)
+
+
+def _ewise_scalar_vec(ctx, out, a, n, op, value):
+    n = int(n)
+    _BINOPS[op](a[:n], a.dtype.type(value), out=out[:n], casting="unsafe")
+
+
+def _ewise_scalar_work(ctx, out, a, n, op, value):
+    n = int(n)
+    return KernelWork(
+        elements=n,
+        bytes_read=n * a.dtype.itemsize,
+        bytes_written=n * out.dtype.itemsize,
+        ops=n,
+    )
+
+
+def _ewise_scalar_ref(wi, out, a, n, op, value):
+    fn = _BINOPS[op]
+    for i in wi.partition(int(n)):
+        out[i] = fn(a[i], value)
+    return
+    yield  # pragma: no cover
+
+
+EWISE_SCALAR = KernelDef(
+    name="ewise_scalar",
+    params=params("out:res in:a scalar:n scalar:op scalar:value"),
+    vec_fn=_ewise_scalar_vec,
+    work_fn=_ewise_scalar_work,
+    ref_fn=_ewise_scalar_ref,
+    source="""
+__kernel void ewise_scalar(__global T* res, __global const T* a, uint n,
+                           T cnst) {
+    res[global_id()] = OP(a[global_id()], cnst);
+}
+""",
+)
+
+
+# ---------------------------------------------------------------------------
+# fill / iota
+# ---------------------------------------------------------------------------
+
+def _fill_vec(ctx, out, n, value):
+    out[: int(n)] = value
+
+
+def _fill_work(ctx, out, n, value):
+    n = int(n)
+    return KernelWork(elements=n, bytes_written=n * out.dtype.itemsize)
+
+
+FILL = KernelDef(
+    name="fill",
+    params=params("out:res scalar:n scalar:value"),
+    vec_fn=_fill_vec,
+    work_fn=_fill_work,
+    source="__kernel void fill(__global T* res, uint n, T v) { ... }",
+)
+
+
+def _iota_vec(ctx, out, n, start):
+    n = int(n)
+    out[:n] = np.arange(start, start + n, dtype=out.dtype)
+
+
+def _iota_work(ctx, out, n, start):
+    n = int(n)
+    return KernelWork(elements=n, bytes_written=n * out.dtype.itemsize, ops=n)
+
+
+def _iota_ref(wi, out, n, start):
+    for i in wi.partition(int(n)):
+        out[i] = start + i
+    return
+    yield  # pragma: no cover
+
+
+IOTA = KernelDef(
+    name="iota",
+    params=params("out:res scalar:n scalar:start"),
+    vec_fn=_iota_vec,
+    work_fn=_iota_work,
+    ref_fn=_iota_ref,
+    source="__kernel void iota(__global T* res, uint n, T s) { ... }",
+)
+
+
+# ---------------------------------------------------------------------------
+# comparisons and conditional selection (batcalc.{eq,...,ifthenelse})
+# ---------------------------------------------------------------------------
+
+_CMPOPS = {
+    "eq": np.equal,
+    "ne": np.not_equal,
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+}
+
+
+def _compare_vv_vec(ctx, out, a, b, n, op):
+    n = int(n)
+    out[:n] = _CMPOPS[op](a[:n], b[:n]).astype(np.uint8)
+
+
+def _compare_vv_work(ctx, out, a, b, n, op):
+    n = int(n)
+    return KernelWork(
+        elements=n,
+        bytes_read=n * (a.dtype.itemsize + b.dtype.itemsize),
+        bytes_written=n,
+        ops=n,
+    )
+
+
+def _compare_vv_ref(wi, out, a, b, n, op):
+    fn = _CMPOPS[op]
+    for i in wi.partition(int(n)):
+        out[i] = 1 if fn(a[i], b[i]) else 0
+    return
+    yield  # pragma: no cover
+
+
+COMPARE_VV = KernelDef(
+    name="compare_vv",
+    params=params("out:res in:a in:b scalar:n scalar:op"),
+    vec_fn=_compare_vv_vec,
+    work_fn=_compare_vv_work,
+    ref_fn=_compare_vv_ref,
+    source="""
+__kernel void compare_vv(__global uchar* res, __global const T* a,
+                         __global const T* b, uint n) {
+    res[global_id()] = CMP(a[global_id()], b[global_id()]);
+}
+""",
+)
+
+
+def _compare_vs_vec(ctx, out, a, n, op, value):
+    n = int(n)
+    out[:n] = _CMPOPS[op](a[:n], a.dtype.type(value)).astype(np.uint8)
+
+
+def _compare_vs_work(ctx, out, a, n, op, value):
+    n = int(n)
+    return KernelWork(
+        elements=n, bytes_read=n * a.dtype.itemsize, bytes_written=n, ops=n
+    )
+
+
+def _compare_vs_ref(wi, out, a, n, op, value):
+    fn = _CMPOPS[op]
+    for i in wi.partition(int(n)):
+        out[i] = 1 if fn(a[i], value) else 0
+    return
+    yield  # pragma: no cover
+
+
+COMPARE_VS = KernelDef(
+    name="compare_vs",
+    params=params("out:res in:a scalar:n scalar:op scalar:value"),
+    vec_fn=_compare_vs_vec,
+    work_fn=_compare_vs_work,
+    ref_fn=_compare_vs_ref,
+    source="""
+__kernel void compare_vs(__global uchar* res, __global const T* a, uint n,
+                         T cnst) {
+    res[global_id()] = CMP(a[global_id()], cnst);
+}
+""",
+)
+
+
+def _where_vv_vec(ctx, out, cond, a, b, n):
+    n = int(n)
+    out[:n] = np.where(cond[:n] != 0, a[:n], b[:n])
+
+
+def _where_vv_work(ctx, out, cond, a, b, n):
+    n = int(n)
+    return KernelWork(
+        elements=n,
+        bytes_read=n * (1 + a.dtype.itemsize + b.dtype.itemsize),
+        bytes_written=n * out.dtype.itemsize,
+        ops=n,
+    )
+
+
+def _where_vv_ref(wi, out, cond, a, b, n):
+    for i in wi.partition(int(n)):
+        out[i] = a[i] if cond[i] else b[i]
+    return
+    yield  # pragma: no cover
+
+
+WHERE_VV = KernelDef(
+    name="where_vv",
+    params=params("out:res in:cond in:a in:b scalar:n"),
+    vec_fn=_where_vv_vec,
+    work_fn=_where_vv_work,
+    ref_fn=_where_vv_ref,
+    source="""
+__kernel void where_vv(__global T* res, __global const uchar* cond,
+                       __global const T* a, __global const T* b, uint n) {
+    res[global_id()] = cond[global_id()] ? a[global_id()] : b[global_id()];
+}
+""",
+)
+
+
+def _where_vs_vec(ctx, out, cond, a, n, other):
+    n = int(n)
+    out[:n] = np.where(cond[:n] != 0, a[:n], out.dtype.type(other))
+
+
+def _where_vs_work(ctx, out, cond, a, n, other):
+    n = int(n)
+    return KernelWork(
+        elements=n,
+        bytes_read=n * (1 + a.dtype.itemsize),
+        bytes_written=n * out.dtype.itemsize,
+        ops=n,
+    )
+
+
+def _where_vs_ref(wi, out, cond, a, n, other):
+    for i in wi.partition(int(n)):
+        out[i] = a[i] if cond[i] else other
+    return
+    yield  # pragma: no cover
+
+
+WHERE_VS = KernelDef(
+    name="where_vs",
+    params=params("out:res in:cond in:a scalar:n scalar:other"),
+    vec_fn=_where_vs_vec,
+    work_fn=_where_vs_work,
+    ref_fn=_where_vs_ref,
+    source="""
+__kernel void where_vs(__global T* res, __global const uchar* cond,
+                       __global const T* a, uint n, T other) {
+    res[global_id()] = cond[global_id()] ? a[global_id()] : other;
+}
+""",
+)
+
+
+def _where_ss_vec(ctx, out, cond, n, then_v, else_v):
+    n = int(n)
+    out[:n] = np.where(
+        cond[:n] != 0, out.dtype.type(then_v), out.dtype.type(else_v)
+    )
+
+
+def _where_ss_work(ctx, out, cond, n, then_v, else_v):
+    n = int(n)
+    return KernelWork(
+        elements=n,
+        bytes_read=n,
+        bytes_written=n * out.dtype.itemsize,
+        ops=n,
+    )
+
+
+def _where_ss_ref(wi, out, cond, n, then_v, else_v):
+    for i in wi.partition(int(n)):
+        out[i] = then_v if cond[i] else else_v
+    return
+    yield  # pragma: no cover
+
+
+WHERE_SS = KernelDef(
+    name="where_ss",
+    params=params("out:res in:cond scalar:n scalar:then_v scalar:else_v"),
+    vec_fn=_where_ss_vec,
+    work_fn=_where_ss_work,
+    ref_fn=_where_ss_ref,
+    source="""
+__kernel void where_ss(__global T* res, __global const uchar* cond, uint n,
+                       T tv, T ev) {
+    res[global_id()] = cond[global_id()] ? tv : ev;
+}
+""",
+)
+
+
+LIBRARY = {
+    k.name: k
+    for k in (
+        PREFIX_SUM,
+        GATHER,
+        SCATTER,
+        REDUCE_PARTIAL,
+        REDUCE_FINAL,
+        EWISE,
+        EWISE_SCALAR,
+        FILL,
+        IOTA,
+        COMPARE_VV,
+        COMPARE_VS,
+        WHERE_VV,
+        WHERE_VS,
+        WHERE_SS,
+    )
+}

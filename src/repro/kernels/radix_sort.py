@@ -1,0 +1,336 @@
+"""Binary radix sort kernels (paper §4.1.3, after Helluy [22] / Satish [31]).
+
+Each pass over the keys processes ``RADIX_BITS`` bits (a pre-processor
+constant: the paper uses 8 on the CPU and 4 on the GPU) in three kernels:
+
+1. ``radix_histogram`` — every thread builds a private histogram of the
+   current digit over its contiguous chunk of the input,
+2. ``radix_offsets`` — the "shuffle": histograms are transposed so all
+   buckets of the same digit are consecutive, and an exclusive prefix sum
+   yields the global write offset for every (digit, thread) pair,
+3. ``radix_reorder`` — every thread scatters its chunk stably to the
+   offsets.
+
+The reorder step requires contiguous per-thread chunks for stability, so
+this kernel family always partitions chunk-wise on both device types (the
+histogram/scatter locality is what the radix approach buys).  Keys are
+bijectively encoded to ``uint32`` so signed integers and IEEE floats sort
+correctly (``key_encode``), and the payload permutation is carried through
+every pass so the caller can reorder arbitrary columns afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cl import KernelDef, KernelWork, params
+
+KEY_KIND_UINT = 0
+KEY_KIND_INT = 1
+KEY_KIND_FLOAT = 2
+
+_SIGN = np.uint32(0x80000000)
+_SIGN64 = np.uint64(0x8000000000000000)
+
+#: dtype -> (encoding kind, unsigned view dtype, sign mask).  The paper's
+#: operator scope is four-byte types; 8-byte keys exist so that aggregate
+#: results (``sum`` -> float64/int64) remain sortable (ORDER BY revenue).
+_KEY_SPECS = {
+    np.dtype(np.uint32): (KEY_KIND_UINT, np.uint32, _SIGN),
+    np.dtype(np.int32): (KEY_KIND_INT, np.uint32, _SIGN),
+    np.dtype(np.float32): (KEY_KIND_FLOAT, np.uint32, _SIGN),
+    np.dtype(np.int64): (KEY_KIND_INT, np.uint64, _SIGN64),
+    np.dtype(np.float64): (KEY_KIND_FLOAT, np.uint64, _SIGN64),
+}
+
+
+def key_kind_for(dtype: np.dtype) -> int:
+    """Encoding kind for a column dtype."""
+    try:
+        return _KEY_SPECS[np.dtype(dtype)][0]
+    except KeyError:
+        raise TypeError(f"radix sort does not support dtype {dtype}") from None
+
+
+def key_dtype_for(dtype: np.dtype) -> np.dtype:
+    """Unsigned key dtype the column encodes into (uint32 or uint64)."""
+    return np.dtype(_KEY_SPECS[np.dtype(dtype)][1])
+
+
+def key_bits_for(dtype: np.dtype) -> int:
+    return key_dtype_for(dtype).itemsize * 8
+
+
+def encode_keys(col: np.ndarray) -> np.ndarray:
+    """Order-preserving bijection into unsigned keys (host-side mirror).
+
+    Floats canonicalise ``-0.0`` to ``+0.0`` first so the key order is
+    consistent with comparison-based sorts (where the two are equal).
+    """
+    kind, udtype, sign = _KEY_SPECS[np.dtype(col.dtype)]
+    if kind == KEY_KIND_FLOAT:
+        col = col + col.dtype.type(0)  # -0.0 + 0.0 == +0.0
+    u = col.view(udtype)
+    if kind == KEY_KIND_UINT:
+        return u.copy()
+    if kind == KEY_KIND_INT:
+        return u ^ sign
+    negative = (u & sign) != 0
+    return np.where(negative, ~u, u ^ sign)
+
+
+def _key_encode_vec(ctx, out, col, n, kind):
+    n, kind = int(n), int(kind)
+    sign = _SIGN64 if out.dtype.itemsize == 8 else _SIGN
+    if kind == KEY_KIND_FLOAT:
+        col = col[:n] + col.dtype.type(0)  # canonicalise -0.0
+        u = col.view(out.dtype)
+        negative = (u & sign) != 0
+        out[:n] = np.where(negative, ~u, u ^ sign)
+        return
+    u = col[:n].view(out.dtype)
+    if kind == KEY_KIND_UINT:
+        out[:n] = u
+    else:
+        np.bitwise_xor(u, sign, out=out[:n])
+
+
+def _key_encode_work(ctx, out, col, n, kind):
+    n = int(n)
+    item = out.dtype.itemsize
+    return KernelWork(
+        elements=n, bytes_read=item * n, bytes_written=item * n, ops=n
+    )
+
+
+def _key_encode_ref(wi, out, col, n, kind):
+    kind = int(kind)
+    sign = _SIGN64 if out.dtype.itemsize == 8 else _SIGN
+    for i in wi.partition(int(n)):
+        if kind == KEY_KIND_FLOAT:
+            u = np.asarray(col[i] + col.dtype.type(0)).view(out.dtype)[()]
+            out[i] = out.dtype.type(~u) if (u & sign) else (u ^ sign)
+            continue
+        u = col.view(out.dtype)[i]
+        out[i] = u if kind == KEY_KIND_UINT else (u ^ sign)
+    return
+    yield  # pragma: no cover
+
+
+KEY_ENCODE = KernelDef(
+    name="key_encode",
+    params=params("out:ukeys in:col scalar:n scalar:kind"),
+    vec_fn=_key_encode_vec,
+    work_fn=_key_encode_work,
+    ref_fn=_key_encode_ref,
+    source="""
+__kernel void key_encode(__global uint* ukeys, __global const T* col, uint n) {
+    uint u = as_uint(col[i]);
+#if KEY_KIND == FLOAT
+    ukeys[i] = (u & SIGN) ? ~u : (u ^ SIGN);
+#elif KEY_KIND == INT
+    ukeys[i] = u ^ SIGN;
+#else
+    ukeys[i] = u;
+#endif
+}
+""",
+)
+
+
+def _chunk_bounds(n: int, parts: int) -> np.ndarray:
+    return np.linspace(0, n, parts + 1, dtype=np.int64)
+
+
+def _radix_bits(ctx) -> int:
+    return int(ctx.defines.get("RADIX_BITS", 8))
+
+
+def _digits(keys: np.ndarray, shift: int, bits: int) -> np.ndarray:
+    mask = (1 << bits) - 1
+    shifted = np.right_shift(keys, keys.dtype.type(shift))
+    return np.bitwise_and(shifted, keys.dtype.type(mask)).astype(
+        np.int64, copy=False
+    )
+
+
+def _radix_histogram_vec(ctx, hist, keys, n, shift, parts):
+    n, shift, parts = int(n), int(shift), int(parts)
+    bits = _radix_bits(ctx)
+    radix = 1 << bits
+    digits = _digits(keys[:n], shift, bits)
+    # Combined (thread, digit) index -> one bincount for all histograms.
+    bounds = _chunk_bounds(n, parts)
+    rows = np.searchsorted(bounds[1:], np.arange(n), side="right")
+    combined = rows * radix + digits
+    counts = np.bincount(combined, minlength=parts * radix)
+    hist.reshape(parts, radix)[:, :] = counts.reshape(parts, radix)
+
+
+def _radix_histogram_work(ctx, hist, keys, n, shift, parts):
+    n = int(n)
+    return KernelWork(
+        elements=n, bytes_read=4 * n, bytes_written=hist.nbytes, ops=n
+    )
+
+
+def _radix_histogram_ref(wi, hist, keys, n, shift, parts):
+    bits = int(wi.define("RADIX_BITS", 8))
+    radix = 1 << bits
+    n, shift, parts = int(n), int(shift), int(parts)
+    bounds = _chunk_bounds(n, parts)
+    view = hist.reshape(parts, radix)
+    for t in wi.partition(parts):
+        counts = np.zeros(radix, dtype=hist.dtype)
+        for i in range(bounds[t], bounds[t + 1]):
+            counts[(int(keys[i]) >> shift) & (radix - 1)] += 1
+        view[t, :] = counts
+    return
+    yield  # pragma: no cover
+
+
+RADIX_HISTOGRAM = KernelDef(
+    name="radix_histogram",
+    params=params("out:hist in:keys scalar:n scalar:shift scalar:parts"),
+    vec_fn=_radix_histogram_vec,
+    work_fn=_radix_histogram_work,
+    ref_fn=_radix_histogram_ref,
+    source="""
+__kernel void radix_histogram(__global uint* hist, __global const uint* keys,
+                              uint n, uint shift) {
+    uint counts[RADIX] = {0};
+    for (uint i = CHUNK_LO; i < CHUNK_HI; ++i)
+        counts[(keys[i] >> shift) & (RADIX - 1)]++;
+    for (uint d = 0; d < RADIX; ++d) hist[tid * RADIX + d] = counts[d];
+}
+""",
+)
+
+
+def _radix_offsets_vec(ctx, offsets, hist, parts):
+    parts = int(parts)
+    radix = hist.size // parts
+    transposed = hist.reshape(parts, radix).T.ravel()  # digit-major
+    excl = np.concatenate(([0], np.cumsum(transposed)[:-1]))
+    offsets.reshape(radix, parts)[:, :] = excl.reshape(radix, parts).astype(
+        offsets.dtype
+    )
+
+
+def _radix_offsets_work(ctx, offsets, hist, parts):
+    return KernelWork(
+        elements=hist.size,
+        bytes_read=hist.nbytes,
+        bytes_written=offsets.nbytes,
+        ops=2 * hist.size,
+    )
+
+
+def _radix_offsets_ref(wi, offsets, hist, parts):
+    parts = int(parts)
+    radix = hist.size // parts
+    if wi.global_id() == 0:
+        hist_view = hist.reshape(parts, radix)
+        out = offsets.reshape(radix, parts)
+        running = 0
+        for d in range(radix):
+            for t in range(parts):
+                out[d, t] = running
+                running += int(hist_view[t, d])
+    return
+    yield  # pragma: no cover
+
+
+RADIX_OFFSETS = KernelDef(
+    name="radix_offsets",
+    params=params("out:offsets in:hist scalar:parts"),
+    vec_fn=_radix_offsets_vec,
+    work_fn=_radix_offsets_work,
+    ref_fn=_radix_offsets_ref,
+    source="""
+__kernel void radix_offsets(__global uint* offsets, __global const uint* hist,
+                            uint parts) {
+    /* transpose to digit-major order, then exclusive prefix sum */
+}
+""",
+)
+
+
+def _radix_reorder_vec(ctx, keys_out, payload_out, keys, payload, offsets, n, shift, parts):
+    n, shift = int(n), int(shift)
+    bits = _radix_bits(ctx)
+    # uint16 digits let numpy's stable argsort use its radix path.
+    digits = _digits(keys[:n], shift, bits).astype(np.uint16)
+    # Stable order by digit == concatenation of the per-thread stable
+    # scatters, because chunks are contiguous (module docstring).
+    order = np.argsort(digits, kind="stable")
+    keys_out[:n] = keys[:n][order]
+    payload_out[:n] = payload[:n][order]
+
+
+def _radix_reorder_work(ctx, keys_out, payload_out, keys, payload, offsets, n, shift, parts):
+    n = int(n)
+    item = keys.dtype.itemsize + payload.dtype.itemsize
+    # The scatter targets RADIX open output streams per thread: mostly
+    # sequential cache-line fills, with a small truly-random component.
+    return KernelWork(
+        elements=n,
+        bytes_read=n * item + offsets.nbytes,
+        bytes_written=n * item,
+        random_bytes=n * 2,
+        ops=2 * n,
+    )
+
+
+def _radix_reorder_ref(wi, keys_out, payload_out, keys, payload, offsets, n, shift, parts):
+    bits = int(wi.define("RADIX_BITS", 8))
+    radix = 1 << bits
+    n, shift, parts = int(n), int(shift), int(parts)
+    bounds = _chunk_bounds(n, parts)
+    table = offsets.reshape(radix, parts)
+    for t in wi.partition(parts):
+        cursors = table[:, t].astype(np.int64)
+        for i in range(bounds[t], bounds[t + 1]):
+            d = (int(keys[i]) >> shift) & (radix - 1)
+            pos = cursors[d]
+            cursors[d] += 1
+            keys_out[pos] = keys[i]
+            payload_out[pos] = payload[i]
+    return
+    yield  # pragma: no cover
+
+
+RADIX_REORDER = KernelDef(
+    name="radix_reorder",
+    params=params(
+        "out:keys_out out:payload_out in:keys in:payload in:offsets "
+        "scalar:n scalar:shift scalar:parts"
+    ),
+    vec_fn=_radix_reorder_vec,
+    work_fn=_radix_reorder_work,
+    ref_fn=_radix_reorder_ref,
+    source="""
+__kernel void radix_reorder(__global uint* keys_out, __global uint* pay_out,
+                            __global const uint* keys,
+                            __global const uint* pay,
+                            __global const uint* offsets, uint n, uint shift) {
+    uint cursors[RADIX]; /* loaded from offsets[tid] */
+    for (uint i = CHUNK_LO; i < CHUNK_HI; ++i) {
+        uint d = (keys[i] >> shift) & (RADIX - 1);
+        keys_out[cursors[d]] = keys[i];
+        pay_out[cursors[d]++] = pay[i];
+    }
+}
+""",
+)
+
+
+def num_passes(bits_per_pass: int, key_bits: int = 32) -> int:
+    """Radix passes needed for a full key."""
+    return -(-key_bits // bits_per_pass)
+
+
+LIBRARY = {
+    k.name: k
+    for k in (KEY_ENCODE, RADIX_HISTOGRAM, RADIX_OFFSETS, RADIX_REORDER)
+}

@@ -1,0 +1,171 @@
+"""Binary Association Tables — MonetDB's column representation.
+
+A BAT is a (virtual-oid head, value tail) column.  As in MonetDB, the
+head is never materialised: ``hseqbase`` is 0 throughout this repo and an
+oid *is* a position into the tail.  The paper's four MonetDB modifications
+(§4.3) appear here and in :mod:`repro.monetdb.storage`:
+
+* the ``owner`` flag marking a BAT as Ocelot-owned (its tail may live
+  only on the device until a ``sync``),
+* 128-byte aligned tail allocation (the Intel OpenCL SDK's SSE paths
+  require it),
+* catalog callbacks on delete/recycle so Ocelot's Memory Manager can drop
+  device buffers eagerly.
+
+Besides plain value tails, two Ocelot-internal roles exist: ``oids``
+(candidate lists / join indices) and ``bitmap`` (selection results, never
+exposed across the MonetDB interface — the Memory Manager materialises
+them into oid lists on demand, paper §4.1.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cl.buffer import Buffer
+
+_bat_ids = itertools.count(1)
+
+#: dtypes admissible as BAT tails (paper scope: four-byte types, plus the
+#: internal representations and wide aggregate results).
+TAIL_DTYPES = frozenset(
+    np.dtype(t) for t in (np.int32, np.float32, np.uint32, np.uint8,
+                          np.int64, np.float64)
+)
+
+OID_DTYPE = np.dtype(np.uint32)
+
+
+class Owner(enum.Enum):
+    MONETDB = "monetdb"
+    OCELOT = "ocelot"
+
+
+class Role(enum.Enum):
+    VALUES = "values"    # ordinary value tail
+    OIDS = "oids"        # candidate list / join index
+    BITMAP = "bitmap"    # Ocelot-internal selection bitmap
+
+
+class OwnershipError(RuntimeError):
+    """Host access to a BAT whose tail is Ocelot-owned (undefined in the
+    paper's model; we fail loudly instead)."""
+
+
+class BAT:
+    """A column: dense void head + typed tail."""
+
+    def __init__(
+        self,
+        values: Optional[np.ndarray],
+        role: Role = Role.VALUES,
+        *,
+        nbits: int | None = None,
+        key: bool = False,
+        sorted_: bool = False,
+        tag: str = "",
+    ):
+        self.bat_id = next(_bat_ids)
+        self.tag = tag or f"bat{self.bat_id}"
+        self.role = role
+        self.owner = Owner.MONETDB
+        self._values = values
+        #: logical element count; for bitmaps the number of bits.
+        self._count = nbits if nbits is not None else (
+            0 if values is None else int(values.size)
+        )
+        self.key = key          # tail values unique ("tkey")
+        self.sorted = sorted_   # tail ascending ("tsorted")
+        #: Ocelot Memory Manager linkage (device buffer reference).
+        self.device_ref: "Buffer | None" = None
+        #: set by the catalog for persistent (base) columns.
+        self.is_base = False
+        #: engine-internal annotations (e.g. Ocelot caches the
+        #: materialised oid list of a bitmap BAT here).
+        self.aux: dict = {}
+        if values is not None:
+            dtype = np.dtype(values.dtype)
+            if dtype not in TAIL_DTYPES:
+                raise TypeError(f"unsupported tail dtype {dtype}")
+
+    # -- access ----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Logical size (bits for bitmap-role BATs)."""
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def dtype(self) -> np.dtype:
+        if self._values is not None:
+            return self._values.dtype
+        if self.device_ref is not None:
+            return self.device_ref.dtype
+        raise OwnershipError(f"BAT {self.tag!r} has no tail at all")
+
+    @property
+    def values(self) -> np.ndarray:
+        """Host-resident tail.  Raises if the BAT is Ocelot-owned and has
+        not been synchronised back (paper §3.4: results are undefined; we
+        refuse instead)."""
+        if self.owner is Owner.OCELOT or self._values is None:
+            raise OwnershipError(
+                f"BAT {self.tag!r} is Ocelot-owned; call ocelot.sync first"
+            )
+        return self._values
+
+    @property
+    def has_host_values(self) -> bool:
+        return self._values is not None and self.owner is Owner.MONETDB
+
+    # -- ownership handover ------------------------------------------------
+
+    def give_to_ocelot(self) -> None:
+        self.owner = Owner.OCELOT
+
+    def return_to_monetdb(self, values: np.ndarray) -> None:
+        """Hand the tail back to MonetDB (done by the sync operator)."""
+        self._values = values
+        self._count = int(values.size)
+        self.owner = Owner.MONETDB
+
+    def peek_values(self) -> Optional[np.ndarray]:
+        """Tail without the ownership check (engine internals only)."""
+        return self._values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "host" if self._values is not None else "device"
+        return (
+            f"<BAT #{self.bat_id} {self.tag!r} {self.role.value} "
+            f"n={self._count} {where} owner={self.owner.value}>"
+        )
+
+
+def make_bat(values: np.ndarray, tag: str = "", **flags) -> BAT:
+    """BAT over an existing host array (no copy)."""
+    return BAT(np.ascontiguousarray(values), Role.VALUES, tag=tag, **flags)
+
+
+def oid_bat(oids: np.ndarray, tag: str = "") -> BAT:
+    """Candidate-list BAT (uint32 oids)."""
+    return BAT(
+        np.ascontiguousarray(oids, dtype=OID_DTYPE), Role.OIDS, tag=tag
+    )
+
+
+def bitmap_bat(bits: np.ndarray, nbits: int, tag: str = "") -> BAT:
+    """Ocelot-internal bitmap BAT (uint8 payload, ``nbits`` logical bits)."""
+    return BAT(
+        np.ascontiguousarray(bits, dtype=np.uint8),
+        Role.BITMAP,
+        nbits=nbits,
+        tag=tag,
+    )

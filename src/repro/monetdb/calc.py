@@ -1,0 +1,53 @@
+"""Shared ``batcalc`` semantics (result types, predicate application).
+
+Both the MonetDB baselines and Ocelot's host code use these rules, so the
+four configurations produce identical expression results — the drop-in
+contract of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+CALC_OPS = ("add", "sub", "mul", "div", "intdiv", "and", "or")
+COMPARE_FNS = {
+    "eq": np.equal,
+    "ne": np.not_equal,
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+}
+
+
+def calc_result_dtype(a_dtype: np.dtype, b_dtype: np.dtype, op: str) -> np.dtype:
+    """Result tail type of a ``batcalc`` arithmetic operation.
+
+    Four-byte types stay four-byte (the paper's scope); integer division
+    widens to ``float64`` (standing in for SQL decimal division).
+    """
+    a_dtype, b_dtype = np.dtype(a_dtype), np.dtype(b_dtype)
+    if op in ("and", "or"):
+        return np.dtype(np.uint8)
+    if op == "div" and a_dtype.kind in "iu" and b_dtype.kind in "iu":
+        return np.dtype(np.float64)
+    return np.result_type(a_dtype, b_dtype)
+
+
+def grouped_dtype(agg: str, values_dtype) -> np.dtype:
+    """Result tail type of a grouped aggregate (shared engine rule)."""
+    values_dtype = np.dtype(values_dtype)
+    if agg in ("avg",):
+        return np.dtype(np.float64)
+    if agg == "count":
+        return np.dtype(np.int64)
+    if agg == "sum":
+        return np.dtype(np.float64 if values_dtype.kind == "f" else np.int64)
+    return values_dtype
+
+
+def broadcast_operands(a, b):
+    """Resolve (array|scalar, array|scalar) operands to numpy values."""
+    a_arr = np.asarray(a) if not np.isscalar(a) else a
+    b_arr = np.asarray(b) if not np.isscalar(b) else b
+    return a_arr, b_arr

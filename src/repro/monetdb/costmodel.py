@@ -1,0 +1,97 @@
+"""Cost model for the MonetDB baselines (MS and MP).
+
+The paper's two baseline configurations are hand-tuned native code:
+
+* **MS** — sequential MonetDB on one core,
+* **MP** — MonetDB with the Mitosis and Dataflow optimizers: columns are
+  sliced into per-core fragments, operators run on the slices in
+  parallel, and partial results are merged (``mat.pack``) afterwards.
+
+Operators execute for real (numpy) in :mod:`repro.monetdb.backends`;
+these constants translate the operator's abstract work into simulated
+seconds.  They are calibrated against the paper's Xeon E5620 figures
+(§5.2) — see EXPERIMENTS.md for the calibration record.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+GB = 1024**3
+
+
+@dataclass(frozen=True)
+class MonetDBCostModel:
+    """Per-operation cost constants (seconds derived from ns / GB/s)."""
+
+    # sequential per-element costs (nanoseconds)
+    select_scan_ns: float = 4.0       # predicate evaluation per value
+    select_result_ns: float = 10.0    # qualifying-oid materialisation
+    fetch_ns: float = 2.8             # left fetch join per value
+    agg_ns: float = 0.85              # ungrouped aggregation per value
+    grouped_agg_ns: float = 6.5       # grouped aggregation per value
+    hash_build_ns: float = 7.0        # sequential hash-table insert
+    hash_probe_ns: float = 8.0        # hash-join probe per element
+    group_ns: float = 10.0             # hash grouping per row
+    sort_cmp_ns: float = 1.3          # per comparison (n log n of them)
+    calc_ns: float = 0.9              # batcalc per value
+    nl_pair_ns: float = 0.7           # nested-loop per candidate pair
+    # bandwidth for bulk materialisation (GB/s, single core)
+    materialize_gbs: float = 5.0
+    # parallel execution (Mitosis / Dataflow)
+    cores: int = 4
+    par_speedup: float = 3.2          # achievable speedup on 4 cores
+    par_op_overhead_s: float = 0.0004  # dataflow scheduling per op
+    merge_gbs: float = 4.0            # mat.pack merge bandwidth
+
+    # -- helpers ----------------------------------------------------------
+
+    def ns(self, count: float, per_ns: float) -> float:
+        return count * per_ns * 1e-9
+
+    def materialize(self, nbytes: float) -> float:
+        return nbytes / (self.materialize_gbs * GB)
+
+    def merge(self, nbytes: float) -> float:
+        return nbytes / (self.merge_gbs * GB)
+
+    def sort_work(self, n: int) -> float:
+        if n <= 1:
+            return 0.0
+        return self.ns(n * math.log2(n), self.sort_cmp_ns)
+
+
+@dataclass
+class OpCost:
+    """One operator invocation's cost decomposition.
+
+    ``work`` parallelises under Mitosis; ``serial`` does not (hash-table
+    builds, final merges of ordered results); ``merge_bytes`` is the
+    partial-result volume ``mat.pack`` has to concatenate in MP.
+
+    ``scaled`` marks costs computed from *actual* element counts that the
+    backend should multiply by its nominal ``data_scale``; operators with
+    non-linear cost (sort, nested loops) compute nominal costs themselves
+    and set it to False.
+    """
+
+    op: str
+    work: float = 0.0
+    serial: float = 0.0
+    merge_bytes: int = 0
+    scaled: bool = True
+
+    def sequential_seconds(self, model: MonetDBCostModel) -> float:
+        return self.work + self.serial
+
+    def parallel_seconds(self, model: MonetDBCostModel) -> float:
+        return (
+            self.work / model.par_speedup
+            + self.serial
+            + model.par_op_overhead_s
+            + model.merge(self.merge_bytes)
+        )
+
+
+DEFAULT_COST_MODEL = MonetDBCostModel()

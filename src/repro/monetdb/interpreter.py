@@ -1,0 +1,162 @@
+"""MAL interpreter: executes plans against a pluggable operator backend.
+
+The same :class:`~repro.monetdb.mal.MALProgram` runs on any backend — the
+two MonetDB baselines or Ocelot — which is exactly the drop-in-replacement
+architecture of the paper (§3.1): the rewriter changes module names, the
+interpreter stays oblivious.
+
+Execution is operator-at-a-time: each instruction consumes materialised
+inputs and produces materialised outputs (for Ocelot, "materialised"
+means scheduled on the device with event-tracked buffers; the host only
+blocks at ``sync`` points, §3.4).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .bat import BAT
+from .mal import MALProgram, Var
+from .storage import Catalog
+
+
+class UnsupportedOperator(LookupError):
+    """Backend has no implementation for a MAL operation."""
+
+
+class Backend(abc.ABC):
+    """An operator set + simulated clock, addressable by ``module.fn``."""
+
+    #: configuration label as used in the paper's figures (MS/MP/CPU/GPU).
+    label: str = "?"
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._registry: dict[str, Callable] = {}
+        self._register_ops()
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, op: str, fn: Callable) -> None:
+        self._registry[op] = fn
+
+    @abc.abstractmethod
+    def _register_ops(self) -> None:
+        """Populate the operator registry."""
+
+    def resolve(self, op: str) -> Callable:
+        try:
+            return self._registry[op]
+        except KeyError:
+            raise UnsupportedOperator(
+                f"backend {self.label!r} does not implement {op}"
+            ) from None
+
+    def supports(self, op: str) -> bool:
+        return op in self._registry
+
+    def supported_ops(self) -> list[str]:
+        return sorted(self._registry)
+
+    # -- timing -------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def begin(self) -> None:
+        """Reset the per-query clock."""
+
+    @abc.abstractmethod
+    def elapsed(self) -> float:
+        """Simulated seconds consumed since :meth:`begin`."""
+
+    def end_of_query(self, intermediates: list[BAT]) -> None:
+        """Hook: intermediate BATs go out of scope (recycling)."""
+        for bat in intermediates:
+            self.catalog.notify_recycled(bat)
+
+    # -- result collection ----------------------------------------------------------
+
+    def collect(self, value) -> np.ndarray:
+        """Materialise one result column on the host.
+
+        Scalars (ungrouped aggregates) become one-row columns."""
+        if isinstance(value, BAT):
+            return value.values
+        return np.atleast_1d(np.asarray(value))
+
+
+@dataclass
+class QueryResult:
+    """Result set plus simulated timing and execution statistics."""
+
+    columns: dict[str, np.ndarray]
+    elapsed: float
+    backend: str
+    program: MALProgram
+    instruction_count: int = 0
+    env: dict = field(default_factory=dict)
+
+    @property
+    def n_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+
+def run_program(program: MALProgram, backend: Backend) -> QueryResult:
+    """Interpret ``program`` on ``backend`` and collect its result set."""
+    backend.begin()
+    env: dict[str, object] = {}
+
+    def resolve_arg(arg):
+        if isinstance(arg, Var):
+            try:
+                return env[arg.name]
+            except KeyError:
+                raise NameError(
+                    f"{program.name}: variable {arg.name} used before "
+                    f"assignment"
+                ) from None
+        return arg
+
+    for instruction in program.instructions:
+        fn = backend.resolve(instruction.op)
+        args = [resolve_arg(a) for a in instruction.args]
+        out = fn(*args)
+        results = instruction.results
+        if len(results) == 1:
+            env[results[0].name] = out
+        elif results:
+            if not isinstance(out, tuple) or len(out) != len(results):
+                raise TypeError(
+                    f"{instruction.op} returned {type(out).__name__}, "
+                    f"expected {len(results)} results"
+                )
+            for var, value in zip(results, out):
+                env[var.name] = value
+
+    columns = {
+        name: backend.collect(resolve_arg(var))
+        for name, var in program.result_columns
+    }
+    result_vars = {var.name for _, var in program.result_columns}
+    intermediates = [
+        v
+        for k, v in env.items()
+        if isinstance(v, BAT) and k not in result_vars and not v.is_base
+    ]
+    backend.end_of_query(intermediates)
+    return QueryResult(
+        columns=columns,
+        elapsed=backend.elapsed(),
+        backend=backend.label,
+        program=program,
+        instruction_count=len(program.instructions),
+        env=env,
+    )

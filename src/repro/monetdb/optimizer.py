@@ -1,0 +1,51 @@
+"""Optimizer pipelines (paper §4.3).
+
+MonetDB organises plan transformations into named optimizer pipelines.
+The paper adds one: ``ocelot_pipe`` — the *sequential* pipeline (default
+minus parallelisation) plus the Ocelot query rewriter.  Mitosis/Dataflow
+parallelism for MP is applied at execution time by the parallel backend's
+cost model, so ``mitosis_pipe`` is structurally the identity here (noted
+as a deviation in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .mal import MALProgram
+
+Pipeline = Callable[[MALProgram], MALProgram]
+
+
+def sequential_pipe(program: MALProgram) -> MALProgram:
+    """Default pipeline minus parallelisation: the plan as compiled."""
+    return program
+
+
+def mitosis_pipe(program: MALProgram) -> MALProgram:
+    """MP pipeline: plan unchanged; slicing is modelled in the backend."""
+    return program
+
+
+def ocelot_pipe(program: MALProgram) -> MALProgram:
+    """Sequential pipeline + the Ocelot query rewriter."""
+    from ..ocelot.rewriter import rewrite_for_ocelot
+
+    return rewrite_for_ocelot(program)
+
+
+PIPELINES: dict[str, Pipeline] = {
+    "sequential_pipe": sequential_pipe,
+    "mitosis_pipe": mitosis_pipe,
+    "ocelot_pipe": ocelot_pipe,
+}
+
+
+def get_pipeline(name: str) -> Pipeline:
+    try:
+        return PIPELINES[name]
+    except KeyError:
+        raise LookupError(
+            f"unknown optimizer pipeline {name!r}; "
+            f"available: {sorted(PIPELINES)}"
+        ) from None

@@ -1,0 +1,118 @@
+"""Storage layer: aligned allocation and the BAT catalog ("BBP").
+
+Two of the paper's §4.3 MonetDB modifications live here:
+
+* ``aligned_empty`` returns 128-byte aligned memory — the Intel OpenCL
+  SDK makes extensive use of SSE operations that require it,
+* the catalog fires callbacks when BATs are deleted or recycled, so the
+  Ocelot Memory Manager can drop the corresponding device buffers from
+  its cache immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .bat import BAT, make_bat
+
+ALIGNMENT = 128
+
+
+def aligned_empty(n: int, dtype, alignment: int = ALIGNMENT) -> np.ndarray:
+    """Uninitialised 1-D array whose data pointer is ``alignment``-aligned."""
+    dtype = np.dtype(dtype)
+    nbytes = int(n) * dtype.itemsize
+    raw = np.empty(nbytes + alignment, dtype=np.uint8)
+    offset = (-raw.ctypes.data) % alignment
+    # The slice keeps `raw` alive through its .base chain.
+    return raw[offset : offset + nbytes].view(dtype)
+
+
+def aligned_array(data: np.ndarray, alignment: int = ALIGNMENT) -> np.ndarray:
+    """Aligned copy of ``data``."""
+    data = np.asarray(data)
+    out = aligned_empty(data.size, data.dtype, alignment)
+    np.copyto(out, data.ravel())
+    return out
+
+
+def is_aligned(array: np.ndarray, alignment: int = ALIGNMENT) -> bool:
+    """Whether the data pointer is aligned (vacuously true when empty)."""
+    return array.size == 0 or array.ctypes.data % alignment == 0
+
+
+class Catalog:
+    """The BAT registry (MonetDB's BBP, radically simplified).
+
+    Tables are collections of named columns; each column is a BAT.  The
+    catalog is also the integration point for Ocelot's resource-management
+    callbacks (paper §4.3).
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, dict[str, BAT]] = {}
+        self._delete_callbacks: list[Callable[[BAT], None]] = []
+
+    # -- schema ------------------------------------------------------------
+
+    def create_table(self, table: str, columns: dict[str, np.ndarray]) -> None:
+        """Register a table from column arrays (stored 128-byte aligned)."""
+        if table in self._tables:
+            raise ValueError(f"table {table!r} already exists")
+        if not columns:
+            raise ValueError(f"table {table!r} needs at least one column")
+        sizes = {arr.shape[0] for arr in columns.values()}
+        if len(sizes) != 1:
+            raise ValueError(f"table {table!r} columns differ in length")
+        bats = {
+            col: make_bat(aligned_array(arr), tag=f"{table}.{col}")
+            for col, arr in columns.items()
+        }
+        for bat in bats.values():
+            bat.is_base = True
+        self._tables[table] = bats
+
+    def drop_table(self, table: str) -> None:
+        for bat in self._tables.pop(table).values():
+            self._fire_delete(bat)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def columns(self, table: str) -> list[str]:
+        return list(self._tables[table])
+
+    def has_table(self, table: str) -> bool:
+        return table in self._tables
+
+    def bat(self, table: str, column: str) -> BAT:
+        try:
+            return self._tables[table][column]
+        except KeyError:
+            raise KeyError(f"no column {table}.{column}") from None
+
+    def row_count(self, table: str) -> int:
+        first = next(iter(self._tables[table].values()))
+        return first.count
+
+    def base_bats(self) -> Iterator[BAT]:
+        for cols in self._tables.values():
+            yield from cols.values()
+
+    # -- Ocelot callbacks (paper §4.3) -------------------------------------------
+
+    def on_delete(self, callback: Callable[[BAT], None]) -> None:
+        """Subscribe to BAT delete/recycle notifications."""
+        self._delete_callbacks.append(callback)
+
+    def _fire_delete(self, bat: BAT) -> None:
+        for callback in self._delete_callbacks:
+            callback(bat)
+
+    def notify_recycled(self, bat: BAT) -> None:
+        """An intermediate BAT went out of scope (end of query)."""
+        self._fire_delete(bat)

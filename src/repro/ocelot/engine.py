@@ -1,0 +1,193 @@
+"""The Ocelot engine: OpenCL context management + operator backend.
+
+``OcelotEngine`` is the paper's "OpenCL Context Management" component
+(§3.1): it initialises the runtime for one device, triggers kernel
+compilation (injecting the device type and the device-appropriate radix
+width as pre-processor constants), owns the command queue and the Memory
+Manager, and offers shared host-code helpers.
+
+``OcelotBackend`` plugs the Ocelot operators into the MAL interpreter as
+drop-in replacements.  MAL instructions in the ``ocelot`` module dispatch
+to host code; anything else (``sql.bind``, operators Ocelot does not
+support, such as ``algebra.firstn``) falls back to an embedded sequential
+MonetDB backend — the paper's mixed execution mode, with the rewriter
+guaranteeing ``sync`` boundaries in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import cl
+from ..cl import CommandQueue, Context, Device
+from ..kernels import KERNEL_LIBRARY
+from ..monetdb.bat import BAT, OID_DTYPE, Role
+from ..monetdb.interpreter import Backend
+from ..monetdb.backends import MonetDBSequential
+from ..monetdb.storage import Catalog
+from .memory import BufferKind, MemoryManager
+
+
+class OcelotEngine:
+    """Per-device runtime state shared by all Ocelot operators."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        device: Device | str = "cpu",
+        data_scale: float = 1.0,
+    ):
+        if isinstance(device, str):
+            device = cl.get_device(device)
+        self.device = device
+        self.context = Context(device, data_scale=data_scale)
+        self.queue = CommandQueue(self.context)
+        self.catalog = catalog
+        self.memory = MemoryManager(self.context, self.queue, catalog)
+        #: paper §5.2.7: radix width 8 on the CPU, 4 on the GPU.
+        self.radix_bits = 8 if device.is_cpu else 4
+        self.program = cl.build(
+            self.context, KERNEL_LIBRARY, {"RADIX_BITS": self.radix_bits}
+        )
+
+    # -- kernel launching ---------------------------------------------------
+
+    def launch(self, kernel_name: str, *args, **kwargs):
+        """Enqueue one kernel from the compiled program."""
+        return self.program.kernel(kernel_name).launch(self.queue, *args, **kwargs)
+
+    @property
+    def invocations(self) -> int:
+        """Kernel invocations per launch (4 x nc x na, paper §4.2)."""
+        return self.device.profile.total_invocations
+
+    # -- host <-> device scalars ------------------------------------------------
+
+    def readback(self, buffer) -> np.ndarray:
+        """Transfer a (small) buffer to the host and wait — the stall a
+        real engine pays when it needs a result size on the host."""
+        host, _event = self.queue.enqueue_read(buffer)
+        self.queue.finish()
+        return host
+
+    def readback_scalar(self, buffer):
+        return self.readback(buffer)[0]
+
+    # -- BAT plumbing -------------------------------------------------------------
+
+    def device_bat(self, buffer, role: Role = Role.VALUES,
+                   count: int | None = None, **flags) -> BAT:
+        """Create a device-resident result BAT linked to ``buffer``."""
+        if count is None:
+            count = buffer.size
+        if role is Role.BITMAP:
+            bat = BAT(None, role, nbits=count)
+        else:
+            bat = BAT(None, role)
+            bat._count = int(count)  # device-resident: set logical size
+        for flag, value in flags.items():
+            # constructor-style names map onto the BAT attributes
+            setattr(bat, "sorted" if flag == "sorted_" else flag, value)
+        return self.memory.link_result(bat, buffer)
+
+    def buffer_of(self, bat: BAT):
+        """Device buffer for any BAT (upload / cache via Memory Manager)."""
+        return self.memory.buffer_for_bat(bat)
+
+    def temp(self, shape, dtype, tag: str = "tmp", zeroed: bool = False):
+        """Short-lived device scratch buffer."""
+        return self.memory.allocate(
+            shape, dtype, BufferKind.AUX, tag=tag, zeroed=zeroed
+        )
+
+    def result_buffer(self, shape, dtype, tag: str = "res", zeroed: bool = False):
+        return self.memory.allocate(
+            shape, dtype, BufferKind.RESULT, tag=tag, zeroed=zeroed
+        )
+
+    def release(self, *buffers) -> None:
+        for buffer in buffers:
+            if buffer is not None:
+                self.memory.release(buffer)
+
+    def iota(self, n: int, tag: str = "iota"):
+        buf = self.result_buffer(max(n, 1), OID_DTYPE, tag=tag)
+        self.launch("iota", buf, n, 0)
+        return buf
+
+
+class OcelotBackend(Backend):
+    """MAL backend dispatching to Ocelot host code (drop-in operators)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        device: Device | str = "cpu",
+        data_scale: float = 1.0,
+    ):
+        self.engine = OcelotEngine(catalog, device, data_scale)
+        self.label = "GPU" if self.engine.device.is_gpu else "CPU"
+        self.fallback = MonetDBSequential(catalog)
+        self._t0 = 0.0
+        super().__init__(catalog)
+
+    # -- registration ---------------------------------------------------------
+
+    def _register_ops(self) -> None:
+        from . import operators
+
+        engine = self.engine
+
+        def bind_host_code(fn):
+            def op(*args):
+                # Auto-pin the operator's working set (paper §3.3: the
+                # Memory Manager uses reference counting to prevent
+                # evicting buffers that are currently in use).
+                with engine.memory.operator_scope():
+                    return fn(engine, *args)
+
+            return op
+
+        for name, fn in operators.HOST_CODE.items():
+            self.register(f"ocelot.{name}", bind_host_code(fn))
+
+    def resolve(self, op: str):
+        if op in self._registry:
+            return self._registry[op]
+        # Mixed execution: delegate to MonetDB, folding its time into the
+        # host timeline (the rewriter has already inserted syncs).
+        inner = self.fallback.resolve(op)
+
+        def foreign(*args):
+            before = self.fallback.elapsed()
+            out = inner(*args)
+            self.engine.queue.host_time += self.fallback.elapsed() - before
+            return out
+
+        return foreign
+
+    def supports(self, op: str) -> bool:
+        return op in self._registry or self.fallback.supports(op)
+
+    # -- timing ----------------------------------------------------------------------
+
+    def begin(self) -> None:
+        self.fallback.begin()
+        self._t0 = self.engine.queue.finish()
+        # fixed per-query framework cost (Intel SDK beta, paper §5.3.2)
+        overhead = self.engine.device.profile.framework_overhead_s
+        if overhead:
+            self.engine.queue.host_time += overhead
+
+    def elapsed(self) -> float:
+        return self.engine.queue.finish() - self._t0
+
+    # -- result collection ----------------------------------------------------------
+
+    def collect(self, value):
+        if isinstance(value, BAT) and not value.has_host_values:
+            raise RuntimeError(
+                f"result BAT {value.tag!r} reached the result set without a "
+                f"sync — rewriter bug"
+            )
+        return super().collect(value)

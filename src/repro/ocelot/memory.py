@@ -1,0 +1,432 @@
+"""Ocelot's Memory Manager (paper §3.3).
+
+The storage interface between Ocelot and MonetDB: BATs live in host
+memory, kernels operate on ``cl_mem`` buffers.  The Memory Manager
+
+* keeps a **registry** of device buffers for BATs — requesting a BAT
+  returns the cached buffer or allocates + transfers a new one (a
+  zero-copy mapping on unified-memory devices like the CPU),
+* acts as a **device cache**: on allocation failure it frees resources
+  automatically — first evicting cached base-BAT copies in LRU order
+  (their master lives in host memory), then *offloading* intermediate
+  buffers to the host (they contain computed content and must be copied
+  back when needed), giving preference to auxiliary structures such as
+  hash tables before result buffers,
+* uses **reference counting (pins)** so buffers in use are never evicted,
+* **links result buffers to BATs** so operators can pass device references
+  through MonetDB's BAT-based calling interface, and
+* implements the **sync** hand-over: waiting on producer events and
+  transferring/mapping the buffer back to the host (bitmap results are
+  transparently materialised into oid lists first — done by the sync
+  operator, which owns the kernels).
+
+It also hosts the cache of built hash tables for base-table columns the
+paper mentions in §5.2.6.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..cl import Buffer, CommandQueue, Context, OutOfDeviceMemory
+from ..monetdb.bat import BAT
+from ..monetdb.storage import Catalog
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class BufferKind(enum.Enum):
+    BASE = "base"        # device copy of a host-resident base BAT
+    RESULT = "result"    # operator output linked to an Ocelot-owned BAT
+    AUX = "aux"          # auxiliary structure (hash tables, ...)
+
+
+class OcelotOOM(MemoryError):
+    """Nothing evictable remains and the allocation still does not fit.
+
+    This is what ends the GPU line in the paper's figures ("if a line for
+    GPU measurements ends midway, we reached the device memory limit").
+    """
+
+
+@dataclass
+class CacheEntry:
+    entry_id: int
+    kind: BufferKind
+    tag: str
+    buffer: Buffer | None = None          # None while offloaded / evicted
+    host_copy: np.ndarray | None = None   # offloaded contents
+    pins: int = 0
+    last_use: int = 0
+    bat_id: int | None = None             # for BASE entries
+
+    @property
+    def resident(self) -> bool:
+        return self.buffer is not None and not self.buffer.released
+
+    @property
+    def evictable(self) -> bool:
+        return self.pins == 0 and self.resident
+
+
+@dataclass
+class MemoryManagerStats:
+    evictions: int = 0
+    offloads: int = 0
+    restores: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    hash_cache_hits: int = 0
+    hash_cache_misses: int = 0
+
+
+class MemoryManager:
+    """Device-buffer registry with LRU eviction and host offloading."""
+
+    def __init__(self, context: Context, queue: CommandQueue, catalog: Catalog):
+        self.context = context
+        self.queue = queue
+        self.catalog = catalog
+        self._entries: dict[int, CacheEntry] = {}
+        self._bat_entries: dict[int, int] = {}       # bat_id -> entry_id
+        self._buffer_entries: dict[int, int] = {}    # buffer_id -> entry_id
+        self._hash_cache: dict[tuple, dict] = {}     # base-BAT hash tables
+        self._ids = itertools.count(1)
+        self._use_clock = itertools.count(1)
+        self.stats = MemoryManagerStats()
+        #: buffers auto-pinned for the duration of the running operator
+        self._scope_stack: list[list[Buffer]] = []
+        catalog.on_delete(self._on_bat_deleted)
+
+    # -- operator scopes (automatic reference counting, paper §3.3) -------
+
+    class _OperatorScope:
+        def __init__(self, manager: "MemoryManager"):
+            self.manager = manager
+
+        def __enter__(self):
+            self.manager._scope_stack.append([])
+            return self
+
+        def __exit__(self, *exc):
+            for buffer in self.manager._scope_stack.pop():
+                self.manager.unpin(buffer)
+            return False
+
+    def operator_scope(self) -> "_OperatorScope":
+        """Pin every buffer touched until exit — operators never lose
+        their working set to the eviction policy mid-flight."""
+        return MemoryManager._OperatorScope(self)
+
+    def _scope_pin(self, buffer: Buffer) -> None:
+        if self._scope_stack:
+            self.pin(buffer)
+            self._scope_stack[-1].append(buffer)
+
+    def scope_pin(self, buffer: Buffer) -> None:
+        """Pin a cached buffer into the running operator's scope (cache
+        hits hand out buffers that must survive subsequent allocations)."""
+        self._scope_pin(buffer)
+
+    # -- BAT <-> buffer registry -------------------------------------------------
+
+    def buffer_for_bat(self, bat: BAT) -> Buffer:
+        """Device buffer holding ``bat``'s tail, transferring if needed."""
+        # Ocelot-owned BATs carry their buffer reference directly.
+        if bat.device_ref is not None and not bat.device_ref.released:
+            entry = self._entry_for_buffer(bat.device_ref)
+            if entry is not None:
+                self._touch(entry)
+            self.stats.cache_hits += 1
+            self._scope_pin(bat.device_ref)
+            return bat.device_ref
+
+        entry_id = self._bat_entries.get(bat.bat_id)
+        if entry_id is not None:
+            entry = self._entries[entry_id]
+            if entry.resident:
+                self._touch(entry)
+                self.stats.cache_hits += 1
+                self._scope_pin(entry.buffer)
+                return entry.buffer
+            # evicted base copy or offloaded result: restore below
+            return self._restore(entry, bat)
+
+        # First request: allocate and upload.
+        self.stats.cache_misses += 1
+        values = bat.peek_values()
+        if values is None:
+            raise OcelotOOM(
+                f"BAT {bat.tag!r} has neither host values nor a device buffer"
+            )
+        buffer = self.allocate_like(values, BufferKind.BASE, tag=bat.tag)
+        self.queue.enqueue_write(buffer, values)
+        entry = self._entry_for_buffer(buffer)
+        entry.bat_id = bat.bat_id
+        self._bat_entries[bat.bat_id] = entry.entry_id
+        return buffer
+
+    def link_result(self, bat: BAT, buffer: Buffer) -> BAT:
+        """Attach an operator's result buffer to a (new) BAT and hand the
+        BAT to Ocelot (paper §3.3: operators return a newly created BAT
+        linked with the generated result buffer)."""
+        entry = self._entry_for_buffer(buffer)
+        if entry is None:
+            raise ValueError(f"buffer {buffer.tag!r} is not registry-managed")
+        entry.bat_id = bat.bat_id
+        self._bat_entries[bat.bat_id] = entry.entry_id
+        bat.device_ref = buffer
+        bat.give_to_ocelot()
+        return bat
+
+    # -- allocation with automatic freeing ----------------------------------------
+
+    def allocate(self, shape, dtype, kind: BufferKind = BufferKind.RESULT,
+                 tag: str = "", zeroed: bool = False) -> Buffer:
+        """Allocate a device buffer, evicting/offloading until it fits."""
+        dtype = np.dtype(dtype)
+        maker = self.context.zeros if zeroed else self.context.empty
+        while True:
+            try:
+                buffer = maker(shape, dtype, tag=tag)
+                break
+            except OutOfDeviceMemory as exc:
+                if not self._free_some():
+                    raise OcelotOOM(
+                        f"cannot allocate {tag!r}: {exc}; nothing evictable"
+                    ) from exc
+        entry = CacheEntry(
+            entry_id=next(self._ids), kind=kind, tag=tag, buffer=buffer,
+            last_use=next(self._use_clock),
+        )
+        self._entries[entry.entry_id] = entry
+        self._buffer_entries[buffer.buffer_id] = entry.entry_id
+        self._scope_pin(buffer)
+        return buffer
+
+    def allocate_like(self, array: np.ndarray, kind: BufferKind,
+                      tag: str = "") -> Buffer:
+        return self.allocate(array.shape, array.dtype, kind, tag)
+
+    def allocate_filled(self, array: np.ndarray, kind: BufferKind,
+                        tag: str = "") -> Buffer:
+        """Allocate and upload ``array`` (transfer charged)."""
+        buffer = self.allocate_like(array, kind, tag)
+        self.queue.enqueue_write(buffer, array)
+        return buffer
+
+    def release(self, buffer: Buffer) -> None:
+        """Drop a temporary buffer from device and registry."""
+        entry = self._entry_for_buffer(buffer)
+        if entry is not None:
+            self._entries.pop(entry.entry_id, None)
+            self._buffer_entries.pop(buffer.buffer_id, None)
+            if entry.bat_id is not None:
+                self._bat_entries.pop(entry.bat_id, None)
+        if not buffer.released:
+            buffer.release()
+
+    # -- pinning (reference counting, paper §3.3) ------------------------------------
+
+    def pin(self, buffer: Buffer) -> None:
+        entry = self._entry_for_buffer(buffer)
+        if entry is not None:
+            entry.pins += 1
+
+    def unpin(self, buffer: Buffer) -> None:
+        entry = self._entry_for_buffer(buffer)
+        if entry is not None:
+            if entry.pins <= 0:
+                raise RuntimeError(f"unbalanced unpin of {buffer.tag!r}")
+            entry.pins -= 1
+
+    class _Pinned:
+        def __init__(self, manager: "MemoryManager", buffers):
+            self.manager = manager
+            self.buffers = [b for b in buffers if b is not None]
+
+        def __enter__(self):
+            for b in self.buffers:
+                self.manager.pin(b)
+            return self.buffers
+
+        def __exit__(self, *exc):
+            for b in self.buffers:
+                self.manager.unpin(b)
+            return False
+
+    def pinned(self, *buffers) -> "_Pinned":
+        """Context manager pinning ``buffers`` for the duration of an
+        operator (in-use buffers are never evicted)."""
+        return MemoryManager._Pinned(self, buffers)
+
+    # -- eviction / offloading ---------------------------------------------------------
+
+    def _free_some(self) -> bool:
+        """Free one buffer; paper §3.3 policy.
+
+        1. evict cached base-BAT copies (LRU) — master is in host memory;
+        2. offload auxiliary structures (hash tables) to the host;
+        3. offload result/intermediate buffers to the host.
+        """
+        for kinds, offload in (
+            ((BufferKind.BASE,), False),
+            ((BufferKind.AUX,), True),
+            ((BufferKind.RESULT,), True),
+        ):
+            victim = self._lru_victim(kinds)
+            if victim is not None:
+                if offload:
+                    self._offload(victim)
+                else:
+                    self._evict(victim)
+                return True
+        return False
+
+    def _lru_victim(self, kinds) -> CacheEntry | None:
+        candidates = [
+            e for e in self._entries.values()
+            if e.kind in kinds and e.evictable
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: e.last_use)
+
+    def _evict(self, entry: CacheEntry) -> None:
+        """Drop a base-BAT device copy (host master still exists)."""
+        self.stats.evictions += 1
+        buffer = entry.buffer
+        self._buffer_entries.pop(buffer.buffer_id, None)
+        if entry.bat_id is not None:
+            # Clear any direct device_ref so the next request re-uploads.
+            entry.buffer = None
+        buffer.release()
+        entry.buffer = None
+
+    def _offload(self, entry: CacheEntry) -> None:
+        """Move computed contents to the host, freeing device storage.
+
+        The paper: "we cannot simply drop these buffers, as they contain
+        computed content; we offload them to the host and copy them back
+        when needed."
+        """
+        self.stats.offloads += 1
+        buffer = entry.buffer
+        host, _event = self.queue.enqueue_read(buffer)
+        entry.host_copy = host
+        self._buffer_entries.pop(buffer.buffer_id, None)
+        buffer.release()
+        entry.buffer = None
+        if entry.bat_id is not None:
+            # Detach the BAT's direct reference; restored on next request.
+            bat_entry = self._bat_entries.get(entry.bat_id)
+            if bat_entry == entry.entry_id:
+                pass  # _restore() re-links via the registry
+
+    def _restore(self, entry: CacheEntry, bat: BAT | None = None) -> Buffer:
+        """Bring an offloaded/evicted entry back onto the device."""
+        if entry.host_copy is not None:
+            array = entry.host_copy
+        elif bat is not None and bat.peek_values() is not None:
+            array = bat.peek_values()
+        else:
+            raise OcelotOOM(f"entry {entry.tag!r} has no restorable contents")
+        self.stats.restores += 1
+        self.stats.cache_misses += 1
+        buffer = self.allocate_like(array, entry.kind, tag=entry.tag)
+        self.queue.enqueue_write(buffer, array)
+        # The fresh allocation created a new entry; merge bookkeeping.
+        new_entry = self._entry_for_buffer(buffer)
+        new_entry.bat_id = entry.bat_id
+        new_entry.host_copy = None
+        if entry.bat_id is not None:
+            self._bat_entries[entry.bat_id] = new_entry.entry_id
+        self._entries.pop(entry.entry_id, None)
+        if bat is not None and bat.device_ref is not None:
+            bat.device_ref = buffer
+        return buffer
+
+    # -- sync (ownership hand-over, paper §3.4) ----------------------------------------
+
+    def sync_to_host(self, bat: BAT, buffer: Buffer) -> np.ndarray:
+        """Wait for producers and transfer/map the buffer to the host.
+
+        The device copy stays registered (and ``device_ref`` intact) so a
+        later Ocelot operator reuses it as a cache hit; MonetDB reads the
+        freshly transferred host tail."""
+        host, _event = self.queue.enqueue_read(
+            buffer, wait_for=buffer.dependencies_for_read()
+        )
+        self.queue.finish()
+        bat.return_to_monetdb(host)
+        return host
+
+    # -- hash-table cache (paper §5.2.6) -------------------------------------------------
+
+    def cached_hash_table(self, key: tuple) -> dict | None:
+        table = self._hash_cache.get(key)
+        if table is not None:
+            live = all(
+                not buf.released
+                for buf in table.values()
+                if isinstance(buf, Buffer)
+            )
+            if live:
+                self.stats.hash_cache_hits += 1
+                for buf in table.values():
+                    if isinstance(buf, Buffer):
+                        entry = self._entry_for_buffer(buf)
+                        if entry is not None:
+                            self._touch(entry)
+                return table
+            del self._hash_cache[key]
+        self.stats.hash_cache_misses += 1
+        return None
+
+    def cache_hash_table(self, key: tuple, table: dict) -> None:
+        self._hash_cache[key] = table
+
+    # -- catalog callbacks (paper §4.3) ----------------------------------------------------
+
+    def _on_bat_deleted(self, bat: BAT) -> None:
+        """Remove buffers for deleted/recycled BATs from the device cache."""
+        entry_id = self._bat_entries.pop(bat.bat_id, None)
+        if entry_id is not None:
+            entry = self._entries.pop(entry_id, None)
+            if entry is not None and entry.resident:
+                self._buffer_entries.pop(entry.buffer.buffer_id, None)
+                entry.buffer.release()
+        if bat.device_ref is not None and not bat.device_ref.released:
+            self._buffer_entries.pop(bat.device_ref.buffer_id, None)
+            bat.device_ref.release()
+            bat.device_ref = None
+        # Operator-attached auxiliaries (e.g. a bitmap's materialised oids).
+        for aux in list(bat.aux.values()):
+            if isinstance(aux, Buffer) and not aux.released:
+                self.release(aux)
+        bat.aux.clear()
+        stale = [k for k, t in self._hash_cache.items() if k[0] == bat.bat_id]
+        for k in stale:
+            del self._hash_cache[k]
+
+    # -- introspection ------------------------------------------------------------------------
+
+    def _entry_for_buffer(self, buffer: Buffer) -> CacheEntry | None:
+        entry_id = self._buffer_entries.get(buffer.buffer_id)
+        return self._entries.get(entry_id) if entry_id is not None else None
+
+    def _touch(self, entry: CacheEntry) -> None:
+        entry.last_use = next(self._use_clock)
+
+    def entries(self) -> Iterator[CacheEntry]:
+        return iter(self._entries.values())
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.context.allocated_nominal

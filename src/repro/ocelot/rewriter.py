@@ -1,0 +1,120 @@
+"""The Ocelot query rewriter (paper §3.1, §3.4).
+
+Adjusts MonetDB query plans for Ocelot by rerouting operator calls to the
+corresponding Ocelot implementations (swapping the instruction's module)
+and inserting explicit ``ocelot.sync`` instructions at ownership
+boundaries: before a MonetDB-executed operator consumes an Ocelot-owned
+BAT, and before result columns are returned.
+
+Operators without an Ocelot implementation (e.g. ``algebra.firstn``)
+stay on MonetDB — the paper's mixed execution mode.
+"""
+
+from __future__ import annotations
+
+from ..monetdb.mal import MALInstruction, MALProgram, Var
+
+#: MonetDB op -> (ocelot function, result kinds).  ``bat`` results become
+#: Ocelot-owned and need a sync at ownership boundaries; ``scalar``
+#: results are host values already.
+OCELOT_MAP: dict[str, tuple[str, tuple[str, ...]]] = {
+    "algebra.select": ("select", ("bat",)),
+    "algebra.thetaselect": ("thetaselect", ("bat",)),
+    "algebra.projection": ("projection", ("bat",)),
+    "algebra.join": ("join", ("bat", "bat")),
+    "algebra.thetajoin": ("thetajoin", ("bat", "bat")),
+    "algebra.semijoin": ("semijoin", ("bat",)),
+    "algebra.antijoin": ("antijoin", ("bat",)),
+    "algebra.sort": ("sort", ("bat", "bat")),
+    "bat.mirror": ("mirror", ("bat",)),
+    "group.group": ("group", ("bat", "scalar")),
+    "group.subgroup": ("subgroup", ("bat", "scalar")),
+    "aggr.sum": ("sum", ("scalar",)),
+    "aggr.min": ("min", ("scalar",)),
+    "aggr.max": ("max", ("scalar",)),
+    "aggr.count": ("count", ("scalar",)),
+    "aggr.avg": ("avg", ("scalar",)),
+    "aggr.subsum": ("subsum", ("bat",)),
+    "aggr.submin": ("submin", ("bat",)),
+    "aggr.submax": ("submax", ("bat",)),
+    "aggr.subcount": ("subcount", ("bat",)),
+    "aggr.subavg": ("subavg", ("bat",)),
+    "algebra.oidunion": ("oidunion", ("bat",)),
+    "algebra.oidintersect": ("oidintersect", ("bat",)),
+    "algebra.hashbuild": ("hashbuild", ("scalar",)),
+    "batcalc.add": ("add", ("bat",)),
+    "batcalc.sub": ("sub", ("bat",)),
+    "batcalc.mul": ("mul", ("bat",)),
+    "batcalc.div": ("div", ("bat",)),
+    "batcalc.intdiv": ("intdiv", ("bat",)),
+    "batcalc.and": ("and", ("bat",)),
+    "batcalc.or": ("or", ("bat",)),
+    "batcalc.eq": ("eq", ("bat",)),
+    "batcalc.ne": ("ne", ("bat",)),
+    "batcalc.lt": ("lt", ("bat",)),
+    "batcalc.le": ("le", ("bat",)),
+    "batcalc.gt": ("gt", ("bat",)),
+    "batcalc.ge": ("ge", ("bat",)),
+    "batcalc.ifthenelse": ("ifthenelse", ("bat",)),
+}
+
+
+def rewrite_for_ocelot(program: MALProgram) -> MALProgram:
+    """Reroute supported operators to Ocelot and insert syncs."""
+    out = MALProgram(name=program.name)
+    ocelot_owned: set[str] = set()
+    rename: dict[str, Var] = {}
+
+    def resolve(arg):
+        if isinstance(arg, Var):
+            return rename.get(arg.name, arg)
+        return arg
+
+    def sync_var(var: Var) -> Var:
+        synced = Var(var.name + "_s")
+        out.instructions.append(
+            MALInstruction((synced,), "ocelot", "sync", (var,))
+        )
+        rename[var.name] = synced
+        ocelot_owned.discard(var.name)
+        return synced
+
+    for instruction in program.instructions:
+        args = tuple(resolve(a) for a in instruction.args)
+        mapping = OCELOT_MAP.get(instruction.op)
+        if mapping is not None:
+            function, kinds = mapping
+            out.instructions.append(
+                MALInstruction(instruction.results, "ocelot", function, args)
+            )
+            for var, kind in zip(instruction.results, kinds):
+                if kind == "bat":
+                    ocelot_owned.add(var.name)
+            continue
+        # Stays on MonetDB: ownership must be handed back first.
+        synced_args = tuple(
+            sync_var(a)
+            if isinstance(a, Var) and a.name in ocelot_owned
+            else a
+            for a in args
+        )
+        out.instructions.append(
+            MALInstruction(
+                instruction.results,
+                instruction.module,
+                instruction.function,
+                synced_args,
+            )
+        )
+
+    for name, var in program.result_columns:
+        resolved = resolve(var)
+        if isinstance(resolved, Var) and resolved.name in ocelot_owned:
+            resolved = sync_var(resolved)
+        out.result_columns.append((name, resolved))
+    return out
+
+
+def count_syncs(program: MALProgram) -> int:
+    """Number of sync points a rewritten plan contains (test helper)."""
+    return sum(1 for i in program.instructions if i.op == "ocelot.sync")

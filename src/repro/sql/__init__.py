@@ -1,0 +1,23 @@
+"""``repro.sql`` — SQL frontend for the reproduction dialect (S5).
+
+Lexer, recursive-descent parser, and the MAL lowering (binder, selection
+chains, left-deep join pipeline, grouping, ordering).  See
+:mod:`repro.sql.lower` for dialect notes.
+"""
+
+from .ast import Query, Select
+from .lexer import SQLSyntaxError, tokenize
+from .lower import BindError, Compiler, SchemaProvider, compile_sql
+from .parser import parse
+
+__all__ = [
+    "BindError",
+    "Compiler",
+    "Query",
+    "SQLSyntaxError",
+    "SchemaProvider",
+    "Select",
+    "compile_sql",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,29 @@
+"""``repro.tpch`` — the TPC-H substrate (S6): schema, dbgen, workload."""
+
+from .dbgen import TPCHData, generate
+from .queries import OMITTED, WORKLOAD
+from .schema import (
+    DICTIONARIES,
+    SCALE_DOWN,
+    TABLES,
+    date_add_days,
+    date_literal,
+    dict_code,
+)
+from .workload import SCHEMA, TPCHSchema, compile_query
+
+__all__ = [
+    "DICTIONARIES",
+    "OMITTED",
+    "SCALE_DOWN",
+    "SCHEMA",
+    "TABLES",
+    "TPCHData",
+    "TPCHSchema",
+    "WORKLOAD",
+    "compile_query",
+    "date_add_days",
+    "date_literal",
+    "dict_code",
+    "generate",
+]

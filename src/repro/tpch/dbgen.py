@@ -1,0 +1,261 @@
+"""Deterministic mini-scale TPC-H data generator.
+
+Generates the Appendix-A-modified schema at ``1/SCALE_DOWN`` of the real
+row counts (DESIGN.md §2): ``generate(sf=8)`` produces the paper's SF-8
+workload shape at 1/100 volume, to be executed with ``data_scale =
+SCALE_DOWN`` so that simulated times, transfer volumes and device-memory
+pressure correspond to the full-size scale factor.
+
+The generator follows dbgen's value distributions where they matter to
+the workload (uniform dates across 1992-1998, discounts 0-0.10, one order
+spawning 1-7 lineitems, ~2/3 of customers with orders, prices correlated
+with quantity) and is fully deterministic per (sf, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..monetdb.storage import Catalog
+from .schema import DICTIONARIES, SCALE_DOWN, TABLES, date_add_days
+
+_EPOCH_START = 19920101
+_EPOCH_END = 19981201
+
+
+def _random_dates(rng: np.random.Generator, n: int,
+                  start: int = _EPOCH_START, end: int = 19980802) -> np.ndarray:
+    """Uniform YYYYMMDD dates in [start, end]."""
+    import datetime
+
+    def _to_ord(d: int) -> int:
+        year, rem = divmod(d, 10000)
+        month, day = divmod(rem, 100)
+        return datetime.date(year, month, day).toordinal()
+
+    lo, hi = _to_ord(start), _to_ord(end)
+    ordinals = rng.integers(lo, hi + 1, n)
+    # vectorised ordinal -> YYYYMMDD via a lookup table over the epoch
+    table = np.empty(hi - lo + 2 + 4000, dtype=np.int32)
+    for o in range(lo, hi + 2 + 4000):
+        d = datetime.date.fromordinal(o)
+        table[o - lo] = d.year * 10000 + d.month * 100 + d.day
+    return table[ordinals - lo].astype(np.int32), table, lo
+
+
+@dataclass
+class TPCHData:
+    """Generated tables + metadata (row counts, scale bookkeeping)."""
+
+    sf: float
+    seed: int
+    tables: dict[str, dict[str, np.ndarray]]
+
+    @property
+    def data_scale(self) -> float:
+        """``data_scale`` for engines so nominal sizes equal real TPC-H."""
+        return float(SCALE_DOWN)
+
+    def rows(self, table: str) -> int:
+        cols = self.tables[table]
+        return len(next(iter(cols.values())))
+
+    def install(self, catalog: Catalog) -> None:
+        for name, columns in self.tables.items():
+            catalog.create_table(name, columns)
+
+
+def _rows_for(table: str, sf: float) -> int:
+    base = TABLES[table].sf1_rows
+    if table in ("region", "nation"):
+        return base  # fixed-size tables
+    return max(1, int(base * sf / SCALE_DOWN))
+
+
+def generate(sf: float = 1.0, seed: int = 7) -> TPCHData:
+    """Generate a deterministic mini-scale TPC-H instance."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence([int(seed), int(sf * 1000)])
+    )
+    tables: dict[str, dict[str, np.ndarray]] = {}
+
+    # -- region / nation (fixed) ------------------------------------------
+    tables["region"] = {
+        "r_regionkey": np.arange(5, dtype=np.int32),
+        "r_name": np.arange(5, dtype=np.int32),
+    }
+    n_nations = len(DICTIONARIES["nation_name"])
+    tables["nation"] = {
+        "n_nationkey": np.arange(n_nations, dtype=np.int32),
+        "n_name": np.arange(n_nations, dtype=np.int32),
+        "n_regionkey": rng.integers(0, 5, n_nations).astype(np.int32),
+    }
+
+    # -- supplier -----------------------------------------------------------
+    n_supp = _rows_for("supplier", sf)
+    tables["supplier"] = {
+        "s_suppkey": np.arange(1, n_supp + 1, dtype=np.int32),
+        "s_name": np.arange(n_supp, dtype=np.int32),
+        "s_nationkey": rng.integers(0, n_nations, n_supp).astype(np.int32),
+        "s_acctbal": rng.uniform(-999.99, 9999.99, n_supp).astype(np.float32),
+    }
+
+    # -- customer -------------------------------------------------------------
+    n_cust = _rows_for("customer", sf)
+    n_segments = len(DICTIONARIES["mktsegment"])
+    tables["customer"] = {
+        "c_custkey": np.arange(1, n_cust + 1, dtype=np.int32),
+        "c_name": np.arange(n_cust, dtype=np.int32),
+        "c_nationkey": rng.integers(0, n_nations, n_cust).astype(np.int32),
+        "c_mktsegment": rng.integers(0, n_segments, n_cust).astype(np.int32),
+        "c_acctbal": rng.uniform(-999.99, 9999.99, n_cust).astype(np.float32),
+    }
+
+    # -- part --------------------------------------------------------------------
+    n_part = _rows_for("part", sf)
+    tables["part"] = {
+        "p_partkey": np.arange(1, n_part + 1, dtype=np.int32),
+        "p_brand": rng.integers(0, len(DICTIONARIES["brand"]), n_part).astype(np.int32),
+        "p_type": rng.integers(0, len(DICTIONARIES["part_type"]), n_part).astype(np.int32),
+        "p_container": rng.integers(0, len(DICTIONARIES["container"]), n_part).astype(np.int32),
+        "p_size": rng.integers(1, 51, n_part).astype(np.int32),
+        "p_retailprice": (
+            900 + (np.arange(1, n_part + 1) % 1000) / 10
+        ).astype(np.float32),
+    }
+
+    # -- partsupp (each part supplied by up to 4 suppliers) ------------------------
+    per_part = min(4, max(1, n_supp))
+    ps_part = np.repeat(tables["part"]["p_partkey"], per_part)
+    ps_supp = (
+        (ps_part + np.tile(np.arange(per_part), n_part)
+         * max(1, n_supp // per_part)) % n_supp + 1
+    ).astype(np.int32)
+    n_ps = ps_part.size
+    tables["partsupp"] = {
+        "ps_partkey": ps_part.astype(np.int32),
+        "ps_suppkey": ps_supp,
+        "ps_availqty": rng.integers(1, 10000, n_ps).astype(np.int32),
+        "ps_supplycost": rng.uniform(1.0, 1000.0, n_ps).astype(np.float32),
+    }
+
+    # -- orders ---------------------------------------------------------------------
+    n_orders = _rows_for("orders", sf)
+    orderdates, _date_table, _lo = _random_dates(rng, n_orders)
+    # only ~2/3 of customers have orders (dbgen convention)
+    cust_with_orders = max(1, (2 * n_cust) // 3)
+    o_custkey = rng.integers(1, cust_with_orders + 1, n_orders).astype(np.int32)
+    n_prios = len(DICTIONARIES["orderpriority"])
+    tables["orders"] = {
+        "o_orderkey": np.arange(1, n_orders + 1, dtype=np.int32),
+        "o_custkey": o_custkey,
+        "o_orderstatus": np.zeros(n_orders, dtype=np.int32),  # set below
+        "o_totalprice": np.zeros(n_orders, dtype=np.float32),
+        "o_orderdate": orderdates,
+        "o_orderpriority": rng.integers(0, n_prios, n_orders).astype(np.int32),
+        "o_shippriority": np.zeros(n_orders, dtype=np.int32),
+    }
+
+    # -- lineitem (1..7 lines per order) ------------------------------------------------
+    lines_per_order = rng.integers(1, 8, n_orders)
+    l_orderkey = np.repeat(tables["orders"]["o_orderkey"], lines_per_order)
+    n_line = l_orderkey.size
+    l_linenumber = (
+        np.arange(n_line) - np.repeat(
+            np.concatenate(([0], np.cumsum(lines_per_order)[:-1])),
+            lines_per_order,
+        ) + 1
+    ).astype(np.int32)
+    quantity = rng.integers(1, 51, n_line).astype(np.float32)
+    l_partkey = rng.integers(1, n_part + 1, n_line).astype(np.int32)
+    retail = tables["part"]["p_retailprice"][l_partkey - 1]
+    extendedprice = (quantity * retail).astype(np.float32)
+    base_date = np.repeat(orderdates, lines_per_order)
+    ship_delta = rng.integers(1, 122, n_line)
+    commit_delta = rng.integers(30, 91, n_line)
+    receipt_delta = rng.integers(1, 31, n_line)
+    shipdate = _shift_dates(base_date, ship_delta)
+    commitdate = _shift_dates(base_date, commit_delta)
+    receiptdate = _shift_dates(shipdate, receipt_delta)
+    n_modes = len(DICTIONARIES["shipmode"])
+    n_instr = len(DICTIONARIES["shipinstruct"])
+    # returnflag: 'R'/'A' only for early orders (dbgen: receipt <= currentdate)
+    returnable = receiptdate <= 19950617
+    rf = np.where(
+        returnable,
+        rng.integers(0, 2, n_line),  # A or N... A=0, N=1
+        1,
+    )
+    rf = np.where(returnable & (rng.random(n_line) < 0.5), 2, rf)  # R
+    linestatus = (shipdate > 19950617).astype(np.int32)  # F=0 / O=1
+    tables["lineitem"] = {
+        "l_orderkey": l_orderkey.astype(np.int32),
+        "l_partkey": l_partkey,
+        "l_suppkey": (
+            (l_partkey + rng.integers(0, 4, n_line) * max(1, n_supp // 4))
+            % n_supp + 1
+        ).astype(np.int32),
+        "l_linenumber": l_linenumber,
+        "l_quantity": quantity,
+        "l_extendedprice": extendedprice,
+        "l_discount": (rng.integers(0, 11, n_line) / 100.0).astype(np.float32),
+        "l_tax": (rng.integers(0, 9, n_line) / 100.0).astype(np.float32),
+        "l_returnflag": rf.astype(np.int32),
+        "l_linestatus": linestatus,
+        "l_shipdate": shipdate,
+        "l_commitdate": commitdate,
+        "l_receiptdate": receiptdate,
+        "l_shipmode": rng.integers(0, n_modes, n_line).astype(np.int32),
+        "l_shipinstruct": rng.integers(0, n_instr, n_line).astype(np.int32),
+    }
+
+    # order status from line status (dbgen rule): F if all lines F,
+    # O if all open, else P
+    f_lines = np.bincount(
+        l_orderkey - 1, weights=(linestatus == 0), minlength=n_orders
+    )
+    status = np.where(
+        f_lines == lines_per_order, 0, np.where(f_lines == 0, 1, 2)
+    )
+    tables["orders"]["o_orderstatus"] = status.astype(np.int32)
+    order_price = np.bincount(
+        l_orderkey - 1, weights=extendedprice, minlength=n_orders
+    )
+    tables["orders"]["o_totalprice"] = order_price.astype(np.float32)
+
+    return TPCHData(sf=sf, seed=seed, tables=tables)
+
+
+def _shift_dates(dates: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+    """Vectorised YYYYMMDD + days via ordinal round-trip."""
+    import datetime
+
+    # Convert via ordinals with a memoised table over the date domain.
+    years, rem = np.divmod(dates, 10000)
+    months, days = np.divmod(rem, 100)
+    base = np.array(
+        [datetime.date(1992, 1, 1).toordinal()], dtype=np.int64
+    )[0]
+    # days-from-civil (Howard Hinnant's algorithm), vectorised
+    y = years.astype(np.int64) - (months <= 2)
+    era = y // 400
+    yoe = y - era * 400
+    mp = (months.astype(np.int64) + 9) % 12
+    doy = (153 * mp + 2) // 5 + days.astype(np.int64) - 1
+    doe = yoe * 365 + yoe // 4 - yoe // 100 + doy
+    ordinal = era * 146097 + doe + 60  # proleptic ordinal (0003-01-01 ~ 719468 base)
+    ordinal = ordinal + deltas.astype(np.int64)
+    # back: civil-from-days
+    z = ordinal - 60
+    era = z // 146097
+    doe = z - era * 146097
+    yoe = (doe - doe // 1460 + doe // 36524 - doe // 146096) // 365
+    y = yoe + era * 400
+    doy = doe - (365 * yoe + yoe // 4 - yoe // 100)
+    mp = (5 * doy + 2) // 153
+    d = doy - (153 * mp + 2) // 5 + 1
+    m = mp + 3 - 12 * (mp >= 10)
+    y = y + (m <= 2)
+    return (y * 10000 + m * 100 + d).astype(np.int32)

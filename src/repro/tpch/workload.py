@@ -1,0 +1,39 @@
+"""TPC-H workload plumbing: schema provider + compiled plan cache."""
+
+from __future__ import annotations
+
+from ..monetdb.mal import MALProgram
+from ..sql.lower import SchemaProvider, compile_sql
+from .schema import TABLES, dict_code
+
+
+class TPCHSchema(SchemaProvider):
+    """Schema/dictionary information for the SQL binder."""
+
+    def has_table(self, table: str) -> bool:
+        return table in TABLES
+
+    def columns(self, table: str) -> list[str]:
+        return [c.name for c in TABLES[table].columns]
+
+    def dictionary(self, table: str, column: str):
+        return TABLES[table].column(column).dictionary
+
+    def dictionary_code(self, dictionary: str, literal: str) -> int:
+        return dict_code(dictionary, literal)
+
+
+SCHEMA = TPCHSchema()
+
+_plan_cache: dict[str, MALProgram] = {}
+
+
+def compile_query(query_id: str) -> MALProgram:
+    """Compile (and cache) one workload query's MAL plan."""
+    from .queries import WORKLOAD
+
+    if query_id not in _plan_cache:
+        _plan_cache[query_id] = compile_sql(
+            WORKLOAD[query_id], SCHEMA, name=query_id
+        )
+    return _plan_cache[query_id]

@@ -1,0 +1,77 @@
+"""Runtime kernel compilation and pre-processor specialisation."""
+
+import pytest
+
+from repro import cl
+from repro.kernels import KERNEL_LIBRARY
+
+
+def test_device_type_injected_cpu():
+    ctx = cl.Context(cl.INTEL_XEON_E5620)
+    program = cl.build(ctx, KERNEL_LIBRARY)
+    assert program.defines["DEVICE_TYPE"] == "CPU"
+    assert program.defines["ACCESS_PATTERN"] == cl.ACCESS_SEQUENTIAL
+
+
+def test_device_type_injected_gpu():
+    ctx = cl.Context(cl.NVIDIA_GTX460)
+    program = cl.build(ctx, KERNEL_LIBRARY)
+    assert program.defines["ACCESS_PATTERN"] == cl.ACCESS_COALESCED
+
+
+def test_user_defines_merge():
+    ctx = cl.Context(cl.INTEL_XEON_E5620)
+    program = cl.build(ctx, KERNEL_LIBRARY, {"RADIX_BITS": 8})
+    assert program.defines["RADIX_BITS"] == 8
+    assert program.defines["DEVICE_TYPE"] == "CPU"
+
+
+def test_program_cache_hit():
+    ctx = cl.Context(cl.INTEL_XEON_E5620)
+    first = cl.build(ctx, KERNEL_LIBRARY, {"RADIX_BITS": 8})
+    second = cl.build(ctx, KERNEL_LIBRARY, {"RADIX_BITS": 8})
+    assert first is second
+    different = cl.build(ctx, KERNEL_LIBRARY, {"RADIX_BITS": 4})
+    assert different is not first
+
+
+def test_empty_library_rejected():
+    ctx = cl.Context(cl.INTEL_XEON_E5620)
+    with pytest.raises(cl.BuildError):
+        cl.build(ctx, {})
+
+
+def test_mismatched_key_rejected():
+    ctx = cl.Context(cl.INTEL_XEON_E5620)
+    gather = KERNEL_LIBRARY["gather"]
+    with pytest.raises(cl.BuildError):
+        cl.build(ctx, {"wrong_name": gather})
+
+
+def test_all_kernels_present():
+    ctx = cl.Context(cl.NVIDIA_GTX460)
+    program = cl.build(ctx, KERNEL_LIBRARY)
+    for name in KERNEL_LIBRARY:
+        assert name in program
+        assert program.kernel(name).name == name
+    assert program.build_time > 0
+
+
+def test_unknown_kernel_lookup():
+    ctx = cl.Context(cl.NVIDIA_GTX460)
+    program = cl.build(ctx, KERNEL_LIBRARY)
+    with pytest.raises(cl.InvalidKernelArgs):
+        program.kernel("no_such_kernel")
+
+
+def test_platform_discovery():
+    platforms = cl.get_platforms()
+    assert len(platforms) == 2
+    vendors = {p.vendor for p in platforms}
+    assert vendors == {"Intel", "NVIDIA"}
+    assert cl.get_device("cpu").is_cpu
+    assert cl.get_device("gpu").is_gpu
+    tiny = cl.get_device("gpu", global_mem_bytes=1024)
+    assert tiny.profile.global_mem_bytes == 1024
+    with pytest.raises(LookupError):
+        cl.get_device("tpu")

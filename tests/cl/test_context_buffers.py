@@ -1,0 +1,103 @@
+"""Contexts, buffers, allocation accounting and the event registry."""
+
+import numpy as np
+import pytest
+
+from repro import cl
+
+
+@pytest.fixture
+def ctx():
+    return cl.Context(cl.NVIDIA_GTX460.with_memory(1024), data_scale=1.0)
+
+
+class TestAllocation:
+    def test_accounting(self, ctx):
+        buf = ctx.create_buffer(np.zeros(64, np.uint8), tag="a")
+        assert ctx.allocated_nominal == 64
+        assert ctx.available == 1024 - 64
+        buf.release()
+        assert ctx.allocated_nominal == 0
+
+    def test_out_of_memory(self, ctx):
+        ctx.create_buffer(np.zeros(1000, np.uint8))
+        with pytest.raises(cl.OutOfDeviceMemory) as err:
+            ctx.create_buffer(np.zeros(100, np.uint8))
+        assert err.value.requested == 100
+        assert err.value.available == 24
+
+    def test_nominal_scaling(self):
+        scaled = cl.Context(cl.NVIDIA_GTX460.with_memory(1000), data_scale=10)
+        scaled.create_buffer(np.zeros(50, np.uint8))
+        assert scaled.allocated_nominal == 500
+        with pytest.raises(cl.OutOfDeviceMemory):
+            scaled.create_buffer(np.zeros(51, np.uint8))
+
+    def test_peak_tracking(self, ctx):
+        a = ctx.create_buffer(np.zeros(500, np.uint8))
+        a.release()
+        ctx.create_buffer(np.zeros(100, np.uint8))
+        assert ctx.peak_nominal == 500
+
+    def test_release_idempotent(self, ctx):
+        buf = ctx.create_buffer(np.zeros(8, np.uint8))
+        buf.release()
+        buf.release()
+        assert ctx.allocated_nominal == 0
+
+    def test_released_buffer_raises_on_access(self, ctx):
+        buf = ctx.create_buffer(np.zeros(8, np.uint8))
+        buf.release()
+        with pytest.raises(cl.DeviceLost):
+            _ = buf.array
+
+    def test_context_release_frees_everything(self, ctx):
+        ctx.create_buffer(np.zeros(8, np.uint8))
+        ctx.create_buffer(np.zeros(8, np.uint8))
+        ctx.release()
+        assert ctx.allocated_nominal == 0
+        with pytest.raises(cl.DeviceLost):
+            ctx.create_buffer(np.zeros(8, np.uint8))
+
+    def test_bad_data_scale(self):
+        with pytest.raises(ValueError):
+            cl.Context(cl.NVIDIA_GTX460, data_scale=0)
+
+    def test_zeros_and_empty(self, ctx):
+        z = ctx.zeros(16, np.uint32)
+        assert z.array.sum() == 0
+        e = ctx.empty(16, np.float32)
+        assert e.size == 16 and e.dtype == np.float32
+
+
+class TestEventRegistry:
+    """The per-buffer producer/consumer registry (paper §3.4)."""
+
+    def test_write_then_read_dependency(self, ctx):
+        queue = cl.CommandQueue(ctx)
+        buf = ctx.empty(16, np.int32)
+        write = queue.enqueue_write(buf, np.arange(16, dtype=np.int32))
+        assert buf.producer_events == [write]
+        host, read = queue.enqueue_read(buf)
+        assert read.t_start >= write.t_end
+        assert np.array_equal(host, np.arange(16, dtype=np.int32))
+        assert read in buf.consumer_events
+
+    def test_new_producer_supersedes_registry(self, ctx):
+        queue = cl.CommandQueue(ctx)
+        buf = ctx.empty(16, np.int32)
+        first = queue.enqueue_write(buf, np.zeros(16, np.int32))
+        _, read = queue.enqueue_read(buf)
+        second = queue.enqueue_write(buf, np.ones(16, np.int32))
+        assert buf.producer_events == [second]
+        assert buf.consumer_events == []
+        # write-after-read: second write waited for the read
+        assert second.t_start >= read.t_end
+        assert first.event_id != second.event_id
+
+    def test_last_activity(self, ctx):
+        queue = cl.CommandQueue(ctx)
+        buf = ctx.empty(16, np.int32)
+        assert buf.last_activity() == 0.0
+        event = queue.enqueue_write(buf, np.zeros(16, np.int32))
+        assert buf.last_activity() == event.t_end

@@ -1,0 +1,134 @@
+"""Command queues: scheduling semantics, overlap, stats."""
+
+import numpy as np
+import pytest
+
+from repro import cl
+from repro.kernels import KERNEL_LIBRARY
+
+
+@pytest.fixture
+def gpu_ctx():
+    return cl.Context(cl.NVIDIA_GTX460, data_scale=100.0)
+
+
+@pytest.fixture
+def queue(gpu_ctx):
+    return cl.CommandQueue(gpu_ctx)
+
+
+@pytest.fixture
+def program(gpu_ctx):
+    return cl.build(gpu_ctx, KERNEL_LIBRARY)
+
+
+def test_kernel_waits_for_input_producers(gpu_ctx, queue, program):
+    src = gpu_ctx.empty(1024, np.int32, tag="src")
+    write = queue.enqueue_write(src, np.arange(1024, dtype=np.int32))
+    out = gpu_ctx.empty(1024, np.int32, tag="out")
+    kernel = program.kernel("ewise_scalar").launch(
+        queue, out, src, 1024, "add", 5
+    )
+    assert kernel.t_start >= write.t_end
+    assert np.array_equal(out.array, np.arange(1024) + 5)
+
+
+def test_transfer_overlaps_independent_kernel(gpu_ctx, queue, program):
+    """Fig. 3: a transfer on the copy engine can run while an unrelated
+    kernel occupies the compute engine."""
+    a = gpu_ctx.create_buffer(np.arange(1 << 20, dtype=np.int32), tag="a")
+    out = gpu_ctx.empty(1 << 20, np.int32, tag="o")
+    kernel = program.kernel("ewise_scalar").launch(
+        queue, out, a, 1 << 20, "add", 1
+    )
+    b = gpu_ctx.empty(1 << 20, np.int32, tag="b")
+    transfer = queue.enqueue_write(b, np.zeros(1 << 20, np.int32))
+    # independent: transfer starts before the kernel finishes
+    assert transfer.t_start < kernel.t_end
+    assert transfer.engine != kernel.engine
+
+
+def test_dependent_commands_serialise(gpu_ctx, queue, program):
+    a = gpu_ctx.create_buffer(np.arange(256, dtype=np.int32))
+    out = gpu_ctx.empty(256, np.int32)
+    k1 = program.kernel("ewise_scalar").launch(queue, out, a, 256, "add", 1)
+    host, read = queue.enqueue_read(out)
+    assert read.t_start >= k1.t_end
+    assert np.array_equal(host, np.arange(256) + 1)
+
+
+def test_finish_joins_all_timelines(gpu_ctx, queue, program):
+    a = gpu_ctx.create_buffer(np.arange(256, dtype=np.int32))
+    t = queue.finish()
+    out = gpu_ctx.empty(256, np.int32)
+    kernel = program.kernel("ewise_scalar").launch(queue, out, a, 256, "add", 1)
+    t2 = queue.finish()
+    assert t2 >= kernel.t_end >= t
+    # after finish, new commands cannot start earlier than the makespan
+    late = program.kernel("ewise_scalar").launch(queue, out, a, 256, "add", 2)
+    assert late.t_start >= t2
+
+
+def test_host_submit_gates_start(gpu_ctx):
+    queue = cl.CommandQueue(gpu_ctx)
+    buf = gpu_ctx.empty(16, np.int32)
+    event = queue.enqueue_write(buf, np.zeros(16, np.int32))
+    assert event.t_submit >= gpu_ctx.device.host_submit_time()
+    assert event.t_start >= event.t_submit
+
+
+def test_stats_accumulate(gpu_ctx, queue, program):
+    a = gpu_ctx.empty(1024, np.int32)
+    queue.enqueue_write(a, np.zeros(1024, np.int32))
+    out = gpu_ctx.empty(1024, np.int32)
+    program.kernel("ewise_scalar").launch(queue, out, a, 1024, "add", 1)
+    queue.enqueue_read(out)
+    stats = queue.stats
+    assert stats.kernels_launched == 1
+    assert stats.transfers_to_device == 1
+    assert stats.transfers_from_device == 1
+    assert stats.bytes_to_device == 1024 * 4 * 100  # nominal
+    assert stats.kernel_seconds > 0
+
+    snap = stats.snapshot()
+    assert snap.kernels_launched == 1
+
+
+def test_timeline_sorted(gpu_ctx, queue, program):
+    a = gpu_ctx.create_buffer(np.arange(64, dtype=np.int32))
+    out = gpu_ctx.empty(64, np.int32)
+    for k in range(3):
+        program.kernel("ewise_scalar").launch(queue, out, a, 64, "add", k)
+    events = queue.timeline()
+    starts = [e.t_start for e in events]
+    assert starts == sorted(starts)
+
+
+def test_size_mismatch_write_rejected(gpu_ctx, queue):
+    buf = gpu_ctx.empty(16, np.int32)
+    with pytest.raises(cl.InvalidKernelArgs):
+        queue.enqueue_write(buf, np.zeros(8, np.int32))
+
+
+def test_kernel_arg_validation(gpu_ctx, queue, program):
+    out = gpu_ctx.empty(16, np.uint8)
+    with pytest.raises(cl.InvalidKernelArgs):
+        # missing arguments
+        program.kernel("select_bitmap").launch(queue, out)
+    with pytest.raises(cl.InvalidKernelArgs):
+        # scalar passed where a buffer is expected
+        program.kernel("gather").launch(queue, out, 5, out, 4)
+
+
+def test_released_queue_rejects_commands(gpu_ctx, queue):
+    queue.release()
+    with pytest.raises(cl.DeviceLost):
+        queue.enqueue_marker()
+
+
+def test_enqueue_copy(gpu_ctx, queue):
+    src = gpu_ctx.create_buffer(np.arange(128, dtype=np.int32))
+    dst = gpu_ctx.empty(128, np.int32)
+    event = queue.enqueue_copy(dst, src)
+    assert np.array_equal(dst.array, src.array)
+    assert event.duration > 0

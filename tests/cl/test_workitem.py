@@ -1,0 +1,286 @@
+"""The work-item reference interpreter, cross-validated against the
+vectorised driver — the hardware-oblivious contract: one kernel text,
+two execution drivers, identical results."""
+
+import numpy as np
+import pytest
+
+from repro import cl
+from repro.cl.workitem import run_reference
+from repro.kernels import KERNEL_LIBRARY, count_bits
+from repro.kernels.hashing import EMPTY
+
+
+@pytest.fixture(params=["cpu", "gpu"])
+def device(request):
+    return cl.get_device(request.param)
+
+
+def _run_both(name, make_args, device, global_size=16, local_size=8,
+              defines=None):
+    """Run ref and vec drivers on independent buffers; return both arg
+    lists for comparison."""
+    from repro.cl.kernel import ExecContext
+    from repro.cl.compiler import default_defines
+
+    definition = KERNEL_LIBRARY[name]
+    merged = {**default_defines(device.device_type), **(defines or {})}
+    ref_args = make_args()
+    run_reference(definition, ref_args, global_size, local_size,
+                  defines=merged, device=device)
+    vec_args = make_args()
+    ctx = ExecContext(device=device, defines=merged,
+                      global_size=global_size, local_size=local_size)
+    values = [a for a in vec_args]
+    definition.vec_fn(ctx, *values)
+    return ref_args, vec_args
+
+
+class TestAccessPatterns:
+    def test_chunk_covers_input_disjointly(self):
+        wi_ranges = []
+        for gid in range(4):
+            from repro.cl.workitem import WorkItem
+
+            wi = WorkItem(gid, gid, 0, 4, 4, {})
+            wi_ranges.append(list(wi.chunk(10)))
+        flat = sorted(x for r in wi_ranges for x in r)
+        assert flat == list(range(10))
+
+    def test_strided_covers_input_disjointly(self):
+        from repro.cl.workitem import WorkItem
+
+        elements = []
+        for gid in range(4):
+            wi = WorkItem(gid, gid, 0, 4, 4, {})
+            elements += list(wi.strided(10))
+        assert sorted(elements) == list(range(10))
+
+    def test_partition_selected_by_define(self):
+        from repro.cl.workitem import WorkItem
+
+        coalesced = WorkItem(1, 1, 0, 4, 4, {"ACCESS_PATTERN": "coalesced"})
+        sequential = WorkItem(1, 1, 0, 4, 4, {"ACCESS_PATTERN": "sequential"})
+        assert list(coalesced.partition(8)) == [1, 5]
+        assert list(sequential.partition(8)) == [2, 3]
+
+
+class TestRefVsVec:
+    def test_gather(self, device):
+        rng = np.random.default_rng(1)
+        src = rng.integers(0, 100, 64).astype(np.int32)
+        idx = rng.integers(0, 64, 40).astype(np.uint32)
+
+        def make():
+            return [np.zeros(40, np.int32), src.copy(), idx.copy(), 40]
+
+        ref, vec = _run_both("gather", make, device)
+        assert np.array_equal(ref[0], vec[0])
+        assert np.array_equal(ref[0], src[idx])
+
+    def test_select_bitmap(self, device):
+        rng = np.random.default_rng(2)
+        col = rng.integers(0, 50, 77).astype(np.int32)
+        nbytes = (77 + 7) // 8
+
+        def make():
+            return [np.zeros(nbytes, np.uint8), col.copy(), 77, "[)", 10,
+                    30, False]
+
+        ref, vec = _run_both("select_bitmap", make, device)
+        assert np.array_equal(ref[0], vec[0])
+        assert count_bits(vec[0], 77) == int(((col >= 10) & (col < 30)).sum())
+
+    def test_prefix_sum_single_group(self, device):
+        data = np.arange(1, 17, dtype=np.uint32)
+
+        def make():
+            return [np.zeros(16, np.uint32), data.copy(), 16]
+
+        # Hillis-Steele reference needs one work-group spanning the input
+        ref, vec = _run_both("prefix_sum", make, device,
+                             global_size=16, local_size=16)
+        expected = np.concatenate(([0], np.cumsum(data)[:-1]))
+        assert np.array_equal(ref[0], expected)
+        assert np.array_equal(vec[0], expected)
+
+    def test_bitmap_binop_and_not(self, device):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 256, 16).astype(np.uint8)
+        b = rng.integers(0, 256, 16).astype(np.uint8)
+
+        def make_and():
+            return [np.zeros(16, np.uint8), a.copy(), b.copy(), 16, "and"]
+
+        ref, vec = _run_both("bitmap_binop", make_and, device)
+        assert np.array_equal(ref[0], vec[0])
+        assert np.array_equal(vec[0], a & b)
+
+        def make_not():
+            return [np.zeros(16, np.uint8), a.copy(), 125, 16]
+
+        ref, vec = _run_both("bitmap_not", make_not, device)
+        assert np.array_equal(ref[0], vec[0])
+
+    def test_radix_pass_pipeline(self, device):
+        """histogram -> offsets -> reorder on both drivers."""
+        rng = np.random.default_rng(4)
+        n, parts, bits = 96, 8, 4
+        keys = rng.integers(0, 2**16, n).astype(np.uint32)
+        payload = np.arange(n, dtype=np.uint32)
+        radix = 1 << bits
+        defines = {"RADIX_BITS": bits}
+
+        def stage(make_ref):
+            hist = np.zeros(parts * radix, np.uint32)
+            offsets = np.zeros(radix * parts, np.uint32)
+            keys_out = np.zeros(n, np.uint32)
+            pay_out = np.zeros(n, np.uint32)
+            return hist, offsets, keys_out, pay_out
+
+        # reference
+        h_r, o_r, ko_r, po_r = stage(True)
+        run_reference(KERNEL_LIBRARY["radix_histogram"],
+                      [h_r, keys, n, 0, parts], 8, 4, defines=defines,
+                      device=device)
+        run_reference(KERNEL_LIBRARY["radix_offsets"],
+                      [o_r, h_r, parts], 8, 4, defines=defines,
+                      device=device)
+        run_reference(KERNEL_LIBRARY["radix_reorder"],
+                      [ko_r, po_r, keys, payload, o_r, n, 0, parts],
+                      8, 4, defines=defines, device=device)
+        # vectorised
+        from repro.cl.kernel import ExecContext
+        from repro.cl.compiler import default_defines
+
+        merged = {**default_defines(device.device_type), **defines}
+        ctx = ExecContext(device=device, defines=merged, global_size=8,
+                          local_size=4)
+        h_v, o_v, ko_v, po_v = stage(False)
+        KERNEL_LIBRARY["radix_histogram"].vec_fn(ctx, h_v, keys, n, 0, parts)
+        KERNEL_LIBRARY["radix_offsets"].vec_fn(ctx, o_v, h_v, parts)
+        KERNEL_LIBRARY["radix_reorder"].vec_fn(
+            ctx, ko_v, po_v, keys, payload, o_v, n, 0, parts
+        )
+        assert np.array_equal(h_r, h_v)
+        assert np.array_equal(o_r, o_v)
+        assert np.array_equal(ko_r, ko_v)
+        assert np.array_equal(po_r, po_v)
+        # and the pass is a correct stable partial sort by digit
+        digits = ko_v & (radix - 1)
+        assert np.all(np.diff(digits.astype(np.int64)) >= 0)
+
+    def test_hash_probe_semantics(self, device):
+        """Build via vec, probe via both drivers: identical lookups."""
+        keys = np.arange(100, dtype=np.uint32) * 7 + 3
+        m = 173
+        tkeys = np.full(m, EMPTY, np.uint32)
+        tvals = np.zeros(m, np.uint32)
+        from repro.cl.kernel import ExecContext
+        from repro.cl.compiler import default_defines
+
+        merged = default_defines(device.device_type)
+        ctx = ExecContext(device=device, defines=merged, global_size=16,
+                          local_size=8)
+        KERNEL_LIBRARY["ht_insert_optimistic"].vec_fn(
+            ctx, tkeys, tvals, keys, np.arange(100, dtype=np.uint32),
+            100, m,
+        )
+        fail = np.zeros((100 + 7) // 8, np.uint8)
+        KERNEL_LIBRARY["ht_check"].vec_fn(ctx, fail, tkeys, keys, 100, m)
+        stats = np.zeros(2, np.uint32)
+        KERNEL_LIBRARY["ht_insert_pessimistic"].vec_fn(
+            ctx, tkeys, tvals, stats, keys,
+            np.arange(100, dtype=np.uint32), fail, 100, m,
+        )
+        assert stats[1] == 0
+
+        probe = np.concatenate([keys[:50], keys[:50] + 1]).astype(np.uint32)
+
+        def make():
+            return [np.zeros(100, np.uint32),
+                    np.zeros((100 + 7) // 8, np.uint8),
+                    tkeys.copy(), tvals.copy(), probe, 100, m]
+
+        ref, vec = _run_both("ht_probe", make, device)
+        assert np.array_equal(ref[0], vec[0])
+        assert np.array_equal(ref[1], vec[1])
+
+    def test_grouped_agg_partial(self, device):
+        rng = np.random.default_rng(5)
+        gids = rng.integers(0, 4, 64).astype(np.uint32)
+        vals = rng.integers(0, 100, 64).astype(np.int32)
+
+        def make():
+            return [np.zeros((2, 4), np.int64), gids.copy(), vals.copy(),
+                    64, 4, "sum", 1, True]
+
+        ref, vec = _run_both("grouped_agg_partial", make, device,
+                             global_size=16, local_size=8)
+        assert np.array_equal(ref[0].sum(axis=0), vec[0].sum(axis=0))
+        expected = np.bincount(gids, weights=vals, minlength=4)
+        assert np.array_equal(vec[0].sum(axis=0), expected.astype(np.int64))
+
+
+class TestBarrierSemantics:
+    def test_divergent_barrier_detected(self):
+        from repro.cl.kernel import KernelDef, params
+
+        def bad(wi, out, n):
+            if wi.local_id() == 0:
+                yield  # only one work-item reaches the barrier
+            out[wi.global_id()] = 1
+
+        definition = KernelDef(
+            name="bad", params=params("out:res scalar:n"),
+            vec_fn=lambda ctx, out, n: None,
+            work_fn=lambda ctx, out, n: None, ref_fn=bad,
+        )
+        with pytest.raises(cl.BarrierDivergence):
+            run_reference(definition, [np.zeros(4, np.int32), 4], 4, 4)
+
+    def test_non_generator_reference_rejected(self):
+        from repro.cl.kernel import KernelDef, params
+
+        definition = KernelDef(
+            name="plain", params=params("out:res scalar:n"),
+            vec_fn=lambda ctx, out, n: None,
+            work_fn=lambda ctx, out, n: None,
+            ref_fn=lambda wi, out, n: None,
+        )
+        with pytest.raises(cl.InvalidKernelArgs):
+            run_reference(definition, [np.zeros(4, np.int32), 4], 4, 4)
+
+    def test_size_validation(self):
+        definition = KERNEL_LIBRARY["gather"]
+        args = [np.zeros(4, np.int32), np.zeros(4, np.int32),
+                np.zeros(4, np.uint32), 4]
+        with pytest.raises(cl.InvalidKernelArgs):
+            run_reference(definition, args, 7, 4)  # not divisible
+        with pytest.raises(cl.InvalidKernelArgs):
+            run_reference(definition, args, 0, 0)
+
+    def test_missing_reference_impl(self):
+        definition = KERNEL_LIBRARY["oids_to_bitmap"]
+        assert definition.ref_fn is None
+        with pytest.raises(cl.InvalidKernelArgs):
+            run_reference(definition, [], 4, 4)
+
+    def test_local_memory_materialised_per_group(self):
+        from repro.cl.kernel import KernelDef, Local, params
+
+        def kernel(wi, out, scratch, n):
+            scratch[wi.local_id()] = wi.global_id()
+            yield
+            if wi.local_id() == 0:
+                out[wi.group_id()] = int(scratch.sum())
+
+        definition = KernelDef(
+            name="localsum", params=params("out:res local:tmp scalar:n"),
+            vec_fn=lambda ctx, out, tmp, n: None,
+            work_fn=lambda ctx, out, tmp, n: None, ref_fn=kernel,
+        )
+        out = np.zeros(2, np.int64)
+        run_reference(definition, [out, Local(4, np.int64), 8], 8, 4)
+        assert out[0] == 0 + 1 + 2 + 3
+        assert out[1] == 4 + 5 + 6 + 7

@@ -1,0 +1,110 @@
+"""Device-memory pressure: eviction, swapping, OOM — with correct results.
+
+The behaviours behind the paper's Fig. 7(b) (GPU lead shrinks at SF 8 due
+to swapping) and Fig. 7(c) (GPU unusable at SF 50), provoked cheaply with
+a tiny simulated GPU.
+"""
+
+import numpy as np
+import pytest
+
+from repro import cl
+from repro.api import Database
+from repro.bench.harness import BenchContext
+from repro.monetdb import Catalog, run_program
+from repro.ocelot import OcelotBackend, OcelotOOM, rewrite_for_ocelot
+from repro.tpch import compile_query, generate
+
+
+def _tiny_gpu(mem_bytes):
+    return cl.get_device("gpu", global_mem_bytes=mem_bytes)
+
+
+@pytest.fixture
+def db_arrays():
+    rng = np.random.default_rng(31)
+    n = 40_000
+    return {
+        "a": rng.integers(0, 1000, n).astype(np.int32),
+        "b": rng.normal(0, 1, n).astype(np.float32),
+    }
+
+
+def test_swapping_keeps_results_correct(db_arrays):
+    catalog = Catalog()
+    catalog.create_table("t", db_arrays)
+    # device fits roughly two columns: every query evicts and re-uploads
+    backend = OcelotBackend(catalog, _tiny_gpu(1_000_000))
+    from repro.monetdb import MALBuilder, MonetDBSequential
+
+    builder = MALBuilder("q")
+    a, b = builder.bind("t", "a"), builder.bind("t", "b")
+    cand = builder.emit("algebra", "select", (a, None, 100, 900, True, True,
+                                              False))
+    vals = builder.emit("algebra", "projection", (cand, b))
+    gids, n = builder.emit("group", "group",
+                           (builder.emit("algebra", "projection", (cand, a)),),
+                           n_results=2)
+    sums = builder.emit("aggr", "subsum", (vals, gids, n))
+    program = builder.returns([("s", sums)])
+
+    expected = run_program(program, MonetDBSequential(catalog))
+    for _ in range(3):  # repeated runs force cache thrash
+        got = run_program(rewrite_for_ocelot(program), backend)
+        assert np.allclose(got.columns["s"], expected.columns["s"],
+                           rtol=1e-5)
+    stats = backend.engine.memory.stats
+    assert stats.evictions + stats.offloads > 0
+
+
+def test_swap_thrash_costs_transfer_time(db_arrays):
+    catalog = Catalog()
+    catalog.create_table("t", db_arrays)
+    roomy = OcelotBackend(catalog, _tiny_gpu(64 * cl.MB))
+    catalog2 = Catalog()
+    catalog2.create_table("t", db_arrays)
+    # fits one 160 KB column at a time: a/b ping-pong evicts the other
+    tight = OcelotBackend(catalog2, _tiny_gpu(200_000))
+    from repro.monetdb import MALBuilder
+
+    builder = MALBuilder("q")
+    a, b = builder.bind("t", "a"), builder.bind("t", "b")
+    sum_a = builder.emit("aggr", "sum", (a,))
+    sum_b = builder.emit("aggr", "sum", (b,))
+    total = builder.emit("calc", "add", (sum_a, sum_b))
+    program = rewrite_for_ocelot(builder.returns([("s", total)]))
+
+    def hot_time(backend):
+        run_program(program, backend)
+        return run_program(program, backend).elapsed
+
+    assert hot_time(tight) > hot_time(roomy)
+    assert tight.engine.queue.stats.bytes_to_device > \
+        roomy.engine.queue.stats.bytes_to_device
+
+
+def test_oom_reported_as_missing_measurement():
+    data = generate(sf=0.2)
+    catalog = Catalog()
+    data.install(catalog)
+    ctx = BenchContext(catalog, data_scale=data.data_scale, labels=("GPU",))
+    # replace the stock GPU with a hopeless one
+    from repro.bench.configs import EngineConfig
+
+    ctx._backends["GPU"] = OcelotBackend(catalog, _tiny_gpu(100_000),
+                                         data_scale=data.data_scale)
+    seconds, _ = ctx.run_query("GPU", compile_query("Q6"), runs=1)
+    assert seconds is None  # "the line ends midway"
+
+
+def test_pinned_hot_set_survives_pressure(db_arrays):
+    catalog = Catalog()
+    catalog.create_table("t", db_arrays)
+    backend = OcelotBackend(catalog, _tiny_gpu(500_000))
+    engine = backend.engine
+    hot = engine.memory.buffer_for_bat(catalog.bat("t", "a"))
+    engine.memory.pin(hot)  # paper §3.3: manual pinning of hot BATs
+    engine.memory.allocate((80_000,), np.int32,
+                           tag="pressure")
+    assert not hot.released
+    engine.memory.unpin(hot)

@@ -1,0 +1,161 @@
+"""Parallel hashing: optimistic/pessimistic build + probe (paper §4.1.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import bitmap_nbytes, count_bits
+from repro.kernels.hashing import (
+    EMPTY,
+    NUM_HASH_FUNCTIONS,
+    PROBE_LIMIT,
+    hash_slot,
+)
+
+
+def build_table(rig, keys: np.ndarray, vals: np.ndarray, m: int):
+    n = keys.size
+    tkeys = rig.empty(m, np.uint32)
+    tvals = rig.empty(m, np.uint32)
+    rig.run("fill", tkeys, m, int(EMPTY))
+    rig.run("fill", tvals, m, 0)
+    kb, vb = rig.buf(keys), rig.buf(vals)
+    rig.run("ht_insert_optimistic", tkeys, tvals, kb, vb, n, m)
+    fail = rig.zeros(bitmap_nbytes(n), np.uint8)
+    rig.run("ht_check", fail, tkeys, kb, n, m)
+    stats = rig.zeros(2, np.uint32)
+    rig.run("ht_insert_pessimistic", tkeys, tvals, stats, kb, vb, fail, n, m)
+    return tkeys, tvals, int(stats.array[1])
+
+
+def probe(rig, tkeys, tvals, keys: np.ndarray, m: int):
+    n = keys.size
+    out = rig.empty(n, np.uint32)
+    found = rig.zeros(bitmap_nbytes(n), np.uint8)
+    rig.run("ht_probe", out, found, tkeys, tvals, rig.buf(keys), n, m)
+    mask = np.unpackbits(found.array, bitorder="little", count=n).astype(bool)
+    return out.array[:n], mask
+
+
+class TestHashFunctions:
+    def test_six_strong_functions(self):
+        assert NUM_HASH_FUNCTIONS == 6
+
+    def test_slots_in_range_and_distinct_per_function(self):
+        keys = np.arange(1000, dtype=np.uint32)
+        slots = [hash_slot(keys, f, 509) for f in range(NUM_HASH_FUNCTIONS)]
+        for s in slots:
+            assert s.min() >= 0 and s.max() < 509
+        # different functions should disagree on most keys
+        disagree = np.mean(slots[0] != slots[1])
+        assert disagree > 0.9
+
+    def test_deterministic(self):
+        keys = np.array([42], dtype=np.uint32)
+        assert hash_slot(keys, 0, 97)[0] == hash_slot(keys, 0, 97)[0]
+
+
+class TestBuildProbe:
+    def test_unique_keys_all_inserted(self, rig):
+        keys = (np.arange(500, dtype=np.uint32) * 2654435761) % 1_000_000
+        keys = np.unique(keys).astype(np.uint32)
+        vals = np.arange(keys.size, dtype=np.uint32)
+        m = int(1.4 * keys.size) + 1
+        tkeys, tvals, unplaced = build_table(rig, keys, vals, m)
+        assert unplaced == 0
+        got, mask = probe(rig, tkeys, tvals, keys, m)
+        assert mask.all()
+        assert np.array_equal(got, vals)
+
+    def test_duplicate_keys_one_slot(self, rig):
+        keys = np.full(1000, 7, dtype=np.uint32)
+        vals = keys.copy()
+        tkeys, tvals, unplaced = build_table(rig, keys, vals, 101)
+        assert unplaced == 0
+        occupied = int((tkeys.array != EMPTY).sum())
+        assert occupied == 1
+
+    def test_absent_keys_not_found(self, rig):
+        keys = np.arange(0, 100, 2, dtype=np.uint32)       # evens
+        tkeys, tvals, _ = build_table(rig, keys, keys, 149)
+        absent = np.arange(1, 100, 2, dtype=np.uint32)      # odds
+        _, mask = probe(rig, tkeys, tvals, absent, 149)
+        assert not mask.any()
+
+    def test_mixed_probe(self, rig):
+        keys = np.array([10, 20, 30], dtype=np.uint32)
+        tkeys, tvals, _ = build_table(
+            rig, keys, np.array([1, 2, 3], np.uint32), 17
+        )
+        got, mask = probe(
+            rig, tkeys, tvals, np.array([20, 99, 10], np.uint32), 17
+        )
+        assert list(mask) == [True, False, True]
+        assert got[0] == 2 and got[2] == 1
+
+    def test_fill_rate_75_percent(self, rig):
+        """The paper's sizing: 1.4x over-allocation for ~75 % fill."""
+        keys = np.unique(
+            np.random.default_rng(3).integers(0, 2**30, 4000)
+        ).astype(np.uint32)
+        m = int(1.4 * keys.size) + 1
+        tkeys, tvals, unplaced = build_table(rig, keys, keys, m)
+        assert unplaced == 0
+        fill = float((tkeys.array != EMPTY).sum()) / m
+        assert 0.6 < fill < 0.8
+
+    def test_overfull_table_reports_unplaced(self, rig):
+        keys = np.arange(200, dtype=np.uint32)
+        m = 100  # cannot possibly fit
+        _, _, unplaced = build_table(rig, keys, keys, m)
+        assert unplaced > 0
+
+    @given(st.integers(1, 400), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_probe_total_property(self, n, seed):
+        """Every inserted key is found with its value; vec driver only."""
+        from repro.cl.kernel import ExecContext
+        from repro.kernels import KERNEL_LIBRARY
+        from repro import cl
+
+        rng = np.random.default_rng(seed)
+        keys = np.unique(rng.integers(0, 2**31, n)).astype(np.uint32)
+        vals = (keys * 3 + 1).astype(np.uint32)
+        m = int(1.4 * keys.size) + 7
+        ctx = ExecContext(cl.get_device("cpu"), {}, 64, 16)
+        tkeys = np.full(m, EMPTY, np.uint32)
+        tvals = np.zeros(m, np.uint32)
+        KERNEL_LIBRARY["ht_insert_optimistic"].vec_fn(
+            ctx, tkeys, tvals, keys, vals, keys.size, m
+        )
+        fail = np.zeros(bitmap_nbytes(keys.size), np.uint8)
+        KERNEL_LIBRARY["ht_check"].vec_fn(ctx, fail, tkeys, keys,
+                                          keys.size, m)
+        stats = np.zeros(2, np.uint32)
+        KERNEL_LIBRARY["ht_insert_pessimistic"].vec_fn(
+            ctx, tkeys, tvals, stats, keys, vals, fail, keys.size, m
+        )
+        assert stats[1] == 0
+        out = np.zeros(keys.size, np.uint32)
+        found = np.zeros(bitmap_nbytes(keys.size), np.uint8)
+        KERNEL_LIBRARY["ht_probe"].vec_fn(
+            ctx, out, found, tkeys, tvals, keys, keys.size, m
+        )
+        assert count_bits(found, keys.size) == keys.size
+        assert np.array_equal(out, vals)
+
+    def test_table_pairs_consistent(self, rig):
+        """(key, value) slots are written together: values match keys."""
+        keys = np.unique(
+            np.random.default_rng(5).integers(0, 10**6, 2000)
+        ).astype(np.uint32)
+        vals = (keys ^ 0xABCD).astype(np.uint32)
+        m = int(1.4 * keys.size) + 1
+        tkeys, tvals, _ = build_table(rig, keys, vals, m)
+        occupied = tkeys.array != EMPTY
+        assert np.array_equal(
+            tvals.array[occupied], tkeys.array[occupied] ^ 0xABCD
+        )
+
+    def test_probe_limit_bounds_linear_scan(self):
+        assert PROBE_LIMIT >= 16

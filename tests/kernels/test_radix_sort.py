@@ -1,0 +1,121 @@
+"""Radix sort: key encoding bijection + full multi-pass pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.radix_sort import (
+    encode_keys,
+    key_bits_for,
+    key_dtype_for,
+    key_kind_for,
+    num_passes,
+)
+
+
+class TestKeyEncoding:
+    @given(st.lists(st.integers(-2**31, 2**31 - 1), min_size=2, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_int32_order_preserving(self, values):
+        col = np.array(values, dtype=np.int32)
+        keys = encode_keys(col)
+        order_keys = np.argsort(keys, kind="stable")
+        order_vals = np.argsort(col, kind="stable")
+        assert np.array_equal(order_keys, order_vals)
+
+    @given(st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=2, max_size=200,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_float32_order_preserving(self, values):
+        col = np.array(values, dtype=np.float32)
+        keys = encode_keys(col)
+        assert np.array_equal(
+            np.argsort(keys, kind="stable"), np.argsort(col, kind="stable")
+        )
+
+    @given(st.lists(
+        st.floats(-1e300, 1e300, allow_nan=False), min_size=2, max_size=100,
+    ))
+    @settings(max_examples=30, deadline=None)
+    def test_float64_order_preserving(self, values):
+        col = np.array(values, dtype=np.float64)
+        keys = encode_keys(col)
+        assert keys.dtype == np.uint64
+        assert np.array_equal(
+            np.argsort(keys, kind="stable"), np.argsort(col, kind="stable")
+        )
+
+    def test_int64_order_preserving(self):
+        col = np.array([-(2**62), -1, 0, 1, 2**62], dtype=np.int64)
+        keys = encode_keys(col)
+        assert np.all(np.diff(keys.astype(object)) > 0)
+
+    def test_kind_and_dtype_mapping(self):
+        assert key_kind_for(np.int32) == 1
+        assert key_kind_for(np.float32) == 2
+        assert key_kind_for(np.uint32) == 0
+        assert key_dtype_for(np.float64) == np.uint64
+        assert key_bits_for(np.int32) == 32
+        assert key_bits_for(np.float64) == 64
+        with pytest.raises(TypeError):
+            key_kind_for(np.int16)
+
+    def test_num_passes(self):
+        assert num_passes(8) == 4      # CPU: radix 8 (paper §5.2.7)
+        assert num_passes(4) == 8      # GPU: radix 4
+        assert num_passes(8, 64) == 8
+
+
+def _device_sort(rig, col):
+    """Drive the full multi-pass pipeline through the command queue."""
+    n = col.size
+    bits = 8 if rig.ctx.device.is_cpu else 4
+    radix = 1 << bits
+    parts = rig.ctx.device.profile.total_invocations
+    ukeys = rig.empty(n, key_dtype_for(col.dtype))
+    rig.run("key_encode", ukeys, rig.buf(col), n, key_kind_for(col.dtype))
+    payload = rig.empty(n, np.uint32)
+    rig.run("iota", payload, n, 0)
+    keys_b = rig.empty(n, ukeys.dtype)
+    pay_b = rig.empty(n, np.uint32)
+    hist = rig.empty(parts * radix, np.uint32)
+    offsets = rig.empty(parts * radix, np.uint32)
+    keys_a, pay_a = ukeys, payload
+    for p in range(num_passes(bits, key_bits_for(col.dtype))):
+        rig.run("radix_histogram", hist, keys_a, n, p * bits, parts)
+        rig.run("radix_offsets", offsets, hist, parts)
+        rig.run("radix_reorder", keys_b, pay_b, keys_a, pay_a, offsets,
+                n, p * bits, parts)
+        keys_a, keys_b = keys_b, keys_a
+        pay_a, pay_b = pay_b, pay_a
+    return pay_a.array[:n].copy()
+
+
+class TestFullSort:
+    @pytest.mark.parametrize("dtype", [np.int32, np.float32, np.uint32])
+    def test_matches_stable_argsort(self, rig, dtype):
+        rng = np.random.default_rng(9)
+        if np.dtype(dtype).kind == "f":
+            col = rng.normal(0, 1e6, 5000).astype(dtype)
+        else:
+            col = rng.integers(-2**31, 2**31 - 1, 5000).astype(dtype)
+        order = _device_sort(rig, col)
+        assert np.array_equal(order, np.argsort(col, kind="stable"))
+
+    def test_duplicates_stable(self, rig):
+        col = np.array([3, 1, 3, 1, 3, 2], dtype=np.int32)
+        order = _device_sort(rig, col)
+        assert np.array_equal(order, [1, 3, 5, 0, 2, 4])
+
+    def test_negative_values(self, rig):
+        col = np.array([5, -3, 0, -2**31, 2**31 - 1, -1], dtype=np.int32)
+        order = _device_sort(rig, col)
+        assert np.array_equal(col[order], np.sort(col))
+
+    def test_sixty_four_bit_keys(self, rig):
+        rng = np.random.default_rng(10)
+        col = rng.normal(0, 1e9, 2000).astype(np.float64)
+        order = _device_sort(rig, col)
+        assert np.array_equal(order, np.argsort(col, kind="stable"))

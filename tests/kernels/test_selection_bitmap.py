@@ -1,0 +1,156 @@
+"""Selection bitmaps and bitmap algebra (paper §4.1.1/4.1.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import bitmap_nbytes, count_bits, predicate_mask
+from repro.kernels.bitmap import POPCOUNT, tail_mask
+
+
+@pytest.mark.parametrize("op,lo,hi", [
+    ("<", 50, None), ("<=", 50, None), (">", 50, None), (">=", 50, None),
+    ("==", 50, None), ("!=", 50, None),
+    ("[]", 20, 60), ("[)", 20, 60), ("(]", 20, 60), ("()", 20, 60),
+])
+def test_select_bitmap_predicates(rig, op, lo, hi):
+    rng = np.random.default_rng(42)
+    col = rng.integers(0, 100, 1003).astype(np.int32)
+    bm = rig.zeros(bitmap_nbytes(1003), np.uint8)
+    rig.run("select_bitmap", bm, rig.buf(col), 1003, op, lo, hi, False)
+    expected = predicate_mask(col, op, lo, hi)
+    got = np.unpackbits(bm.array, bitorder="little", count=1003).astype(bool)
+    assert np.array_equal(got, expected)
+
+
+def test_select_anti(rig):
+    col = np.arange(20, dtype=np.int32)
+    bm = rig.zeros(bitmap_nbytes(20), np.uint8)
+    rig.run("select_bitmap", bm, rig.buf(col), 20, "[)", 5, 10, True)
+    got = np.unpackbits(bm.array, bitorder="little", count=20).astype(bool)
+    assert np.array_equal(got, ~((col >= 5) & (col < 10)))
+
+
+def test_select_float_column(rig):
+    col = np.array([0.1, 0.5, 0.9, 0.5], dtype=np.float32)
+    bm = rig.zeros(bitmap_nbytes(4), np.uint8)
+    rig.run("select_bitmap", bm, rig.buf(col), 4, "==",
+            np.float32(0.5), None, False)
+    assert count_bits(bm.array, 4) == 2
+
+
+def test_tail_bits_zero(rig):
+    """Bits beyond n stay clear so popcounts are exact."""
+    col = np.ones(11, dtype=np.int32)
+    bm = rig.zeros(bitmap_nbytes(11), np.uint8)
+    rig.run("select_bitmap", bm, rig.buf(col), 11, "==", 1, None, False)
+    assert count_bits(bm.array, 11) == 11
+    assert bm.array[1] == tail_mask(11)  # 0b00000111
+
+
+def test_unknown_predicate_rejected():
+    with pytest.raises(ValueError):
+        predicate_mask(np.zeros(4, np.int32), "~~", 1, 2)
+
+
+class TestBitmapAlgebra:
+    def test_and_or_xor(self, rig):
+        a = np.array([0b1010, 0b1111], dtype=np.uint8)
+        b = np.array([0b0110, 0b0000], dtype=np.uint8)
+        out = rig.zeros(2, np.uint8)
+        rig.run("bitmap_binop", out, rig.buf(a), rig.buf(b), 2, "and")
+        assert np.array_equal(out.array, a & b)
+        rig.run("bitmap_binop", out, rig.buf(a), rig.buf(b), 2, "or")
+        assert np.array_equal(out.array, a | b)
+        rig.run("bitmap_binop", out, rig.buf(a), rig.buf(b), 2, "xor")
+        assert np.array_equal(out.array, a ^ b)
+
+    def test_not_masks_tail(self, rig):
+        a = np.array([0xFF, 0x07], dtype=np.uint8)
+        out = rig.zeros(2, np.uint8)
+        rig.run("bitmap_not", out, rig.buf(a), 11, 2)
+        assert out.array[0] == 0x00
+        assert out.array[1] == 0x00  # bits 8..10 were set, rest masked
+
+    def test_popcount_table(self):
+        assert POPCOUNT[0] == 0
+        assert POPCOUNT[255] == 8
+        assert POPCOUNT[0b10110000] == 3
+
+
+class TestMaterialisation:
+    """count -> prefix sum -> write (paper §4.1.2)."""
+
+    def _materialise(self, rig, bits: np.ndarray):
+        n = len(bits)
+        packed = np.packbits(bits, bitorder="little")
+        bm = rig.buf(packed if packed.size else np.zeros(1, np.uint8))
+        parts = 16
+        counts = rig.zeros(parts, np.uint32)
+        rig.run("bitmap_count", counts, bm, bitmap_nbytes(n), parts)
+        offsets = rig.zeros(parts + 1, np.uint32)
+        rig.run("prefix_sum", offsets, counts, parts)
+        total = int(offsets.array[parts])
+        oids = rig.zeros(max(total, 1), np.uint32)
+        if total:
+            rig.run("bitmap_write_oids", oids, bm, offsets, n, parts)
+        return oids.array[:total], total
+
+    def test_known_positions(self, rig):
+        bits = np.zeros(50, np.uint8)
+        bits[[3, 17, 33, 49]] = 1
+        oids, total = self._materialise(rig, bits)
+        assert total == 4
+        assert np.array_equal(oids, [3, 17, 33, 49])
+
+    def test_empty_bitmap(self, rig):
+        oids, total = self._materialise(rig, np.zeros(64, np.uint8))
+        assert total == 0
+
+    def test_all_set(self, rig):
+        oids, total = self._materialise(rig, np.ones(77, np.uint8))
+        assert total == 77
+        assert np.array_equal(oids, np.arange(77))
+
+    @given(st.binary(min_size=0, max_size=64), st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, raw, extra):
+        """materialise(pack(bits)) == nonzero(bits) for arbitrary bitmaps."""
+        from repro.cl.kernel import ExecContext
+        from repro.kernels import KERNEL_LIBRARY
+        from repro import cl
+
+        packed = np.frombuffer(raw, dtype=np.uint8).copy()
+        n = max(0, packed.size * 8 - extra)
+        if packed.size:
+            packed[-1] &= tail_mask(n)
+        ctx = ExecContext(cl.get_device("cpu"), {}, 16, 16)
+        parts = 16
+        counts = np.zeros(parts, np.uint32)
+        KERNEL_LIBRARY["bitmap_count"].vec_fn(
+            ctx, counts, packed, bitmap_nbytes(n), parts
+        )
+        offsets = np.zeros(parts + 1, np.uint32)
+        KERNEL_LIBRARY["prefix_sum"].vec_fn(ctx, offsets, counts, parts)
+        total = int(offsets[parts])
+        expected = np.nonzero(
+            np.unpackbits(packed, bitorder="little", count=n)
+        )[0]
+        assert total == expected.size
+        if total:
+            oids = np.zeros(total, np.uint32)
+            KERNEL_LIBRARY["bitmap_write_oids"].vec_fn(
+                ctx, oids, packed, offsets, n, parts
+            )
+            assert np.array_equal(oids, expected.astype(np.uint32))
+
+
+def test_oids_to_bitmap_inverse(rig):
+    oids = np.array([1, 5, 8, 31], dtype=np.uint32)
+    bm = rig.zeros(bitmap_nbytes(32), np.uint8)
+    rig.run("oids_to_bitmap", bm, rig.buf(oids), 4, 32)
+    got = np.nonzero(
+        np.unpackbits(bm.array, bitorder="little", count=32)
+    )[0]
+    assert np.array_equal(got, oids)
+    assert count_bits(bm.array, 32) == 4

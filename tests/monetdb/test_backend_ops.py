@@ -1,0 +1,259 @@
+"""MonetDB operator semantics (the ground truth for the drop-in tests)."""
+
+import numpy as np
+import pytest
+
+from repro.monetdb import (
+    Catalog,
+    MonetDBParallel,
+    MonetDBSequential,
+    group_ids,
+    hash_join_pairs,
+    make_bat,
+    oid_bat,
+    select_bounds_to_op,
+)
+
+
+@pytest.fixture
+def backend():
+    catalog = Catalog()
+    catalog.create_table("t", {"a": np.arange(10, dtype=np.int32)})
+    return MonetDBSequential(catalog)
+
+
+def _op(backend, name):
+    backend.begin()
+    return backend.resolve(name)
+
+
+class TestSelect:
+    def test_range_select(self, backend):
+        select = _op(backend, "algebra.select")
+        col = make_bat(np.array([5, 1, 7, 3, 9], dtype=np.int32))
+        out = select(col, None, 3, 7, True, True, False)
+        assert np.array_equal(out.values, [0, 2, 3])
+
+    def test_select_with_candidates(self, backend):
+        select = _op(backend, "algebra.select")
+        col = make_bat(np.array([5, 1, 7, 3, 9], dtype=np.int32))
+        cand = oid_bat(np.array([0, 1, 4], dtype=np.uint32))
+        out = select(col, cand, 3, 9, True, True, False)
+        assert np.array_equal(out.values, [0, 4])
+
+    def test_anti_select(self, backend):
+        select = _op(backend, "algebra.select")
+        col = make_bat(np.array([5, 1, 7], dtype=np.int32))
+        out = select(col, None, 4, 6, True, True, True)
+        assert np.array_equal(out.values, [1, 2])
+
+    def test_thetaselect(self, backend):
+        theta = _op(backend, "algebra.thetaselect")
+        col = make_bat(np.array([5, 1, 7], dtype=np.int32))
+        out = theta(col, None, 5, ">=")
+        assert np.array_equal(out.values, [0, 2])
+
+    def test_bounds_translation(self):
+        assert select_bounds_to_op(1, 2, True, True) == ("[]", 1, 2)
+        assert select_bounds_to_op(1, 2, False, False) == ("()", 1, 2)
+        assert select_bounds_to_op(1, None, True, True)[0] == ">="
+        assert select_bounds_to_op(None, 2, True, False)[0] == "<"
+        with pytest.raises(ValueError):
+            select_bounds_to_op(None, None, True, True)
+
+    def test_elapsed_grows(self, backend):
+        select = _op(backend, "algebra.select")
+        col = make_bat(np.arange(10_000, dtype=np.int32))
+        select(col, None, 0, 100, True, True, False)
+        assert backend.elapsed() > 0
+        assert len(backend.trace) == 1
+
+
+class TestJoins:
+    def test_hash_join_pairs_canonical_order(self):
+        left = np.array([3, 1, 3], dtype=np.int32)
+        right = np.array([3, 2, 3, 1], dtype=np.int32)
+        lpos, rpos = hash_join_pairs(left, right)
+        # left-major, right ascending within a left row
+        assert np.array_equal(lpos, [0, 0, 1, 2, 2])
+        assert np.array_equal(rpos, [0, 2, 3, 0, 2])
+
+    def test_join_op(self, backend):
+        join = _op(backend, "algebra.join")
+        l = make_bat(np.array([1, 2, 5], dtype=np.int32))
+        r = make_bat(np.array([5, 1], dtype=np.int32))
+        lpos, rpos = join(l, r)
+        assert np.array_equal(lpos.values, [0, 2])
+        assert np.array_equal(rpos.values, [1, 0])
+
+    def test_semijoin_antijoin(self, backend):
+        semi = _op(backend, "algebra.semijoin")
+        anti = backend.resolve("algebra.antijoin")
+        l = make_bat(np.array([1, 2, 3, 4], dtype=np.int32))
+        r = make_bat(np.array([2, 4, 9], dtype=np.int32))
+        assert np.array_equal(semi(l, r).values, [1, 3])
+        assert np.array_equal(anti(l, r).values, [0, 2])
+
+    def test_thetajoin(self, backend):
+        theta = _op(backend, "algebra.thetajoin")
+        l = make_bat(np.array([1, 5], dtype=np.int32))
+        r = make_bat(np.array([3, 0], dtype=np.int32))
+        lpos, rpos = theta(l, r, "<")
+        assert np.array_equal(lpos.values, [0])
+        assert np.array_equal(rpos.values, [0])
+
+
+class TestGroupingAggregation:
+    def test_group_ids_ascending_convention(self):
+        gids, n = group_ids(np.array([30, 10, 30, 20], dtype=np.int32))
+        assert n == 3
+        assert np.array_equal(gids, [2, 0, 2, 1])
+
+    def test_subgroup(self, backend):
+        group = _op(backend, "group.group")
+        subgroup = backend.resolve("group.subgroup")
+        a = make_bat(np.array([1, 1, 2, 2], dtype=np.int32))
+        b = make_bat(np.array([9, 8, 9, 9], dtype=np.int32))
+        gids, n = group(a)
+        gids2, n2 = subgroup(b, gids, n)
+        assert n2 == 3
+        assert np.array_equal(gids2.values, [1, 0, 2, 2])
+
+    def test_scalar_aggregates(self, backend):
+        backend.begin()
+        data = make_bat(np.array([1.5, 2.5, 3.0], dtype=np.float32))
+        assert backend.resolve("aggr.sum")(data) == pytest.approx(7.0)
+        assert backend.resolve("aggr.min")(data) == pytest.approx(1.5)
+        assert backend.resolve("aggr.max")(data) == pytest.approx(3.0)
+        assert backend.resolve("aggr.count")(data) == 3
+        assert backend.resolve("aggr.avg")(data) == pytest.approx(7.0 / 3)
+
+    def test_empty_sum_is_zero(self, backend):
+        backend.begin()
+        empty = make_bat(np.zeros(0, dtype=np.float32))
+        assert backend.resolve("aggr.sum")(empty) == 0.0
+        with pytest.raises(ValueError):
+            backend.resolve("aggr.min")(empty)
+
+    def test_grouped_aggregates(self, backend):
+        backend.begin()
+        vals = make_bat(np.array([1, 2, 3, 4], dtype=np.int32))
+        gids = make_bat(np.array([0, 1, 0, 1], dtype=np.uint32))
+        sums = backend.resolve("aggr.subsum")(vals, gids, 2)
+        assert np.array_equal(sums.values, [4, 6])
+        counts = backend.resolve("aggr.subcount")(gids, 2)
+        assert np.array_equal(counts.values, [2, 2])
+        avgs = backend.resolve("aggr.subavg")(vals, gids, 2)
+        assert np.allclose(avgs.values, [2.0, 3.0])
+
+    def test_int_sum_uses_int64(self, backend):
+        backend.begin()
+        vals = make_bat(np.full(10, 2**30, dtype=np.int32))
+        gids = make_bat(np.zeros(10, dtype=np.uint32))
+        sums = backend.resolve("aggr.subsum")(vals, gids, 1)
+        assert sums.values.dtype == np.int64
+        assert sums.values[0] == 10 * 2**30
+
+
+class TestSortCalc:
+    def test_sort_ascending_stable(self, backend):
+        sort = _op(backend, "algebra.sort")
+        col = make_bat(np.array([3, 1, 3, 2], dtype=np.int32))
+        out, order = sort(col, False)
+        assert np.array_equal(out.values, [1, 2, 3, 3])
+        assert np.array_equal(order.values, [1, 3, 0, 2])
+
+    def test_sort_descending_stable(self, backend):
+        sort = _op(backend, "algebra.sort")
+        col = make_bat(np.array([3, 1, 3, 2], dtype=np.int32))
+        out, order = sort(col, True)
+        assert np.array_equal(out.values, [3, 3, 2, 1])
+        # stable-descending: ties keep original order
+        assert np.array_equal(order.values, [0, 2, 3, 1])
+
+    def test_firstn(self, backend):
+        firstn = _op(backend, "algebra.firstn")
+        col = make_bat(np.array([5, 1, 9, 3], dtype=np.int32))
+        assert np.array_equal(firstn(col, 2, True).values, [1, 3])
+        assert np.array_equal(firstn(col, 2, False).values, [2, 0])
+
+    def test_calc_dtype_rules(self, backend):
+        backend.begin()
+        ints = make_bat(np.array([7, 8], dtype=np.int32))
+        div = backend.resolve("batcalc.div")(ints, 2)
+        assert div.values.dtype == np.float64  # int/int -> float
+        add = backend.resolve("batcalc.add")(ints, 1)
+        assert add.values.dtype == np.int32
+        intdiv = backend.resolve("batcalc.intdiv")(ints, 2)
+        assert intdiv.values.dtype == np.int32
+        assert np.array_equal(intdiv.values, [3, 4])
+
+    def test_calc_scalar_first(self, backend):
+        backend.begin()
+        f = make_bat(np.array([0.25, 0.5], dtype=np.float32))
+        out = backend.resolve("batcalc.sub")(1.0, f)
+        assert np.allclose(out.values, [0.75, 0.5])
+
+    def test_compare_and_ifthenelse(self, backend):
+        backend.begin()
+        a = make_bat(np.array([1, 5, 3], dtype=np.int32))
+        mask = backend.resolve("batcalc.ge")(a, 3)
+        assert np.array_equal(mask.values, [0, 1, 1])
+        out = backend.resolve("batcalc.ifthenelse")(mask, a, 0)
+        assert np.array_equal(out.values, [0, 5, 3])
+
+    def test_logical_and_or(self, backend):
+        backend.begin()
+        a = make_bat(np.array([1, 0, 1], dtype=np.uint8))
+        b = make_bat(np.array([1, 1, 0], dtype=np.uint8))
+        assert np.array_equal(
+            backend.resolve("batcalc.and")(a, b).values, [1, 0, 0]
+        )
+        assert np.array_equal(
+            backend.resolve("batcalc.or")(a, b).values, [1, 1, 1]
+        )
+
+    def test_oidunion_intersect(self, backend):
+        backend.begin()
+        a = oid_bat(np.array([1, 3, 5], dtype=np.uint32))
+        b = oid_bat(np.array([3, 4], dtype=np.uint32))
+        assert np.array_equal(
+            backend.resolve("algebra.oidunion")(a, b).values, [1, 3, 4, 5]
+        )
+        assert np.array_equal(
+            backend.resolve("algebra.oidintersect")(a, b).values, [3]
+        )
+
+    def test_mirror(self, backend):
+        mirror = _op(backend, "bat.mirror")
+        out = mirror(make_bat(np.zeros(4, np.int32)))
+        assert np.array_equal(out.values, [0, 1, 2, 3])
+
+
+class TestParallelCosting:
+    def test_mp_faster_than_ms_on_scans(self):
+        catalog = Catalog()
+        data = np.arange(1_000_000, dtype=np.int32)
+        catalog.create_table("t", {"a": data})
+        ms, mp = MonetDBSequential(catalog), MonetDBParallel(catalog)
+        for backend in (ms, mp):
+            backend.begin()
+            col = backend.resolve("sql.bind")(
+                __import__("repro.monetdb.mal", fromlist=["ColumnRef"])
+                .ColumnRef("t", "a")
+            )
+            backend.resolve("algebra.select")(
+                col, None, 0, 100, True, True, False
+            )
+        assert mp.elapsed() < ms.elapsed()
+
+    def test_data_scale_multiplies_cost(self):
+        catalog = Catalog()
+        catalog.create_table("t", {"a": np.arange(1000, dtype=np.int32)})
+        plain = MonetDBSequential(catalog)
+        scaled = MonetDBSequential(catalog, data_scale=100.0)
+        for backend in (plain, scaled):
+            backend.begin()
+            col = catalog.bat("t", "a")
+            backend.resolve("aggr.sum")(col)
+        assert scaled.elapsed() == pytest.approx(100 * plain.elapsed())

@@ -1,0 +1,98 @@
+"""The MAL interpreter and backend protocol."""
+
+import numpy as np
+import pytest
+
+from repro.monetdb import (
+    Catalog,
+    MALBuilder,
+    MonetDBSequential,
+    UnsupportedOperator,
+    run_program,
+)
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.create_table("t", {
+        "a": np.arange(100, dtype=np.int32),
+        "b": (np.arange(100) * 0.5).astype(np.float32),
+    })
+    return cat
+
+
+def test_basic_pipeline(catalog):
+    builder = MALBuilder("q")
+    a = builder.bind("t", "a")
+    b = builder.bind("t", "b")
+    cand = builder.emit("algebra", "select", (a, None, 10, 19, True, True,
+                                              False))
+    vals = builder.emit("algebra", "projection", (cand, b))
+    total = builder.emit("aggr", "sum", (vals,))
+    program = builder.returns([("total", total)])
+    result = run_program(program, MonetDBSequential(catalog))
+    assert result.columns["total"][0] == pytest.approx(
+        sum(i * 0.5 for i in range(10, 20))
+    )
+    assert result.elapsed > 0
+    assert result.backend == "MS"
+    assert result.instruction_count == 5
+
+
+def test_scalar_results_are_one_row_columns(catalog):
+    builder = MALBuilder("q")
+    a = builder.bind("t", "a")
+    count = builder.emit("aggr", "count", (a,))
+    result = run_program(builder.returns([("n", count)]),
+                         MonetDBSequential(catalog))
+    assert result.n_rows == 1
+    assert result.columns["n"][0] == 100
+
+
+def test_unsupported_operator(catalog):
+    builder = MALBuilder("q")
+    a = builder.bind("t", "a")
+    builder.emit("algebra", "frobnicate", (a,))
+    with pytest.raises(UnsupportedOperator):
+        run_program(builder.returns([]), MonetDBSequential(catalog))
+
+
+def test_undefined_variable(catalog):
+    from repro.monetdb.mal import MALInstruction, MALProgram, Var
+
+    program = MALProgram("bad", [
+        MALInstruction((Var("X_1"),), "aggr", "sum", (Var("X_99"),))
+    ])
+    with pytest.raises(NameError):
+        run_program(program, MonetDBSequential(catalog))
+
+
+def test_multi_result_arity_check(catalog):
+    builder = MALBuilder("q")
+    a = builder.bind("t", "a")
+    builder.emit("aggr", "sum", (a,), n_results=2)  # sum returns 1 value
+    with pytest.raises(TypeError):
+        run_program(builder.returns([]), MonetDBSequential(catalog))
+
+
+def test_intermediates_recycled(catalog):
+    recycled = []
+    catalog.on_delete(recycled.append)
+    builder = MALBuilder("q")
+    a = builder.bind("t", "a")
+    cand = builder.emit("algebra", "select", (a, None, 0, 50, True, True,
+                                              False))
+    vals = builder.emit("algebra", "projection", (cand, a))
+    total = builder.emit("aggr", "sum", (vals,))
+    run_program(builder.returns([("s", total)]), MonetDBSequential(catalog))
+    # cand and vals recycled; base BATs never
+    assert len(recycled) == 2
+    assert all(not bat.is_base for bat in recycled)
+
+
+def test_supports_and_registry(catalog):
+    backend = MonetDBSequential(catalog)
+    assert backend.supports("algebra.select")
+    assert not backend.supports("ocelot.select")
+    assert "algebra.join" in backend.supported_ops()

@@ -1,0 +1,308 @@
+"""Drop-in contract: every Ocelot operator returns the same results as its
+MonetDB counterpart — on both device types.
+
+This is the load-bearing guarantee behind the paper's architecture: the
+rewriter may swap any supported instruction without changing query
+results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.monetdb import Catalog, MALBuilder, run_program
+from repro.monetdb.backends import MonetDBSequential
+from repro.ocelot import OcelotBackend, rewrite_for_ocelot
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    rng = np.random.default_rng(77)
+    cat = Catalog()
+    cat.create_table("t", {
+        "a": rng.integers(0, 1000, N).astype(np.int32),
+        "b": rng.normal(50, 20, N).astype(np.float32),
+        "g": rng.integers(0, 13, N).astype(np.int32),
+        "h": rng.integers(0, 5, N).astype(np.int32),
+    })
+    cat.create_table("dim", {
+        "pk": np.arange(0, 1000, 3, dtype=np.int32),
+        "payload": np.arange(0, 1000, 3).astype(np.float32) * 2,
+    })
+    return cat
+
+
+@pytest.fixture(scope="module")
+def engines(catalog):
+    return {
+        "MS": MonetDBSequential(catalog),
+        "CPU": OcelotBackend(catalog, "cpu"),
+        "GPU": OcelotBackend(catalog, "gpu"),
+    }
+
+
+def run_all(engines, program):
+    results = {}
+    for label, backend in engines.items():
+        plan = rewrite_for_ocelot(program) if label != "MS" else program
+        results[label] = run_program(plan, backend)
+    return results
+
+
+def assert_equivalent(results, float_cols=()):
+    base = results["MS"]
+    for label in ("CPU", "GPU"):
+        other = results[label]
+        assert set(base.columns) == set(other.columns)
+        for col in base.columns:
+            a, b = base.columns[col], other.columns[col]
+            assert a.shape == b.shape, f"{label}.{col}: {a.shape} vs {b.shape}"
+            if col in float_cols:
+                assert np.allclose(
+                    a.astype(np.float64), b.astype(np.float64),
+                    rtol=1e-5, atol=1e-8,
+                ), f"{label}.{col}"
+            else:
+                assert np.array_equal(a, b), f"{label}.{col}"
+
+
+def _program(build):
+    builder = MALBuilder("case")
+    outputs = build(builder)
+    return builder.returns(outputs)
+
+
+class TestSelectionEquivalence:
+    def test_range_select_materialised(self, engines):
+        program = _program(lambda b: [(
+            "oids",
+            b.emit("algebra", "select",
+                   (b.bind("t", "a"), None, 100, 500, True, False, False)),
+        )])
+        assert_equivalent(run_all(engines, program))
+
+    def test_anti_and_candidate_chain(self, engines):
+        def build(b):
+            a = b.bind("t", "a")
+            first = b.emit("algebra", "select",
+                           (a, None, 0, 700, True, True, False))
+            second = b.emit("algebra", "thetaselect", (a, first, 300, ">"))
+            anti = b.emit("algebra", "select",
+                          (a, second, 400, 500, True, True, True))
+            return [("oids", anti)]
+
+        assert_equivalent(run_all(engines, _program(build)))
+
+    def test_union_and_intersect(self, engines):
+        def build(b):
+            a = b.bind("t", "a")
+            low = b.emit("algebra", "thetaselect", (a, None, 50, "<"))
+            high = b.emit("algebra", "thetaselect", (a, None, 950, ">="))
+            union = b.emit("algebra", "oidunion", (low, high))
+            even = b.emit("algebra", "select",
+                          (a, None, 0, 999, True, True, False))
+            both = b.emit("algebra", "oidintersect", (union, even))
+            return [("oids", both)]
+
+        assert_equivalent(run_all(engines, _program(build)))
+
+    def test_count_over_selection(self, engines):
+        def build(b):
+            a = b.bind("t", "a")
+            cand = b.emit("algebra", "thetaselect", (a, None, 500, "<"))
+            return [("n", b.emit("aggr", "count", (cand,)))]
+
+        assert_equivalent(run_all(engines, _program(build)))
+
+
+class TestProjectionJoin:
+    def test_projection_through_selection(self, engines):
+        def build(b):
+            a, v = b.bind("t", "a"), b.bind("t", "b")
+            cand = b.emit("algebra", "select",
+                          (a, None, 200, 300, True, True, False))
+            return [("vals", b.emit("algebra", "projection", (cand, v)))]
+
+        assert_equivalent(run_all(engines, _program(build)),
+                          float_cols=("vals",))
+
+    def test_pk_fk_join(self, engines):
+        def build(b):
+            fk = b.bind("t", "a")
+            pk = b.bind("dim", "pk")
+            lpos, rpos = b.emit("algebra", "join", (fk, pk), n_results=2)
+            payload = b.bind("dim", "payload")
+            fetched = b.emit("algebra", "projection", (rpos, payload))
+            return [("l", lpos), ("v", fetched)]
+
+        assert_equivalent(run_all(engines, _program(build)),
+                          float_cols=("v",))
+
+    def test_n_to_m_join(self, engines):
+        def build(b):
+            g = b.bind("t", "g")
+            h = b.bind("t", "h")
+            # duplicate keys on both sides -> general two-step path
+            lcand = b.emit("algebra", "thetaselect", (g, None, 3, "<"))
+            lvals = b.emit("algebra", "projection", (lcand, g))
+            rcand = b.emit("algebra", "thetaselect", (h, None, 2, "<"))
+            rvals = b.emit("algebra", "projection", (rcand, h))
+            lpos, rpos = b.emit("algebra", "join", (lvals, rvals),
+                                n_results=2)
+            return [("n", b.emit("aggr", "count", (lpos,)))]
+
+        assert_equivalent(run_all(engines, _program(build)))
+
+    def test_semijoin_antijoin(self, engines):
+        def build(b):
+            a = b.bind("t", "a")
+            pk = b.bind("dim", "pk")
+            semi = b.emit("algebra", "semijoin", (a, pk))
+            anti = b.emit("algebra", "antijoin", (a, pk))
+            return [("s", semi), ("x", anti)]
+
+        assert_equivalent(run_all(engines, _program(build)))
+
+    def test_thetajoin(self, engines):
+        def build(b):
+            h = b.bind("t", "h")
+            cand = b.emit("algebra", "thetaselect", (h, None, 1, "<"))
+            small = b.emit("algebra", "projection", (cand, h))
+            pk = b.bind("dim", "pk")
+            rc = b.emit("algebra", "thetaselect", (pk, None, 30, "<"))
+            rsmall = b.emit("algebra", "projection", (rc, pk))
+            lpos, rpos = b.emit("algebra", "thetajoin", (small, rsmall, "<"),
+                                n_results=2)
+            return [("l", lpos), ("r", rpos)]
+
+        assert_equivalent(run_all(engines, _program(build)))
+
+
+class TestGroupAggregateSort:
+    def test_single_group_and_aggregates(self, engines):
+        def build(b):
+            g, v = b.bind("t", "g"), b.bind("t", "b")
+            gids, n = b.emit("group", "group", (g,), n_results=2)
+            return [
+                ("sums", b.emit("aggr", "subsum", (v, gids, n))),
+                ("mins", b.emit("aggr", "submin", (v, gids, n))),
+                ("maxs", b.emit("aggr", "submax", (v, gids, n))),
+                ("counts", b.emit("aggr", "subcount", (gids, n))),
+                ("avgs", b.emit("aggr", "subavg", (v, gids, n))),
+            ]
+
+        assert_equivalent(
+            run_all(engines, _program(build)),
+            float_cols=("sums", "avgs"),
+        )
+
+    def test_multi_column_grouping(self, engines):
+        def build(b):
+            g, h = b.bind("t", "g"), b.bind("t", "h")
+            gids, n = b.emit("group", "group", (g,), n_results=2)
+            gids2, n2 = b.emit("group", "subgroup", (h, gids, n),
+                               n_results=2)
+            return [
+                ("counts", b.emit("aggr", "subcount", (gids2, n2))),
+                ("keys_g", b.emit("aggr", "submin", (g, gids2, n2))),
+                ("keys_h", b.emit("aggr", "submin", (h, gids2, n2))),
+            ]
+
+        assert_equivalent(run_all(engines, _program(build)))
+
+    def test_scalar_aggregates(self, engines):
+        def build(b):
+            v = b.bind("t", "b")
+            return [
+                ("sum", b.emit("aggr", "sum", (v,))),
+                ("min", b.emit("aggr", "min", (v,))),
+                ("max", b.emit("aggr", "max", (v,))),
+                ("avg", b.emit("aggr", "avg", (v,))),
+                ("count", b.emit("aggr", "count", (v,))),
+            ]
+
+        assert_equivalent(run_all(engines, _program(build)),
+                          float_cols=("sum", "avg"))
+
+    @pytest.mark.parametrize("descending", [False, True])
+    def test_sort_int_and_float(self, engines, descending):
+        def build(b):
+            a = b.bind("t", "a")
+            out, order = b.emit("algebra", "sort", (a, descending),
+                                n_results=2)
+            return [("sorted", out), ("order", order)]
+
+        assert_equivalent(run_all(engines, _program(build)))
+
+    def test_sort_aggregate_results_float64(self, engines):
+        """ORDER BY revenue: 8-byte keys through the radix sort."""
+        def build(b):
+            g, v = b.bind("t", "g"), b.bind("t", "b")
+            gids, n = b.emit("group", "group", (g,), n_results=2)
+            sums = b.emit("aggr", "subsum", (v, gids, n))
+            out, order = b.emit("algebra", "sort", (sums, True), n_results=2)
+            return [("sorted", out), ("order", order)]
+
+        assert_equivalent(run_all(engines, _program(build)),
+                          float_cols=("sorted",))
+
+
+class TestCalcEquivalence:
+    def test_arithmetic_chain(self, engines):
+        def build(b):
+            v = b.bind("t", "b")
+            x = b.emit("batcalc", "mul", (v, 2.0))
+            y = b.emit("batcalc", "sub", (1.0, x))
+            z = b.emit("batcalc", "add", (y, v))
+            return [("z", z)]
+
+        assert_equivalent(run_all(engines, _program(build)),
+                          float_cols=("z",))
+
+    def test_case_expression(self, engines):
+        def build(b):
+            g, v = b.bind("t", "g"), b.bind("t", "b")
+            cond = b.emit("batcalc", "eq", (g, 5))
+            picked = b.emit("batcalc", "ifthenelse", (cond, v, 0.0))
+            return [("p", picked)]
+
+        assert_equivalent(run_all(engines, _program(build)),
+                          float_cols=("p",))
+
+    def test_logical_combination(self, engines):
+        def build(b):
+            g, h = b.bind("t", "g"), b.bind("t", "h")
+            c1 = b.emit("batcalc", "ge", (g, 5))
+            c2 = b.emit("batcalc", "lt", (h, 3))
+            both = b.emit("batcalc", "and", (c1, c2))
+            either = b.emit("batcalc", "or", (c1, c2))
+            return [("b", both), ("e", either)]
+
+        assert_equivalent(run_all(engines, _program(build)))
+
+    def test_year_extraction(self, engines):
+        def build(b):
+            a = b.bind("t", "a")
+            dates = b.emit("batcalc", "add", (a, 19940000))
+            years = b.emit("batcalc", "intdiv", (dates, 10000))
+            return [("y", years)]
+
+        assert_equivalent(run_all(engines, _program(build)))
+
+    def test_mirror_and_hashbuild(self, engines):
+        def build(b):
+            g = b.bind("t", "g")
+            oids = b.emit("bat", "mirror", (g,))
+            size = b.emit("algebra", "hashbuild", (g,))
+            return [("oids", oids), ("m", size)]
+
+        results = run_all(engines, _program(build))
+        base = results["MS"]
+        for label in ("CPU", "GPU"):
+            assert np.array_equal(
+                base.columns["oids"], results[label].columns["oids"]
+            )
+            # table sizes differ by design (1.4x over-allocation vs
+            # MonetDB's distinct count); both must be positive
+            assert results[label].columns["m"][0] > 0

@@ -1,0 +1,186 @@
+"""The Memory Manager: caching, LRU eviction, offloading, pinning (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro import cl
+from repro.monetdb import Catalog, make_bat
+from repro.ocelot.memory import BufferKind, MemoryManager, OcelotOOM
+
+
+def make_manager(capacity_bytes: int, data_scale: float = 1.0):
+    catalog = Catalog()
+    ctx = cl.Context(
+        cl.NVIDIA_GTX460.with_memory(capacity_bytes), data_scale=data_scale
+    )
+    queue = cl.CommandQueue(ctx)
+    return MemoryManager(ctx, queue, catalog), catalog
+
+
+class TestRegistry:
+    def test_upload_then_cache_hit(self):
+        mm, _ = make_manager(4096)
+        bat = make_bat(np.arange(16, dtype=np.int32))
+        first = mm.buffer_for_bat(bat)
+        assert np.array_equal(first.array, bat.values)
+        assert mm.stats.cache_misses == 1
+        second = mm.buffer_for_bat(bat)
+        assert second is first
+        assert mm.stats.cache_hits == 1
+        assert mm.queue.stats.transfers_to_device == 1  # only once
+
+    def test_link_result_transfers_ownership(self):
+        mm, _ = make_manager(4096)
+        buffer = mm.allocate(16, np.int32, BufferKind.RESULT, tag="r")
+        bat = make_bat(np.zeros(16, np.int32))
+        mm.link_result(bat, buffer)
+        assert bat.device_ref is buffer
+        from repro.monetdb import Owner
+
+        assert bat.owner is Owner.OCELOT
+
+    def test_sync_to_host(self):
+        mm, _ = make_manager(4096)
+        buffer = mm.allocate(8, np.int32, BufferKind.RESULT)
+        buffer.array[:] = 7
+        bat = make_bat(np.zeros(8, np.int32))
+        mm.link_result(bat, buffer)
+        host = mm.sync_to_host(bat, buffer)
+        assert np.all(host == 7)
+        assert bat.has_host_values
+        # device copy stays cached for later Ocelot reuse
+        assert bat.device_ref is buffer and not buffer.released
+
+
+class TestEvictionPolicy:
+    def test_base_evicted_before_results_offloaded(self):
+        mm, _ = make_manager(1000)
+        base = make_bat(np.zeros(100, np.uint8))
+        mm.buffer_for_bat(base)                   # 100 bytes BASE
+        mm.allocate(100, np.uint8, BufferKind.RESULT, tag="res")
+        # force pressure: base should be *evicted* (dropped), not offloaded
+        mm.allocate(850, np.uint8, BufferKind.RESULT, tag="big")
+        assert mm.stats.evictions == 1
+        assert mm.stats.offloads == 0
+
+    def test_aux_offloaded_before_results(self):
+        mm, _ = make_manager(1000)
+        mm.allocate(400, np.uint8, BufferKind.AUX, tag="hash")
+        result = mm.allocate(400, np.uint8, BufferKind.RESULT, tag="res")
+        mm.allocate(500, np.uint8, BufferKind.RESULT, tag="big")
+        assert mm.stats.offloads == 1
+        assert not result.released  # the result survived
+
+    def test_lru_order_among_bases(self):
+        mm, _ = make_manager(1000)
+        old = make_bat(np.zeros(300, np.uint8), tag="old")
+        new = make_bat(np.zeros(300, np.uint8), tag="new")
+        mm.buffer_for_bat(old)
+        new_buf = mm.buffer_for_bat(new)
+        mm.buffer_for_bat(new)  # touch: 'new' is more recent
+        mm.allocate(500, np.uint8, BufferKind.RESULT)
+        assert not new_buf.released  # LRU evicted 'old'
+
+    def test_offloaded_result_restored_on_demand(self):
+        mm, _ = make_manager(1000, data_scale=1.0)
+        buffer = mm.allocate(400, np.uint8, BufferKind.RESULT, tag="r")
+        buffer.array[:] = 9
+        bat = make_bat(np.zeros(400, np.uint8))
+        mm.link_result(bat, buffer)
+        mm.allocate(700, np.uint8, BufferKind.RESULT, tag="big")
+        assert buffer.released  # offloaded
+        assert mm.stats.offloads == 1
+        # free room, then request the BAT again -> restored with contents
+        for entry in list(mm.entries()):
+            if entry.tag == "big":
+                mm.release(entry.buffer)
+        restored = mm.buffer_for_bat(bat)
+        assert np.all(restored.array == 9)
+        assert mm.stats.restores == 1
+
+    def test_evicted_base_reuploaded(self):
+        mm, _ = make_manager(1000)
+        base = make_bat(np.full(400, 5, np.uint8))
+        mm.buffer_for_bat(base)
+        mm.allocate(900, np.uint8, BufferKind.RESULT, tag="big")
+        again = mm.buffer_for_bat(base)
+        assert np.all(again.array == 5)
+        assert mm.queue.stats.transfers_to_device >= 2
+
+    def test_oom_when_nothing_evictable(self):
+        mm, _ = make_manager(100)
+        with pytest.raises(OcelotOOM):
+            mm.allocate(200, np.uint8, BufferKind.RESULT)
+
+
+class TestPinning:
+    def test_pinned_buffers_never_evicted(self):
+        mm, _ = make_manager(1000)
+        precious = mm.allocate(400, np.uint8, BufferKind.RESULT, tag="p")
+        mm.pin(precious)
+        with pytest.raises(OcelotOOM):
+            mm.allocate(700, np.uint8, BufferKind.RESULT)
+        assert not precious.released
+        mm.unpin(precious)
+        mm.allocate(700, np.uint8, BufferKind.RESULT)
+        assert precious.released or mm.stats.offloads == 1
+
+    def test_pinned_context_manager(self):
+        mm, _ = make_manager(1000)
+        buffer = mm.allocate(100, np.uint8, BufferKind.RESULT)
+        with mm.pinned(buffer):
+            entry = mm._entry_for_buffer(buffer)
+            assert entry.pins == 1
+        assert entry.pins == 0
+
+    def test_unbalanced_unpin_raises(self):
+        mm, _ = make_manager(1000)
+        buffer = mm.allocate(16, np.uint8, BufferKind.RESULT)
+        with pytest.raises(RuntimeError):
+            mm.unpin(buffer)
+
+    def test_operator_scope_pins_touched_buffers(self):
+        mm, _ = make_manager(1000)
+        base = make_bat(np.zeros(300, np.uint8))
+        with mm.operator_scope():
+            held = mm.buffer_for_bat(base)
+            # allocation pressure must not evict the in-use base buffer
+            with pytest.raises(OcelotOOM):
+                mm.allocate(900, np.uint8, BufferKind.RESULT)
+            assert not held.released
+        # outside the scope the base is evictable again
+        mm.allocate(900, np.uint8, BufferKind.RESULT)
+        assert held.released
+
+
+class TestCallbacks:
+    def test_bat_delete_drops_buffers(self):
+        mm, catalog = make_manager(4096)
+        catalog.create_table("t", {"a": np.zeros(16, np.int32)})
+        bat = catalog.bat("t", "a")
+        buffer = mm.buffer_for_bat(bat)
+        catalog.drop_table("t")
+        assert buffer.released
+        # next request is a fresh upload
+        assert mm.buffer_for_bat(bat) is not buffer
+
+    def test_hash_table_cache(self):
+        mm, _ = make_manager(4096)
+        tk = mm.allocate(64, np.uint32, BufferKind.AUX)
+        table = {"tkeys": tk, "m": 64}
+        mm.cache_hash_table((1, "join"), table)
+        assert mm.cached_hash_table((1, "join")) is table
+        assert mm.stats.hash_cache_hits == 1
+        assert mm.cached_hash_table((2, "join")) is None
+        # released buffers invalidate the entry
+        mm.release(tk)
+        assert mm.cached_hash_table((1, "join")) is None
+
+    def test_recycle_releases_aux_annotations(self):
+        mm, catalog = make_manager(4096)
+        bat = make_bat(np.zeros(16, np.int32))
+        aux = mm.allocate(32, np.uint8, BufferKind.RESULT)
+        bat.aux["oid_view"] = aux
+        catalog.notify_recycled(bat)
+        assert aux.released
+        assert bat.aux == {}

@@ -1,0 +1,67 @@
+"""Property-based cross-engine invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import Database
+
+columns = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(-1000, 1000)),
+    min_size=1, max_size=300,
+)
+
+
+def _db(pairs):
+    g = np.array([p[0] for p in pairs], dtype=np.int32)
+    v = np.array([p[1] for p in pairs], dtype=np.int32)
+    db = Database()
+    db.create_table("t", {"g": g, "v": v})
+    return db, g, v
+
+
+@given(columns)
+@settings(max_examples=15, deadline=None)
+def test_grouped_sum_engine_agreement(pairs):
+    db, g, v = _db(pairs)
+    sql = "SELECT g, sum(v) AS s FROM t GROUP BY g ORDER BY g"
+    base = db.execute(sql, engine="MS")
+    for engine in ("CPU", "GPU"):
+        other = db.execute(sql, engine=engine)
+        assert np.array_equal(base.columns["g"], other.columns["g"])
+        assert np.array_equal(base.columns["s"], other.columns["s"])
+    expected_keys = np.unique(g)
+    assert np.array_equal(base.columns["g"], expected_keys)
+
+
+@given(columns, st.integers(-1000, 1000), st.integers(-1000, 1000))
+@settings(max_examples=15, deadline=None)
+def test_selection_count_engine_agreement(pairs, lo, hi):
+    lo, hi = min(lo, hi), max(lo, hi)
+    db, g, v = _db(pairs)
+    sql = f"SELECT count(*) AS n FROM t WHERE v BETWEEN {lo} AND {hi}"
+    expected = int(((v >= lo) & (v <= hi)).sum())
+    for engine in ("MS", "MP", "CPU", "GPU"):
+        got = db.execute(sql, engine=engine)
+        assert got.columns["n"][0] == expected
+
+
+@given(columns)
+@settings(max_examples=10, deadline=None)
+def test_sort_is_permutation_and_ordered(pairs):
+    db, g, v = _db(pairs)
+    sql = "SELECT v FROM t ORDER BY v"
+    for engine in ("MS", "GPU"):
+        got = db.execute(sql, engine=engine).columns["v"]
+        assert np.array_equal(np.sort(v), got)
+
+
+@given(columns)
+@settings(max_examples=10, deadline=None)
+def test_join_with_self_counts(pairs):
+    db, g, v = _db(pairs)
+    sql = ("SELECT count(*) AS n FROM t t1 "
+           "JOIN (SELECT g AS g2 FROM t GROUP BY g) d ON t1.g = d.g2")
+    expected = len(pairs)  # every row matches its own group key exactly once
+    for engine in ("MS", "CPU"):
+        assert db.execute(sql, engine=engine).columns["n"][0] == expected

@@ -1,0 +1,136 @@
+"""Lexer and parser for the reproduction dialect."""
+
+import pytest
+
+from repro.sql import SQLSyntaxError, parse, tokenize
+from repro.sql import ast
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.kind == "kw" and t.value == "select"
+                   for t in tokens[:-1])
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 0.5")
+        assert [t.kind for t in tokens[:-1]] == ["int", "float", "float"]
+
+    def test_strings_and_comments(self):
+        tokens = tokenize("'BUILDING' -- a comment\n'ASIA'")
+        assert [t.value for t in tokens[:-1]] == ["BUILDING", "ASIA"]
+
+    def test_two_char_punct(self):
+        tokens = tokenize("<= >= <> a.b")
+        assert [t.value for t in tokens[:3]] == ["<=", ">=", "<>"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestParser:
+    def test_simple_select(self):
+        q = parse("SELECT a, b AS bee FROM t WHERE a > 5")
+        assert len(q.select.items) == 2
+        assert q.select.items[1].alias == "bee"
+        assert isinstance(q.select.where, ast.BinOp)
+        assert q.select.where.op == "gt"
+
+    def test_precedence_arithmetic_over_comparison(self):
+        q = parse("SELECT x FROM t WHERE a + b * 2 < 10")
+        where = q.select.where
+        assert where.op == "lt"
+        assert where.left.op == "add"
+        assert where.left.right.op == "mul"
+
+    def test_and_or_precedence(self):
+        q = parse("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert q.select.where.op == "or"
+        assert q.select.where.right.op == "and"
+
+    def test_between_and_in(self):
+        q = parse("SELECT x FROM t WHERE a BETWEEN 1 AND 5 "
+                  "AND b IN (1, 2, 3) AND c NOT IN (9)")
+        conj = q.select.where
+        assert isinstance(conj.left.left, ast.Between)
+        assert isinstance(conj.right, ast.InList)
+        assert conj.right.negated
+
+    def test_date_literals_and_intervals(self):
+        q = parse("SELECT x FROM t WHERE d >= DATE '1994-01-01' "
+                  "AND d < DATE '1994-01-01' + INTERVAL '1' YEAR")
+        lo = q.select.where.left.right
+        hi = q.select.where.right.right
+        assert lo.value == 19940101
+        assert hi.value == 19950101
+
+    def test_interval_days_exact(self):
+        q = parse("SELECT x FROM t WHERE d <= DATE '1998-12-01' "
+                  "- INTERVAL '90' DAY")
+        assert q.select.where.right.value == 19980902
+
+    def test_case_expression(self):
+        q = parse("SELECT CASE WHEN a = 1 THEN b ELSE 0 END AS c FROM t")
+        expr = q.select.items[0].expr
+        assert isinstance(expr, ast.Case)
+        assert isinstance(expr.otherwise, ast.Literal)
+
+    def test_aggregates_and_count_star(self):
+        q = parse("SELECT sum(a * b), count(*), avg(c) FROM t")
+        items = [i.expr for i in q.select.items]
+        assert items[0].func == "sum"
+        assert items[1].argument is None
+        assert items[2].func == "avg"
+
+    def test_extract_year(self):
+        q = parse("SELECT EXTRACT(YEAR FROM d) AS y FROM t GROUP BY "
+                  "EXTRACT(YEAR FROM d)")
+        assert isinstance(q.select.items[0].expr, ast.ExtractYear)
+        assert q.select.group_by[0] == q.select.items[0].expr
+
+    def test_joins(self):
+        q = parse("SELECT x FROM a JOIN b ON a.k = b.k "
+                  "SEMI JOIN c ON b.j = c.j ANTI JOIN d ON a.m = d.m")
+        kinds = [j.kind for j in q.select.joins]
+        assert kinds == ["inner", "semi", "anti"]
+
+    def test_derived_table_and_cte(self):
+        q = parse("WITH r AS (SELECT k FROM t) "
+                  "SELECT x FROM (SELECT y AS x FROM u) sub "
+                  "JOIN r ON x = r.k")
+        assert q.ctes[0][0] == "r"
+        assert isinstance(q.select.base, ast.SubqueryRef)
+        assert q.select.base.alias == "sub"
+
+    def test_scalar_subquery(self):
+        q = parse("SELECT x FROM t WHERE v = (SELECT max(v) FROM t)")
+        assert isinstance(q.select.where.right, ast.ScalarSubquery)
+
+    def test_group_having_order_limit(self):
+        q = parse("SELECT g, sum(v) AS s FROM t GROUP BY g "
+                  "HAVING sum(v) > 10 ORDER BY s DESC LIMIT 5")
+        assert len(q.select.group_by) == 1
+        assert q.select.having.op == "gt"
+        assert q.select.order_by.descending
+        assert q.select.limit == 5
+
+    def test_comma_join_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="comma"):
+            parse("SELECT x FROM a, b WHERE a.k = b.k")
+
+    def test_multi_column_order_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="sorting"):
+            parse("SELECT a, b FROM t ORDER BY a, b")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT a FROM t ORDER BY a ASC bogus")
+
+    def test_negative_numbers(self):
+        q = parse("SELECT -a FROM t WHERE b > -5")
+        assert isinstance(q.select.items[0].expr, ast.Neg)

