@@ -18,6 +18,8 @@ from repro.kernels import KERNEL_LIBRARY
 from repro.monetdb import Catalog, MALBuilder, run_program
 from repro.ocelot import OcelotBackend, autotune, rewrite_for_ocelot
 
+pytestmark = pytest.mark.slow
+
 
 def _sort_plan():
     builder = MALBuilder("ablate_sort")

@@ -10,6 +10,8 @@ from conftest import column, emit, val
 from repro.bench import microbench as mb
 from repro.bench.report import monotone_increasing, roughly_flat
 
+pytestmark = pytest.mark.slow
+
 ACTUAL = 1 << 19  # in-process elements standing for the nominal MBs
 RUNS = 3
 

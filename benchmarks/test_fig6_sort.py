@@ -10,6 +10,8 @@ from conftest import column, emit, val
 from repro.bench import microbench as mb
 from repro.bench.report import monotone_increasing
 
+pytestmark = pytest.mark.slow
+
 ACTUAL = 1 << 18
 
 

@@ -20,6 +20,8 @@ from conftest import column, emit, val
 from repro.bench.tpchbench import q1_scaling, tpch_queries
 from repro.tpch import WORKLOAD
 
+pytestmark = pytest.mark.slow
+
 HASH_HEAVY = ("Q10", "Q11", "Q17", "Q21")
 
 

@@ -1,0 +1,116 @@
+"""Fig. 8 (extension): the heterogeneous "HET" engine (paper §7).
+
+Not a figure of the original paper — this is the ROADMAP's first scaling
+milestone: one MAL plan scheduled across *both* simulated devices, with
+cost-based placement from the autotuner's measured device profiles and
+partitioned fan-out for row-independent operators.
+
+Three panels:
+
+* (a) selection against input size — HET tracks the best single device
+  while the column fits the GPU, and keeps scaling *past* the GPU's
+  2 GB limit by splitting the scan across CPU + GPU ("if a line ends
+  midway, we reached the device memory limit" no longer ends the story),
+* (b) grouped aggregation against input size — same shape: the fan-out
+  keeps the atomic-heavy aggregation going beyond device memory at a
+  fraction of the CPU-only cost,
+* (c) TPC-H Q1 — the full SQL path: HET matches the MS results exactly
+  and its makespan never loses to the best single device.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.bench.configs import HET_LABELS
+from repro.bench.microbench import (
+    grouped_aggregation_by_size,
+    selection_by_size,
+)
+from repro.bench.tpchbench import tpch_queries
+
+pytestmark = pytest.mark.slow
+
+#: single-device labels HET competes against
+SINGLE = ("CPU", "GPU")
+
+
+def _best_single(point):
+    times = [point.millis[l] for l in SINGLE if point.millis[l] is not None]
+    return min(times) if times else None
+
+
+def test_fig8a_selection_makespan(benchmark):
+    series = selection_by_size(
+        sizes=(512, 1024, 2048), labels=HET_LABELS, runs=5
+    )
+    emit(series)
+    for point in series.points:
+        het = point.millis["HET"]
+        best = _best_single(point)
+        assert het is not None, point.x
+        # HET never loses to the best single device (the single-device
+        # plan is always in the scheduler's feasible set)
+        assert het <= best * 1.001, point.x
+    # beyond the GPU's 2 GB the GPU line ends ... and HET keeps going,
+    # well under the CPU-only cost, by fanning the scan out
+    last = series.points[-1]
+    assert last.millis["GPU"] is None
+    assert last.millis["HET"] < 0.7 * last.millis["CPU"]
+    benchmark.pedantic(
+        lambda: selection_by_size(sizes=(512,), labels=("HET",), runs=1),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig8b_grouped_aggregation_makespan(benchmark):
+    series = grouped_aggregation_by_size(
+        sizes=(256, 512, 1024), labels=HET_LABELS, runs=5
+    )
+    emit(series)
+    for point in series.points:
+        het = point.millis["HET"]
+        best = _best_single(point)
+        assert het is not None, point.x
+        assert het <= best * 1.001, point.x
+    # vals + gids no longer fit the GPU at 1024 MB: GPU ends, HET splits
+    last = series.points[-1]
+    assert last.millis["GPU"] is None
+    assert last.millis["HET"] < 0.7 * last.millis["CPU"]
+    benchmark.pedantic(
+        lambda: grouped_aggregation_by_size(
+            sizes=(256,), labels=("HET",), runs=1
+        ),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig8c_tpch_q1(benchmark):
+    series = tpch_queries(sf=1, runs=2, queries=("Q1",),
+                          labels=("MS", "CPU", "GPU", "HET"))
+    emit(series)
+    point = series.points[0]
+    best = _best_single(point)
+    assert point.millis["HET"] <= best * 1.05
+    benchmark.pedantic(
+        lambda: tpch_queries(sf=1, runs=1, queries=("Q1",),
+                             labels=("HET",)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig8c_q1_results_identical_to_ms():
+    from repro.api import tpch_database
+    from repro.tpch.queries import Q1
+
+    db = tpch_database(sf=0.5)
+    ms = db.connect("MS").execute(Q1)
+    het = db.connect("HET").execute(Q1)
+    assert set(ms.columns) == set(het.columns)
+    for col in ms.columns:
+        a, b = ms.columns[col], het.columns[col]
+        if a.dtype.kind == "f" or b.dtype.kind == "f":
+            assert np.allclose(a.astype(np.float64), b.astype(np.float64),
+                               rtol=1e-4, atol=1e-6), col
+        else:
+            assert np.array_equal(a, b), col

@@ -7,10 +7,18 @@
     >>> result.columns["total"]
 
 A :class:`Database` owns the catalog; :meth:`connect` opens a connection
-bound to one of the paper's four engine configurations ("MS", "MP",
-"CPU", "GPU").  ``execute`` parses SQL, lowers it to MAL, applies the
-configuration's optimizer pipeline (the Ocelot rewriter for CPU/GPU) and
-interprets the plan.
+bound to one of five engine configurations — the paper's four ("MS",
+"MP", "CPU", "GPU") plus "HET", the heterogeneous scheduler that owns
+*both* simulated devices and places every operator by measured device
+characteristics and data gravity, splitting row-independent operators
+across the devices (paper §7 future work)::
+
+    >>> con = db.connect("HET")
+    >>> con.execute("SELECT x, sum(y) AS total FROM points GROUP BY x")
+
+``execute`` parses SQL, lowers it to MAL, applies the configuration's
+optimizer pipeline (the Ocelot rewriter for CPU/GPU/HET) and interprets
+the plan.
 """
 
 from __future__ import annotations
@@ -117,7 +125,13 @@ class Database:
     # -- connections -----------------------------------------------------------
 
     def connect(self, engine: str = "CPU") -> Connection:
-        """Open a connection on one of the four configurations."""
+        """Open a connection on one of the five configurations.
+
+        ``"MS"``/``"MP"`` are the MonetDB baselines, ``"CPU"``/``"GPU"``
+        run Ocelot on one simulated device, and ``"HET"`` schedules each
+        query across the CPU *and* the GPU at once (cost-based placement
+        plus partitioned fan-out; see :mod:`repro.sched`).
+        """
         return Connection(self, engine)
 
     def execute(self, sql: str, engine: str = "CPU") -> QueryResult:

@@ -82,15 +82,16 @@ class BenchContext:
         """Average hot-cache simulated seconds; None on device OOM."""
         backend = self.backend(label)
         plan = self.config(label).plan(program)
-        overhead = 0.0
-        if self.operator_timing and hasattr(backend, "engine"):
-            overhead = backend.engine.device.profile.framework_overhead_s
         try:
             for _ in range(warmup):
                 run_program(plan, backend)
             total = 0.0
             for _ in range(runs):
                 result = run_program(plan, backend)
+                overhead = (
+                    backend.query_overhead_s() if self.operator_timing
+                    else 0.0
+                )
                 total += max(result.elapsed - overhead, 0.0)
             return total / runs, result
         except OcelotOOM:

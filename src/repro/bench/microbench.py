@@ -241,6 +241,35 @@ def hashjoin_by_size(sizes=SIZES_MB, build_keys=100, labels=ALL_LABELS,
 
 
 # ---------------------------------------------------------------------------
+# Fig. 8 (heterogeneous extension): grouped-aggregation partials
+# ---------------------------------------------------------------------------
+
+def grouped_aggregation_by_size(sizes=SIZES_MB, ngroups=256,
+                                labels=ALL_LABELS, runs=10,
+                                actual_elems=1 << 21) -> Series:
+    """``aggr.subsum`` over a dense pre-grouped id column — the
+    embarrassingly parallel aggregation the HET scheduler fans out
+    across devices (per-device partials, host merge)."""
+    series = _series("fig8_grouped_aggregation", "MB", labels)
+    builder = MALBuilder("micro_gagg")
+    vals = builder.bind("t", "v")
+    gids = builder.bind("t", "g")
+    sums = builder.emit("aggr", "subsum", (vals, gids, ngroups))
+    count = builder.emit("aggr", "count", (sums,))
+    plan = builder.returns([("n", count)])
+    for size in sizes:
+        values, scale = uniform_column(size, dtype=np.float32,
+                                       actual_elems=actual_elems)
+        rng = np.random.default_rng(13)
+        groups = rng.integers(0, ngroups, values.size).astype(np.int32)
+        ctx = _context({"v": values, "g": groups}, scale, labels)
+        series.points.append(
+            Measurement(size, ctx.measure(plan, runs=runs))
+        )
+    return series
+
+
+# ---------------------------------------------------------------------------
 # Fig. 6: sort
 # ---------------------------------------------------------------------------
 

@@ -268,6 +268,20 @@ class CommandQueue:
             self._engine_time[engine] = t
         return t
 
+    def advance_to(self, t: float) -> None:
+        """Join this queue's timelines to an external epoch ``t``.
+
+        Used by the heterogeneous scheduler to model cross-device sync
+        points: when an operand produced on another device's queue is
+        consumed here, neither timeline may run ahead of the hand-over.
+        Never moves time backwards.
+        """
+        self._check_alive()
+        t = max(t, self.makespan())
+        self.host_time = t
+        for engine in self._engine_time:
+            self._engine_time[engine] = t
+
     def timeline(self) -> list[Event]:
         """All scheduled events ordered by simulated start time."""
         return sorted(self.stats.events, key=lambda e: (e.t_start, e.event_id))

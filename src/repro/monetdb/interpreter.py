@@ -72,6 +72,16 @@ class Backend(abc.ABC):
     def elapsed(self) -> float:
         """Simulated seconds consumed since :meth:`begin`."""
 
+    def query_overhead_s(self) -> float:
+        """Fixed per-query framework cost charged by the *last* query.
+
+        Benchmarks in operator-timing mode (paper §5.2) subtract this so
+        microbenchmark points measure the operator, not the SDK.  The
+        MonetDB baselines charge none; Ocelot backends report their
+        device's (or, for the heterogeneous scheduler, devices') share.
+        """
+        return 0.0
+
     def end_of_query(self, intermediates: list[BAT]) -> None:
         """Hook: intermediate BATs go out of scope (recycling)."""
         for bat in intermediates:

@@ -28,6 +28,7 @@ constant).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,6 +36,7 @@ import numpy as np
 from .. import cl
 from ..kernels import KERNEL_LIBRARY
 from .engine import OcelotEngine
+from .memory import BufferKind
 
 #: fixed probe size: big enough to expose bandwidth, small enough to be
 #: instant (the paper's "standardized benchmarks")
@@ -62,12 +64,39 @@ class DeviceCharacteristics:
     # queryable via clGetDeviceInfo (no benchmark needed):
     local_mem_bytes: int
     work_group_size: int
+    # host link, measured by the transfer probes (the CPU's zero-copy
+    # mapping shows up as an effectively infinite rate):
+    transfer_gbs: float = float("inf")
+    transfer_latency_s: float = 0.0
+    # queryable via clGetDeviceInfo:
+    global_mem_bytes: int = 0
+    #: distinct-target count the *uncontended* atomic probe actually ran
+    #: at (capacity-clamped on small devices; the interpolation anchor)
+    atomic_probe_hi: float = 65536.0
 
     @property
     def contention_penalty(self) -> float:
         """How much this device hates contended atomics (CPU >> GPU)."""
         return self.atomic_contended_ns / max(self.atomic_uncontended_ns,
                                               1e-9)
+
+    def atomic_ns(self, addresses: float) -> float:
+        """Per-op atomic cost at a given distinct-target count,
+        log-interpolated between the two probe points (4 and
+        ``atomic_probe_hi``)."""
+        lo, hi = 4.0, max(self.atomic_probe_hi, 8.0)
+        a = min(max(float(addresses), lo), hi)
+        frac = (math.log(a) - math.log(lo)) / (math.log(hi) - math.log(lo))
+        return (self.atomic_contended_ns
+                + frac * (self.atomic_uncontended_ns
+                          - self.atomic_contended_ns))
+
+    def transfer_seconds(self, nominal_bytes: float) -> float:
+        """Predicted host<->device transfer time for ``nominal_bytes``."""
+        if not math.isfinite(self.transfer_gbs):
+            return self.transfer_latency_s
+        return (self.transfer_latency_s
+                + nominal_bytes / (self.transfer_gbs * cl.GB))
 
 
 def _timed(engine: OcelotEngine, kernel: str, *args) -> float:
@@ -79,24 +108,62 @@ def _timed(engine: OcelotEngine, kernel: str, *args) -> float:
     return queue.finish() - before
 
 
+def _timed_transfer(engine: OcelotEngine, fn) -> float:
+    """Makespan delta of one host<->device transfer command."""
+    queue = engine.queue
+    before = queue.finish()
+    fn()
+    return queue.finish() - before
+
+
 def probe_device(engine: OcelotEngine) -> DeviceCharacteristics:
-    """Run the standardized micro-probes on ``engine``'s device."""
-    n = _PROBE_ELEMS
+    """Run the standardized micro-probes on ``engine``'s device.
+
+    The probe's working set is pinned through an operator scope, so it
+    can never be evicted out from under a running probe kernel; devices
+    too small to even host the (capacity-clamped) probe fail loudly with
+    :class:`~repro.ocelot.memory.OcelotOOM`.
+    """
+    with engine.memory.operator_scope():
+        return _probe_device_pinned(engine)
+
+
+def _probe_device_pinned(engine: OcelotEngine) -> DeviceCharacteristics:
     rng = np.random.default_rng(99)
     scale = engine.context.data_scale
+    # Probes must never pressure device memory (they run on live engines
+    # whose caches they should not disturb): clamp the probe's *nominal*
+    # footprint to a small fraction of capacity.  The measured rates are
+    # scale-invariant, so a smaller probe yields the same profile.
+    capacity = engine.context.capacity
+    n = max(1 << 8, min(_PROBE_ELEMS, int(capacity // (64 * scale))))
     nominal_bytes = 4 * n * scale
+    probe_values = rng.integers(0, 1 << 30, n).astype(np.int32)
 
     data = engine.memory.allocate_filled(
-        rng.integers(0, 1 << 30, n).astype(np.int32),
-        kind=__import__("repro.ocelot.memory", fromlist=["BufferKind"])
-        .BufferKind.AUX,
-        tag="probe_data",
+        probe_values, kind=BufferKind.AUX, tag="probe_data"
     )
     out = engine.temp(n, np.int32, tag="probe_out")
 
     # launch overhead: a one-element kernel is all fixed cost
     tiny = engine.temp(1, np.uint32, tag="probe_tiny")
     launch = _timed(engine, "fill", tiny, 1, 0)
+
+    # host link: a one-element transfer is all latency; the full probe
+    # column exposes the (PCIe) bandwidth — or the zero-copy mapping
+    queue = engine.queue
+    t_lat = _timed_transfer(
+        engine, lambda: queue.enqueue_write(tiny, np.zeros(1, np.uint32))
+    )
+    t_up = _timed_transfer(
+        engine, lambda: queue.enqueue_write(data, probe_values)
+    )
+    t_down = _timed_transfer(engine, lambda: queue.enqueue_read(data))
+    per_byte = max(t_up + t_down - 2 * t_lat, 0.0) / (2 * nominal_bytes)
+    transfer_gbs = (
+        float("inf") if per_byte * nominal_bytes < 1e-9
+        else 1.0 / (per_byte * cl.GB)
+    )
 
     # streaming: element-wise copy reads + writes the column
     t_stream = max(_timed(engine, "ewise_scalar", out, data, n, "add", 0)
@@ -106,23 +173,28 @@ def probe_device(engine: OcelotEngine) -> DeviceCharacteristics:
     # gather: random permutation access
     perm = engine.memory.allocate_filled(
         rng.permutation(n).astype(np.uint32),
-        kind=__import__("repro.ocelot.memory", fromlist=["BufferKind"])
-        .BufferKind.AUX,
+        kind=BufferKind.AUX,
         tag="probe_perm",
     )
     t_gather = max(_timed(engine, "gather", out, data, perm, n) - launch,
                    1e-12)
     gather_gbs = nominal_bytes / t_gather / cl.GB
 
-    # atomics: grouped aggregation against few vs many targets
+    # atomics: grouped aggregation against few vs many targets (the
+    # many-target partials table is clamped so it cannot OOM the device;
+    # transient pressure up to ~capacity/4 is fine, the cache absorbs it)
+    parts = engine.device.profile.num_work_groups
+    many = max(
+        1 << 6,
+        min(65536, int(capacity // (4 * scale * parts * 8))),
+    )
+
     def atomic_ns(groups: int) -> float:
         gids = engine.memory.allocate_filled(
             rng.integers(0, groups, n).astype(np.uint32),
-            kind=__import__("repro.ocelot.memory", fromlist=["BufferKind"])
-            .BufferKind.AUX,
+            kind=BufferKind.AUX,
             tag="probe_gids",
         )
-        parts = engine.device.profile.num_work_groups
         partials = engine.temp((parts, groups), np.int64,
                                tag="probe_partials", zeroed=True)
         seconds = max(
@@ -134,7 +206,7 @@ def probe_device(engine: OcelotEngine) -> DeviceCharacteristics:
         return seconds / (n * scale) * 1e9
 
     contended = atomic_ns(4)
-    uncontended = atomic_ns(65536)
+    uncontended = atomic_ns(many)
 
     engine.release(data, out, tiny, perm)
     profile = engine.device.profile
@@ -148,6 +220,10 @@ def probe_device(engine: OcelotEngine) -> DeviceCharacteristics:
         partitions=profile.total_invocations,
         local_mem_bytes=profile.local_mem_bytes,
         work_group_size=profile.work_group_size,
+        transfer_gbs=transfer_gbs,
+        transfer_latency_s=t_lat,
+        global_mem_bytes=profile.global_mem_bytes,
+        atomic_probe_hi=float(many),
     )
 
 
@@ -216,6 +292,7 @@ def autotune(engine: OcelotEngine) -> TuningReport:
     }
     bits = choose_radix_bits(chars)
     engine.radix_bits = bits
+    engine.characteristics = chars
     engine.program = cl.build(
         engine.context, KERNEL_LIBRARY, {"RADIX_BITS": bits}
     )

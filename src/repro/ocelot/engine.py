@@ -46,6 +46,9 @@ class OcelotEngine:
         self.memory = MemoryManager(self.context, self.queue, catalog)
         #: paper §5.2.7: radix width 8 on the CPU, 4 on the GPU.
         self.radix_bits = 8 if device.is_cpu else 4
+        #: measured device profile, installed by ``autotune.autotune``
+        #: (consumed by the heterogeneous scheduler's placement policy)
+        self.characteristics = None
         self.program = cl.build(
             self.context, KERNEL_LIBRARY, {"RADIX_BITS": self.radix_bits}
         )
@@ -181,6 +184,9 @@ class OcelotBackend(Backend):
 
     def elapsed(self) -> float:
         return self.engine.queue.finish() - self._t0
+
+    def query_overhead_s(self) -> float:
+        return self.engine.device.profile.framework_overhead_s
 
     # -- result collection ----------------------------------------------------------
 

@@ -65,6 +65,8 @@ class CacheEntry:
     pins: int = 0
     last_use: int = 0
     bat_id: int | None = None             # for BASE entries
+    bat: BAT | None = None                # the BAT carrying ``device_ref``
+    free_pending: bool = False            # released while pinned elsewhere
 
     @property
     def resident(self) -> bool:
@@ -114,9 +116,20 @@ class MemoryManager:
             self.manager._scope_stack.append([])
             return self
 
-        def __exit__(self, *exc):
+        def __exit__(self, exc_type, exc, tb):
+            # Teardown must not mask an exception already unwinding out of
+            # the operator: unpin every scope pin first, remember the first
+            # imbalance, and only raise it when the operator itself
+            # succeeded.
+            imbalance: RuntimeError | None = None
             for buffer in self.manager._scope_stack.pop():
-                self.manager.unpin(buffer)
+                try:
+                    self.manager.unpin(buffer)
+                except RuntimeError as err:
+                    if imbalance is None:
+                        imbalance = err
+            if imbalance is not None and exc_type is None:
+                raise imbalance
             return False
 
     def operator_scope(self) -> "_OperatorScope":
@@ -169,6 +182,7 @@ class MemoryManager:
         self.queue.enqueue_write(buffer, values)
         entry = self._entry_for_buffer(buffer)
         entry.bat_id = bat.bat_id
+        entry.bat = bat
         self._bat_entries[bat.bat_id] = entry.entry_id
         return buffer
 
@@ -180,6 +194,7 @@ class MemoryManager:
         if entry is None:
             raise ValueError(f"buffer {buffer.tag!r} is not registry-managed")
         entry.bat_id = bat.bat_id
+        entry.bat = bat
         self._bat_entries[bat.bat_id] = entry.entry_id
         bat.device_ref = buffer
         bat.give_to_ocelot()
@@ -222,14 +237,39 @@ class MemoryManager:
         return buffer
 
     def release(self, buffer: Buffer) -> None:
-        """Drop a temporary buffer from device and registry."""
+        """Drop a temporary buffer from device and registry.
+
+        Releasing only gives up the *caller's* interest: pins held by the
+        current operator scope on behalf of the caller are unwound, but a
+        buffer still pinned elsewhere (another operator's working set, an
+        explicit :meth:`pinned` block) is never yanked out from under that
+        user — the free is deferred until the last pin drops.
+        """
         entry = self._entry_for_buffer(buffer)
-        if entry is not None:
-            self._entries.pop(entry.entry_id, None)
+        if entry is None:
+            if not buffer.released:
+                buffer.release()
+            return
+        if self._scope_stack:
+            scope = self._scope_stack[-1]
+            while buffer in scope and entry.pins > 0:
+                scope.remove(buffer)
+                entry.pins -= 1
+        if entry.pins > 0:
+            entry.free_pending = True
+            return
+        self._free_entry(entry)
+
+    def _free_entry(self, entry: CacheEntry) -> None:
+        """Unconditionally drop an entry and its device storage."""
+        buffer = entry.buffer
+        self._entries.pop(entry.entry_id, None)
+        if buffer is not None:
             self._buffer_entries.pop(buffer.buffer_id, None)
-            if entry.bat_id is not None:
-                self._bat_entries.pop(entry.bat_id, None)
-        if not buffer.released:
+        if (entry.bat_id is not None
+                and self._bat_entries.get(entry.bat_id) == entry.entry_id):
+            self._bat_entries.pop(entry.bat_id, None)
+        if buffer is not None and not buffer.released:
             buffer.release()
 
     # -- pinning (reference counting, paper §3.3) ------------------------------------
@@ -245,6 +285,10 @@ class MemoryManager:
             if entry.pins <= 0:
                 raise RuntimeError(f"unbalanced unpin of {buffer.tag!r}")
             entry.pins -= 1
+            if entry.pins == 0 and entry.free_pending:
+                # a release() arrived while the buffer was pinned; the
+                # deferred free happens now that the last user is gone
+                self._free_entry(entry)
 
     class _Pinned:
         def __init__(self, manager: "MemoryManager", buffers):
@@ -303,9 +347,11 @@ class MemoryManager:
         self.stats.evictions += 1
         buffer = entry.buffer
         self._buffer_entries.pop(buffer.buffer_id, None)
-        if entry.bat_id is not None:
-            # Clear any direct device_ref so the next request re-uploads.
-            entry.buffer = None
+        if entry.bat is not None and entry.bat.device_ref is buffer:
+            # Clear the BAT's direct device_ref so the next request goes
+            # through the registry and re-uploads instead of dereferencing
+            # a released buffer.
+            entry.bat.device_ref = None
         buffer.release()
         entry.buffer = None
 
@@ -321,34 +367,44 @@ class MemoryManager:
         host, _event = self.queue.enqueue_read(buffer)
         entry.host_copy = host
         self._buffer_entries.pop(buffer.buffer_id, None)
+        # NB: the BAT's device_ref intentionally keeps pointing at the
+        # released buffer — its metadata (dtype/shape) must stay readable
+        # while offloaded (see Buffer), and _restore() re-links the ref.
+        # Cross-device consumers resolve the true home through the
+        # registry (DevicePool.home_of), never through a released ref.
         buffer.release()
         entry.buffer = None
-        if entry.bat_id is not None:
-            # Detach the BAT's direct reference; restored on next request.
-            bat_entry = self._bat_entries.get(entry.bat_id)
-            if bat_entry == entry.entry_id:
-                pass  # _restore() re-links via the registry
 
     def _restore(self, entry: CacheEntry, bat: BAT | None = None) -> Buffer:
         """Bring an offloaded/evicted entry back onto the device."""
         if entry.host_copy is not None:
             array = entry.host_copy
+            # only offloaded contents count as a *restore*: re-uploading an
+            # evicted base copy is an ordinary cache miss (the master never
+            # left host memory), which keeps restores <= offloads
+            self.stats.restores += 1
         elif bat is not None and bat.peek_values() is not None:
             array = bat.peek_values()
         else:
             raise OcelotOOM(f"entry {entry.tag!r} has no restorable contents")
-        self.stats.restores += 1
         self.stats.cache_misses += 1
         buffer = self.allocate_like(array, entry.kind, tag=entry.tag)
         self.queue.enqueue_write(buffer, array)
         # The fresh allocation created a new entry; merge bookkeeping.
         new_entry = self._entry_for_buffer(buffer)
         new_entry.bat_id = entry.bat_id
+        new_entry.bat = entry.bat if bat is None else bat
         new_entry.host_copy = None
         if entry.bat_id is not None:
             self._bat_entries[entry.bat_id] = new_entry.entry_id
         self._entries.pop(entry.entry_id, None)
-        if bat is not None and bat.device_ref is not None:
+        # linked (non-BASE) BATs carried a direct device_ref before the
+        # offload; re-attach it.  BASE copies never hold one — a cached
+        # base upload must not hand other managers a foreign reference.
+        linked = new_entry.bat
+        if linked is not None and entry.kind is not BufferKind.BASE:
+            linked.device_ref = buffer
+        elif bat is not None and bat.device_ref is not None:
             bat.device_ref = buffer
         return buffer
 
@@ -416,6 +472,26 @@ class MemoryManager:
             del self._hash_cache[k]
 
     # -- introspection ------------------------------------------------------------------------
+
+    def has_entry(self, bat: BAT) -> bool:
+        """Whether this manager tracks ``bat`` at all — resident,
+        evicted *or* offloaded (the heterogeneous scheduler uses this to
+        find the manager that can still produce the tail)."""
+        entry_id = self._bat_entries.get(bat.bat_id)
+        return entry_id is not None and entry_id in self._entries
+
+    def has_resident(self, bat: BAT) -> bool:
+        """Whether this manager holds a live device copy of ``bat``'s tail
+        (used by the heterogeneous scheduler's data-gravity term)."""
+        ref = bat.device_ref
+        if ref is not None and not ref.released:
+            if self._entry_for_buffer(ref) is not None:
+                return True
+        entry_id = self._bat_entries.get(bat.bat_id)
+        if entry_id is None:
+            return False
+        entry = self._entries.get(entry_id)
+        return entry is not None and entry.resident
 
     def _entry_for_buffer(self, buffer: Buffer) -> CacheEntry | None:
         entry_id = self._buffer_entries.get(buffer.buffer_id)

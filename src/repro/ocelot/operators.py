@@ -870,7 +870,9 @@ def op_sync(engine: OcelotEngine, b):
         b.device_ref = oid_buf
         b.key = True
         return b
-    engine.memory.sync_to_host(b, b.device_ref)
+    # buffer_of restores the tail if the eviction policy offloaded it
+    # between the producing operator and this sync
+    engine.memory.sync_to_host(b, engine.buffer_of(b))
     return b
 
 

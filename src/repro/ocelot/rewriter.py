@@ -8,6 +8,16 @@ BAT, and before result columns are returned.
 
 Operators without an Ocelot implementation (e.g. ``algebra.firstn``)
 stay on MonetDB — the paper's mixed execution mode.
+
+The heterogeneous ("HET") configuration runs the same rewritten plans:
+MonetDB-boundary syncs stay static (inserted here), while *device
+crossing* syncs cannot be known at plan time — placement is cost-based
+and data-gravity-driven — so the scheduler inserts them dynamically
+(:meth:`repro.sched.pool.DevicePool.ensure_on` joins the two queues'
+makespans whenever an operand changes devices).  This module contributes
+the static operator knowledge the scheduler needs: which Ocelot
+functions are row-independent and therefore safe to split across devices
+(partitioned fan-out with a host-side merge).
 """
 
 from __future__ import annotations
@@ -57,6 +67,23 @@ OCELOT_MAP: dict[str, tuple[str, tuple[str, ...]]] = {
     "batcalc.ge": ("ge", ("bat",)),
     "batcalc.ifthenelse": ("ifthenelse", ("bat",)),
 }
+
+
+#: Row-independent Ocelot functions, by fan-out shape (consumed by the
+#: heterogeneous scheduler).  Element-wise ops merge by concatenation,
+#: selections by offsetting + concatenating the qualifying-oid lists,
+#: grouped aggregates by folding the per-device ngroups-wide partials.
+EWISE_FUNCTIONS = frozenset({
+    "add", "sub", "mul", "div", "intdiv", "and", "or",
+    "eq", "ne", "lt", "le", "gt", "ge", "ifthenelse",
+})
+SELECT_FUNCTIONS = frozenset({"select", "thetaselect"})
+GROUPED_AGG_FUNCTIONS = frozenset({
+    "subsum", "submin", "submax", "subcount", "subavg",
+})
+PARTITIONABLE_FUNCTIONS = (
+    EWISE_FUNCTIONS | SELECT_FUNCTIONS | GROUPED_AGG_FUNCTIONS
+)
 
 
 def rewrite_for_ocelot(program: MALProgram) -> MALProgram:

@@ -1,0 +1,32 @@
+"""``repro.sched`` — the heterogeneous multi-device scheduler ("HET").
+
+The paper's §7 future work, second item: after making single-device
+operators hardware-oblivious, "distribute operators across multiple
+devices", with placement driven by automatically generated device
+profiles.  This package owns *both* simulated devices at once and
+schedules one MAL plan across them:
+
+* :class:`~repro.sched.pool.DevicePool` — one
+  :class:`~repro.ocelot.engine.OcelotEngine` per device plus its
+  measured :class:`~repro.ocelot.autotune.DeviceCharacteristics`,
+  cross-device BAT migration, and the per-queue makespan join,
+* :class:`~repro.sched.placer.CostPlacer` — per-instruction cost-based
+  placement from the measured characteristics *plus* the host<->device
+  transfer cost of operands not already resident (data gravity), and a
+  partitioned fan-out planner for row-independent operators,
+* :mod:`~repro.sched.partition` — split execution across the devices'
+  own queues with a host-side merge of the partials,
+* :class:`~repro.sched.backend.HeterogeneousBackend` — the fifth engine
+  configuration, ``CONFIGS["HET"]`` / ``db.connect("HET")``.
+"""
+
+from .backend import HeterogeneousBackend
+from .placer import CostPlacer, Placement
+from .pool import DevicePool
+
+__all__ = [
+    "CostPlacer",
+    "DevicePool",
+    "HeterogeneousBackend",
+    "Placement",
+]

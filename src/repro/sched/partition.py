@@ -1,0 +1,153 @@
+"""Partitioned fan-out execution with a host-side merge.
+
+Each participating device runs the *unmodified* Ocelot host code on a
+cached sub-range view of the input (the devices' queues advance
+independently, so the partitions genuinely overlap in simulated time);
+the per-device partials are synced to the host on their own queues, the
+pool joins the timelines (the barrier before the merge), and a cheap
+host merge — concatenation for row-shaped results, an element-wise fold
+for ngroups-wide aggregation partials — produces one MonetDB-owned BAT.
+
+Mirrors the partition-parallel OLAP pattern of Hespe et al.: big
+partition-local work, small merge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..monetdb.bat import BAT, OID_DTYPE, Role
+from ..monetdb.calc import grouped_dtype
+from ..ocelot.operators import HOST_CODE, op_sync
+from ..ocelot.rewriter import GROUPED_AGG_FUNCTIONS, SELECT_FUNCTIONS
+from .pool import DevicePool
+
+
+def execute_split(pool: DevicePool, function: str, args,
+                  plan: list[tuple[int, int, int]],
+                  charge_overhead=None):
+    """Run ``ocelot.<function>`` split per ``plan`` and merge on host."""
+    if function in SELECT_FUNCTIONS:
+        return _split_select(pool, function, args, plan, charge_overhead)
+    if function in GROUPED_AGG_FUNCTIONS:
+        return _split_grouped(pool, function, args, plan, charge_overhead)
+    return _split_ewise(pool, function, args, plan, charge_overhead)
+
+
+# ---------------------------------------------------------------------------
+# shared plumbing
+# ---------------------------------------------------------------------------
+
+def _run_partials(pool, function, args, plan, charge_overhead):
+    """One partial result per participating device (concurrent queues)."""
+    if charge_overhead is not None:
+        # wake every participating device *before* enqueueing the first
+        # partial: a wake-up charge is a joined-timeline barrier, which
+        # mid-loop would serialize partials already in flight
+        for device, _lo, _hi in plan:
+            charge_overhead(device)
+    partials = []
+    for device, lo, hi in plan:
+        engine = pool.engines[device]
+        sliced = [
+            pool.slice_bat(a, lo, hi) if isinstance(a, BAT) else a
+            for a in args
+        ]
+        with engine.memory.operator_scope():
+            out = HOST_CODE[function](engine, *sliced)
+        partials.append((engine, lo, hi, out))
+    return partials
+
+
+def _to_host(engine, bat: BAT) -> np.ndarray:
+    """Sync one partial back on its own device's queue."""
+    with engine.memory.operator_scope():
+        op_sync(engine, bat)
+    return bat.peek_values()
+
+
+def _merge_barrier(pool: DevicePool, merged_bytes: int) -> None:
+    """Join the queues and charge the host-side merge."""
+    pool.charge_host(pool.merge_seconds(merged_bytes * pool.data_scale))
+
+
+def _discard(pool: DevicePool, partials) -> None:
+    for engine, _lo, _hi, out in partials:
+        if isinstance(out, BAT):
+            pool.release_device_bat(out)
+
+
+# ---------------------------------------------------------------------------
+# selection: offset + concatenate the qualifying-oid lists
+# ---------------------------------------------------------------------------
+
+def _split_select(pool, function, args, plan, charge_overhead):
+    partials = _run_partials(pool, function, args, plan, charge_overhead)
+    pieces = []
+    for engine, lo, _hi, out in partials:
+        local = _to_host(engine, out)
+        if local.size:
+            pieces.append(local.astype(OID_DTYPE) + OID_DTYPE.type(lo))
+    oids = (
+        np.concatenate(pieces) if pieces else np.empty(0, OID_DTYPE)
+    )
+    _merge_barrier(pool, int(oids.nbytes))
+    _discard(pool, partials)
+    # per-partition lists ascend and partitions are disjoint ranges, so
+    # the concatenation is the globally ascending oid list MS produces
+    return BAT(oids, Role.OIDS, key=True, tag="het_sel")
+
+
+# ---------------------------------------------------------------------------
+# element-wise operators: concatenate the row slices
+# ---------------------------------------------------------------------------
+
+def _split_ewise(pool, function, args, plan, charge_overhead):
+    partials = _run_partials(pool, function, args, plan, charge_overhead)
+    pieces = [
+        _to_host(engine, out) for engine, _lo, _hi, out in partials
+    ]
+    values = np.concatenate(pieces)
+    _merge_barrier(pool, int(values.nbytes))
+    _discard(pool, partials)
+    return BAT(np.ascontiguousarray(values), Role.VALUES, tag="het_ewise")
+
+
+# ---------------------------------------------------------------------------
+# grouped aggregation: fold the ngroups-wide partials
+# ---------------------------------------------------------------------------
+
+def _fold(op: str, tables: list[np.ndarray]) -> np.ndarray:
+    stack = np.stack(tables)
+    if op in ("sum", "count"):
+        return stack.sum(axis=0, dtype=stack.dtype)
+    if op == "min":
+        return stack.min(axis=0)
+    return stack.max(axis=0)
+
+
+def _split_grouped(pool, function, args, plan, charge_overhead):
+    if function == "subavg":
+        # partial averages do not merge; fold partial sums and counts
+        vals, gids, ngroups = args
+        sums = _split_grouped(pool, "subsum", (vals, gids, ngroups),
+                              plan, charge_overhead)
+        counts = _split_grouped(pool, "subcount", (gids, ngroups),
+                                plan, charge_overhead)
+        avg = (sums.peek_values().astype(np.float64)
+               / counts.peek_values())
+        return BAT(avg.astype(grouped_dtype("avg", vals.dtype)),
+                   Role.VALUES, tag="het_subavg")
+
+    op = function[3:]   # subsum -> sum, ...
+    partials = _run_partials(pool, function, args, plan, charge_overhead)
+    tables = [
+        _to_host(engine, out) for engine, _lo, _hi, out in partials
+    ]
+    # per-slice empty groups hold the fold identity (0 for sum/count,
+    # the dtype extreme for min/max), so the element-wise fold is exact
+    merged = _fold(op, tables)
+    _merge_barrier(pool, int(merged.nbytes))
+    _discard(pool, partials)
+    return BAT(np.ascontiguousarray(merged), Role.VALUES,
+               tag=f"het_{function}")

@@ -1,0 +1,241 @@
+"""The device pool: per-device engines, residency, and clock joins.
+
+One :class:`~repro.ocelot.engine.OcelotEngine` per device, each with its
+own context, command queue and Memory Manager over the *shared* catalog.
+At construction every device is probed (``autotune``), so the scheduler's
+placement decisions are driven purely by measured characteristics — the
+pool never reads a device's cost model directly (hardware-oblivious, §7).
+
+The pool also owns the two mechanisms that make multi-device execution
+sound in the simulated-timeline model:
+
+* **migration** (:meth:`DevicePool.ensure_on`): an Ocelot-owned BAT
+  resident on device A that is consumed on device B is read back on A's
+  queue, both queues are joined (a cross-device sync boundary — B cannot
+  start before A's producers finished), and the tail is re-uploaded on
+  B's queue;
+* **partition slices** (:meth:`DevicePool.slice_bat`): cached sub-range
+  views of host-resident BATs, so partitioned fan-out enjoys the same
+  hot device cache across repeated runs as whole-BAT execution.
+"""
+
+from __future__ import annotations
+
+from ..cl import Buffer
+from ..monetdb.bat import BAT, Role
+from ..monetdb.storage import Catalog
+from ..ocelot.autotune import DeviceCharacteristics, autotune
+from ..ocelot.engine import OcelotEngine
+from ..ocelot.memory import BufferKind
+
+
+class DevicePool:
+    """All devices the heterogeneous scheduler may place work on."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        devices: tuple = ("cpu", "gpu"),
+        data_scale: float = 1.0,
+    ):
+        self.catalog = catalog
+        self.engines: list[OcelotEngine] = []
+        self.characteristics: list[DeviceCharacteristics] = []
+        for device in devices:
+            engine = OcelotEngine(catalog, device, data_scale)
+            report = autotune(engine)   # probe + install tuned parameters
+            self.engines.append(engine)
+            self.characteristics.append(report.characteristics)
+        #: (bat_id, lo, hi) -> sub-range view BAT (partition cache)
+        self._slices: dict[tuple[int, int, int], BAT] = {}
+        catalog.on_delete(self._drop_slices)
+
+    def __len__(self) -> int:
+        return len(self.engines)
+
+    # -- residency ---------------------------------------------------------
+
+    def engine_for_buffer(self, buffer: Buffer) -> OcelotEngine | None:
+        for engine in self.engines:
+            if buffer.context is engine.context:
+                return engine
+        return None
+
+    def device_of(self, bat: BAT) -> int | None:
+        """Index of the device holding ``bat``'s live tail, if any."""
+        ref = bat.device_ref
+        if ref is None or ref.released:
+            return None
+        for idx, engine in enumerate(self.engines):
+            if ref.context is engine.context:
+                return idx
+        return None
+
+    def home_of(self, bat: BAT) -> int | None:
+        """The device whose manager can produce ``bat``'s tail — live
+        buffer, or an offloaded/evicted registry entry it can restore.
+        This is the data-gravity anchor even under memory pressure."""
+        idx = self.device_of(bat)
+        if idx is not None:
+            return idx
+        for idx, engine in enumerate(self.engines):
+            if engine.memory.has_entry(bat):
+                return idx
+        return None
+
+    # -- cross-device migration ---------------------------------------------
+
+    def ensure_on(self, bat: BAT, target: OcelotEngine) -> None:
+        """Make ``bat`` consumable on ``target``'s device.
+
+        Host-resident BATs need nothing (the target's Memory Manager
+        uploads/caches them on demand); a device-resident tail on another
+        device is migrated through the host with a clock join in between
+        — the dynamic equivalent of a rewriter-inserted sync boundary.
+        """
+        ref = bat.device_ref
+        if ref is not None and not ref.released \
+                and ref.context is target.context:
+            return
+        if bat.has_host_values:
+            # synced earlier: the host master is current, a stale
+            # cross-device reference only needs detaching; the source
+            # keeps its cached copy for its own future use
+            if ref is not None and ref.context is not target.context:
+                bat.device_ref = None
+            return
+        if ref is not None and not ref.released \
+                and self.engine_for_buffer(ref) is None:
+            bat.device_ref = None   # foreign buffer (not pool-managed)
+            return
+        home = self.home_of(bat)
+        if home is None or self.engines[home] is target:
+            # nothing to move: the target's own manager restores any
+            # offloaded entry on demand
+            return
+        source = self.engines[home]
+        # restore at home first if the tail was offloaded there
+        ref = source.memory.buffer_for_bat(bat)
+        # device-only tail: read back on the owner's queue ...
+        for aux in list(bat.aux.values()):
+            # operator-attached auxiliaries (materialised oid views) live
+            # on the source device; drop them with the old residence
+            if isinstance(aux, Buffer) and not aux.released:
+                (self.engine_for_buffer(aux) or source).memory.release(aux)
+        bat.aux.clear()
+        host, _event = source.queue.enqueue_read(
+            ref, wait_for=ref.dependencies_for_read()
+        )
+        # ... join the timelines at the hand-over ...
+        self.join_clocks()
+        source.memory.release(ref)
+        bat.device_ref = None
+        # ... and re-upload on the target's queue.
+        new_buffer = target.memory.allocate(
+            host.shape, host.dtype, BufferKind.RESULT, tag=ref.tag
+        )
+        target.queue.enqueue_write(new_buffer, host)
+        target.memory.link_result(bat, new_buffer)
+
+    # -- partition slices ------------------------------------------------------
+
+    def slice_bat(self, bat: BAT, lo: int, hi: int) -> BAT:
+        """Cached view of rows ``[lo, hi)`` of a host-resident BAT."""
+        if lo == 0 and hi == bat.count:
+            return bat
+        key = (bat.bat_id, lo, hi)
+        sliced = self._slices.get(key)
+        if sliced is None:
+            values = bat.peek_values()
+            if values is None:
+                raise ValueError(
+                    f"cannot slice device-only BAT {bat.tag!r}"
+                )
+            sliced = BAT(
+                values[lo:hi],
+                Role.VALUES,
+                key=bat.key,
+                sorted_=bat.sorted,
+                tag=f"{bat.tag}[{lo}:{hi}]",
+            )
+            # a slice of a persistent column is as cache-persistent as
+            # the column itself (placement treats its upload as amortised)
+            sliced.is_base = bat.is_base
+            self._slices[key] = sliced
+        return sliced
+
+    def slice_cached_on(self, bat: BAT, lo: int, hi: int,
+                        device: int) -> bool:
+        """Whether the ``[lo, hi)`` slice is already device-cached."""
+        sliced = self._slices.get((bat.bat_id, lo, hi))
+        if sliced is None:
+            return False
+        return self.engines[device].memory.has_resident(sliced)
+
+    def _drop_slices(self, bat: BAT) -> None:
+        stale = [k for k in self._slices if k[0] == bat.bat_id]
+        for key in stale:
+            sliced = self._slices.pop(key)
+            # propagate to the per-device caches (and any other listener)
+            self.catalog.notify_recycled(sliced)
+
+    # -- simulated clocks -------------------------------------------------------
+
+    def join_clocks(self) -> float:
+        """Barrier across all device queues (cross-device sync point)."""
+        t = max(engine.queue.finish() for engine in self.engines)
+        for engine in self.engines:
+            engine.queue.advance_to(t)
+        return t
+
+    def charge_host(self, seconds: float) -> None:
+        """Account host-side work (e.g. a partial merge) on the joined
+        timeline: no device command may start before it completes.
+
+        Always a barrier — even zero-cost host work (an empty merge)
+        consumes every device's partials, so the queues must join."""
+        t = self.join_clocks() + max(seconds, 0.0)
+        for engine in self.engines:
+            engine.queue.advance_to(t)
+
+    def makespan(self) -> float:
+        return max(engine.queue.makespan() for engine in self.engines)
+
+    # -- host-side merge model --------------------------------------------------
+
+    def host_characteristics(self):
+        """The profile of the device doing host-side work (the CPU)."""
+        for idx, engine in enumerate(self.engines):
+            if engine.device.is_cpu:
+                return self.characteristics[idx]
+        return self.characteristics[0]
+
+    def merge_seconds(self, merged_nominal_bytes: float) -> float:
+        """Host-side cost of merging partials: read + write the merged
+        column at the host's streaming rate.  The single source of truth
+        for both the planner's prediction and the charged time."""
+        from ..cl import GB
+
+        host = self.host_characteristics()
+        return 2 * merged_nominal_bytes / (host.stream_gbs * GB)
+
+    # -- helpers --------------------------------------------------------------
+
+    def release_device_bat(self, bat: BAT) -> None:
+        """Free a consumed partial result's device storage everywhere."""
+        for key, aux in list(bat.aux.items()):
+            if isinstance(aux, Buffer) and not aux.released:
+                owner = self.engine_for_buffer(aux)
+                if owner is not None:
+                    owner.memory.release(aux)
+        bat.aux.clear()
+        ref = bat.device_ref
+        if ref is not None and not ref.released:
+            owner = self.engine_for_buffer(ref)
+            if owner is not None:
+                owner.memory.release(ref)
+        bat.device_ref = None
+
+    @property
+    def data_scale(self) -> float:
+        return self.engines[0].context.data_scale

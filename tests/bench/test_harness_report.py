@@ -58,8 +58,14 @@ def test_speedup_and_helpers():
 
 
 def test_configs_cover_the_paper():
-    assert set(CONFIGS) == {"MS", "MP", "CPU", "GPU"}
+    # the paper's four configurations plus the §7 HET extension
+    assert set(CONFIGS) == {"MS", "MP", "CPU", "GPU", "HET"}
     assert CONFIGS["CPU"].is_ocelot and not CONFIGS["MS"].is_ocelot
+    assert CONFIGS["HET"].is_ocelot
+    # the reproduced figures sweep exactly the paper's configurations
+    from repro.bench.configs import ALL_LABELS
+
+    assert ALL_LABELS == ("MS", "MP", "CPU", "GPU")
 
 
 def test_trace_exclusions():

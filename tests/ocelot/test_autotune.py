@@ -52,6 +52,42 @@ class TestProbe:
         assert gpu.stream_gbs > cpu.stream_gbs
 
 
+class TestProbeModule:
+    def test_buffer_kind_is_a_normal_top_level_import(self):
+        """Regression: ``probe_device`` used to reach BufferKind through a
+        triple ``__import__`` hack at every call site; no cycle exists,
+        so the module must import it normally (and exactly once)."""
+        import importlib
+        import inspect
+
+        from repro.ocelot.memory import BufferKind
+
+        module = importlib.import_module("repro.ocelot.autotune")
+        assert module.BufferKind is BufferKind
+        assert "__import__" not in inspect.getsource(module)
+
+    def test_transfer_probe_measures_the_host_link(self, catalog):
+        import math
+
+        cpu = probe_device(OcelotBackend(catalog, "cpu",
+                                         data_scale=128.0).engine)
+        gpu = probe_device(OcelotBackend(catalog, "gpu",
+                                         data_scale=128.0).engine)
+        # the CPU maps buffers (zero-copy): no per-byte cost
+        assert not math.isfinite(cpu.transfer_gbs)
+        # the GPU sits behind PCIe 2.0 x16 (~5.6 GB/s effective)
+        assert math.isfinite(gpu.transfer_gbs)
+        assert 3.0 < gpu.transfer_gbs < 8.0
+        assert gpu.transfer_latency_s > 0
+        assert gpu.global_mem_bytes > 0
+        # atomic interpolation stays within the probed bracket
+        for chars in (cpu, gpu):
+            mid = chars.atomic_ns(256)
+            lo = min(chars.atomic_contended_ns, chars.atomic_uncontended_ns)
+            hi = max(chars.atomic_contended_ns, chars.atomic_uncontended_ns)
+            assert lo <= mid <= hi
+
+
 class TestRadixChoice:
     def test_feasibility_from_local_memory(self):
         roomy = _chars()  # 16 KB per item

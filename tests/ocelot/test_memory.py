@@ -153,6 +153,98 @@ class TestPinning:
         assert held.released
 
 
+class TestBugfixSweep:
+    """Regressions for the memory-manager audit that preceded the
+    heterogeneous scheduler (each failed on the code it fixed)."""
+
+    def test_evict_detaches_stale_device_ref(self):
+        mm, _ = make_manager(1000)
+        buffer = mm.allocate(300, np.uint8, BufferKind.BASE, tag="linked")
+        bat = make_bat(np.zeros(300, np.uint8))
+        mm.link_result(bat, buffer)
+        # pressure evicts the BASE copy; the BAT's direct reference must
+        # not keep dangling on the released buffer
+        mm.allocate(900, np.uint8, BufferKind.RESULT, tag="big")
+        assert mm.stats.evictions == 1
+        assert buffer.released
+        assert bat.device_ref is None
+
+    def test_offload_detaches_and_restore_relinks_device_ref(self):
+        mm, _ = make_manager(1000)
+        buffer = mm.allocate(400, np.uint8, BufferKind.RESULT, tag="res")
+        buffer.array[:] = 5
+        bat = make_bat(np.zeros(400, np.uint8))
+        mm.link_result(bat, buffer)
+        mm.allocate(700, np.uint8, BufferKind.RESULT, tag="big")
+        assert mm.stats.offloads == 1 and buffer.released
+        # while offloaded the ref stays readable metadata (see Buffer)
+        assert bat.device_ref is buffer
+        for entry in list(mm.entries()):
+            if entry.tag == "big":
+                mm.release(entry.buffer)
+        restored = mm.buffer_for_bat(bat)
+        assert np.all(restored.array == 5)
+        # ... and the direct link comes back with the restore
+        assert bat.device_ref is restored
+
+    def test_release_of_pinned_buffer_defers_the_free(self):
+        mm, _ = make_manager(1000)
+        buffer = mm.allocate(100, np.uint8, BufferKind.RESULT, tag="shared")
+        mm.pin(buffer)            # a concurrent operator's working set
+        mm.release(buffer)        # the producer drops its interest
+        assert not buffer.released  # still pinned: must survive
+        mm.unpin(buffer)
+        assert buffer.released      # deferred free ran at the last unpin
+        assert mm._entry_for_buffer(buffer) is None
+
+    def test_release_inside_foreign_scope_keeps_outer_working_set(self):
+        """An inner operator releasing a buffer an outer scope still has
+        pinned must not corrupt the outer operator's working set."""
+        mm, _ = make_manager(1000)
+        bat = make_bat(np.zeros(64, np.uint8))
+        with mm.operator_scope():
+            held = mm.buffer_for_bat(bat)
+            with mm.operator_scope():
+                mm.release(held)       # inner scope holds no pin on it
+            assert not held.released   # outer scope still uses it
+            np.copyto(held.array, 7)   # ... and may still touch it
+        assert held.released           # freed once the outer scope ended
+
+    def test_release_of_own_scope_pin_frees_immediately(self):
+        mm, _ = make_manager(1000)
+        with mm.operator_scope():
+            temp = mm.allocate(100, np.uint8, BufferKind.AUX, tag="t")
+            mm.release(temp)       # the operator's own mid-flight free
+            assert temp.released   # room is reclaimed immediately
+
+    def test_scope_exit_does_not_mask_operator_exception(self):
+        mm, _ = make_manager(1000)
+        bat = make_bat(np.zeros(64, np.uint8))
+        with pytest.raises(ValueError, match="operator failed"):
+            with mm.operator_scope():
+                held = mm.buffer_for_bat(bat)
+                mm.unpin(held)     # operator unbalances its own pins ...
+                raise ValueError("operator failed")   # ... then dies
+
+    def test_scope_exit_still_surfaces_imbalance(self):
+        mm, _ = make_manager(1000)
+        bat = make_bat(np.zeros(64, np.uint8))
+        with pytest.raises(RuntimeError, match="unbalanced"):
+            with mm.operator_scope():
+                held = mm.buffer_for_bat(bat)
+                mm.unpin(held)
+
+    def test_base_reupload_is_not_counted_as_restore(self):
+        mm, _ = make_manager(1000)
+        base = make_bat(np.full(400, 3, np.uint8))
+        mm.buffer_for_bat(base)
+        mm.allocate(900, np.uint8, BufferKind.RESULT, tag="big")
+        assert mm.stats.evictions == 1
+        mm.buffer_for_bat(base)    # re-upload of the host master
+        assert mm.stats.restores == 0
+        assert mm.stats.restores <= mm.stats.offloads
+
+
 class TestCallbacks:
     def test_bat_delete_drops_buffers(self):
         mm, catalog = make_manager(4096)

@@ -1,0 +1,128 @@
+"""Memory-pressure properties of heterogeneous execution (hypothesis).
+
+A HET pool whose GPU has a tiny device-memory budget must keep working:
+the placement policy excludes infeasible whole placements, the fan-out
+planner caps the GPU's share by capacity, and the Memory Manager absorbs
+the rest through eviction/offload.  Throughout, the bookkeeping stays
+consistent — ``restores <= offloads`` (only offloaded contents can be
+restored), nothing released is ever handed to a kernel (the simulated
+queue raises ``InvalidKernelArgs`` if it were), and results stay equal
+to the MS baseline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import cl
+from repro.monetdb import Catalog, MALBuilder, MonetDBSequential, run_program
+from repro.ocelot.rewriter import rewrite_for_ocelot
+from repro.sched import HeterogeneousBackend
+
+N_ROWS = 1 << 15
+
+
+def _pool_backend(catalog, gpu_mem_mb: float, data_scale: float):
+    gpu = cl.Device(
+        cl.NVIDIA_GTX460.with_memory(int(gpu_mem_mb * cl.MB))
+    )
+    return HeterogeneousBackend(
+        catalog,
+        devices=(cl.Device(cl.INTEL_XEON_E5620), gpu),
+        data_scale=data_scale,
+    )
+
+
+def _pressure_query(ngroups: int, hi: int):
+    builder = MALBuilder("pressure")
+    v = builder.bind("t", "v")
+    g = builder.bind("t", "g")
+    cand = builder.emit(
+        "algebra", "select", (v, None, 0, hi, True, True, False)
+    )
+    n = builder.emit("aggr", "count", (cand,))
+    scaled = builder.emit("batcalc", "mul", (v, 3))
+    sums = builder.emit("aggr", "subsum", (scaled, g, ngroups))
+    return builder.returns([("n", n), ("sums", sums)])
+
+
+@given(
+    ngroups=st.integers(2, 64),
+    hi=st.integers(1, 1 << 30),
+    gpu_mem_mb=st.floats(2.0, 30.0),
+)
+@settings(max_examples=8, deadline=None)
+def test_het_query_under_gpu_pressure_matches_ms(ngroups, hi, gpu_mem_mb):
+    rng = np.random.default_rng(41)
+    catalog = Catalog()
+    catalog.create_table("t", {
+        "v": rng.integers(0, 1 << 30, N_ROWS).astype(np.int32),
+        "g": rng.integers(0, ngroups, N_ROWS).astype(np.int32),
+    })
+    # data_scale 64: the two 128 KB columns stand for 8 MB each, so the
+    # 2-24 MB GPU budgets range from "nothing fits" to "barely fits"
+    backend = _pool_backend(catalog, gpu_mem_mb, data_scale=64.0)
+    program = _pressure_query(ngroups, hi)
+
+    expected = run_program(program, MonetDBSequential(catalog))
+    plan = rewrite_for_ocelot(program)
+    for _ in range(2):   # a second run exercises the warm/evicted cache
+        got = run_program(plan, backend)
+
+    assert got.columns["n"][0] == expected.columns["n"][0]
+    assert np.array_equal(got.columns["sums"], expected.columns["sums"])
+
+    for engine in backend.pool.engines:
+        stats = engine.memory.stats
+        assert stats.restores <= stats.offloads
+        assert stats.evictions >= 0
+        # the registry never keeps released buffers around
+        for entry in engine.memory.entries():
+            if entry.buffer is not None:
+                assert not entry.buffer.released
+
+
+def test_pressure_actually_occurs_on_the_tiny_gpu():
+    """Guard that the property above really exercises the eviction path
+    (not vacuously true because everything fit)."""
+    rng = np.random.default_rng(7)
+    catalog = Catalog()
+    catalog.create_table("t", {
+        "v": rng.integers(0, 1 << 30, N_ROWS).astype(np.int32),
+        "g": rng.integers(0, 16, N_ROWS).astype(np.int32),
+    })
+    # 24 MB: large enough that the scheduler routes the whole chain to
+    # the GPU, too small to also keep every cached input resident
+    backend = _pool_backend(catalog, gpu_mem_mb=24.0, data_scale=64.0)
+    program = _pressure_query(16, 1 << 29)
+    ms = run_program(program, MonetDBSequential(catalog))
+    got = run_program(rewrite_for_ocelot(program), backend)
+    assert np.array_equal(got.columns["sums"], ms.columns["sums"])
+    activity = sum(
+        e.memory.stats.evictions + e.memory.stats.offloads
+        for e in backend.pool.engines
+    )
+    assert activity > 0
+
+
+def test_het_raises_oom_only_when_nothing_fits_anywhere():
+    """With both devices too small for the working set the query dies
+    with OcelotOOM instead of silently computing on released buffers."""
+    from repro.ocelot.memory import OcelotOOM
+
+    rng = np.random.default_rng(11)
+    catalog = Catalog()
+    catalog.create_table("t", {
+        "v": rng.integers(0, 1 << 30, N_ROWS).astype(np.int32),
+    })
+    cpu = cl.Device(cl.INTEL_XEON_E5620.with_memory(1 * cl.MB))
+    gpu = cl.Device(cl.NVIDIA_GTX460.with_memory(1 * cl.MB))
+    backend = HeterogeneousBackend(
+        catalog, devices=(cpu, gpu), data_scale=64.0
+    )
+    builder = MALBuilder("oom")
+    v = builder.bind("t", "v")
+    s, order = builder.emit("algebra", "sort", (v, False), n_results=2)
+    program = rewrite_for_ocelot(builder.returns([("s", s)]))
+    with pytest.raises(OcelotOOM):
+        run_program(program, backend)

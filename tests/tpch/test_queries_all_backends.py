@@ -1,6 +1,7 @@
 """The flagship integration test: every workload query returns identical
-results on MS, MP, Ocelot-CPU and Ocelot-GPU (the paper's drop-in claim,
-end to end through SQL, optimizer pipelines, rewriter and engines)."""
+results on MS, MP, Ocelot-CPU, Ocelot-GPU and the heterogeneous HET
+scheduler (the paper's drop-in claim, end to end through SQL, optimizer
+pipelines, rewriter and engines)."""
 
 import numpy as np
 import pytest
@@ -30,7 +31,7 @@ def test_query_agrees_across_all_configurations(contexts, query_id):
 
     base = results["MS"]
     assert base.n_rows >= 0
-    for label in ("MP", "CPU", "GPU"):
+    for label in ("MP", "CPU", "GPU", "HET"):
         other = results[label]
         assert set(base.columns) == set(other.columns), label
         for col in base.columns:
