@@ -15,11 +15,12 @@ Quick start::
         result = db.execute(repro.tpch.WORKLOAD["Q6"], engine=engine)
         print(engine, result.columns["revenue"], f"{result.elapsed*1e3:.1f} ms")
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every figure.
+See README.md for the quickstart and how to reproduce each figure, and
+ARCHITECTURE.md for the layer map (sql -> monetdb/MAL -> ocelot -> cl
+-> sched -> serve) and the lifecycle of a query on each engine.
 """
 
-from . import bench, cl, kernels, monetdb, ocelot, sql, tpch
+from . import bench, cl, kernels, monetdb, ocelot, serve, sql, tpch
 from .api import CatalogSchema, Connection, Database, tpch_database
 from .monetdb.interpreter import QueryResult
 
@@ -35,6 +36,7 @@ __all__ = [
     "kernels",
     "monetdb",
     "ocelot",
+    "serve",
     "sql",
     "tpch",
     "tpch_database",

@@ -1,24 +1,46 @@
 """Public façade: a small embedded-database API over the whole stack.
 
+(The layer map — what sits between this module and the simulated
+devices — is documented in ARCHITECTURE.md.)
+
+    >>> import numpy as np
     >>> import repro
     >>> db = repro.Database()
-    >>> db.create_table("points", {"x": xs, "y": ys})
-    >>> result = db.execute("SELECT x, sum(y) AS total FROM points GROUP BY x")
-    >>> result.columns["total"]
+    >>> db.create_table("points", {
+    ...     "x": np.array([0, 1, 0, 1], dtype=np.int32),
+    ...     "y": np.array([1.5, 2.0, 0.5, 1.0], dtype=np.float32),
+    ... })
+    >>> con = db.connect("CPU")
+    >>> result = con.execute("SELECT x, sum(y) AS total FROM points GROUP BY x")
+    >>> result.column("total")
+    array([2., 3.])
 
 A :class:`Database` owns the catalog; :meth:`connect` opens a connection
 bound to one of five engine configurations — the paper's four ("MS",
 "MP", "CPU", "GPU") plus "HET", the heterogeneous scheduler that owns
 *both* simulated devices and places every operator by measured device
 characteristics and data gravity, splitting row-independent operators
-across the devices (paper §7 future work)::
-
-    >>> con = db.connect("HET")
-    >>> con.execute("SELECT x, sum(y) AS total FROM points GROUP BY x")
+across the devices (paper §7 future work).
 
 ``execute`` parses SQL, lowers it to MAL, applies the configuration's
 optimizer pipeline (the Ocelot rewriter for CPU/GPU/HET) and interprets
-the plan.
+the plan.  Compiled plans are memoised in a per-database *plan cache*
+(:mod:`repro.serve`): repeating a statement skips parse, rewrite and —
+on HET — per-instruction placement scoring, and the counters show it:
+
+    >>> _ = con.execute("SELECT x, sum(y) AS total FROM points GROUP BY x")
+    >>> con.plan_cache.stats.hits >= 1
+    True
+
+``submit`` is the asynchronous variant: it returns a
+:class:`~repro.serve.session.QueryFuture` served by a fair round-robin
+session scheduler, which on the HET engine overlaps independent queries
+across the device pool's per-device timelines:
+
+    >>> f1 = con.submit("SELECT sum(y) AS s FROM points WHERE x = 0")
+    >>> f2 = con.submit("SELECT sum(y) AS s FROM points WHERE x = 1")
+    >>> float(f1.result().column("s")[0]), float(f2.result().column("s")[0])
+    (2.0, 3.0)
 """
 
 from __future__ import annotations
@@ -31,6 +53,8 @@ from .bench.configs import CONFIGS
 from .monetdb.interpreter import QueryResult, run_program
 from .monetdb.mal import MALProgram
 from .monetdb.storage import Catalog
+from .serve.plancache import PlanCache
+from .serve.session import QueryFuture, SessionScheduler
 from .sql.lower import SchemaProvider, compile_sql
 
 
@@ -63,7 +87,13 @@ class CatalogSchema(SchemaProvider):
 
 
 class Connection:
-    """One engine configuration bound to a database."""
+    """One engine configuration bound to a database.
+
+    The connection owns a live backend (device contexts, memory-manager
+    caches, autotuned profiles) and shares the database's plan cache —
+    both stay warm across queries, which is why connections are cached
+    per engine on the :class:`Database` and should be reused.
+    """
 
     def __init__(self, database: "Database", engine: str):
         if engine not in CONFIGS:
@@ -75,17 +105,43 @@ class Connection:
         self.backend = self.config.make(
             database.catalog, database.data_scale
         )
+        #: shared per-database cache of compiled/rewritten/placed plans
+        self.plan_cache: PlanCache = database.plan_cache
+        self._scheduler: Optional[SessionScheduler] = None
 
     @property
     def engine(self) -> str:
         return self.config.label
 
+    # -- synchronous execution ----------------------------------------------
+
     def execute(self, sql: str, name: str = "query") -> QueryResult:
-        """Parse, lower, optimize and run one SQL statement."""
-        program = compile_sql(sql, self.database.schema, name=name)
-        return self.run_plan(program)
+        """Parse, lower, optimize and run one SQL statement.
+
+        Compilation is served from the plan cache when this SQL text ran
+        before on this engine under the current schema version; on the
+        heterogeneous engine the cached placement trace is replayed so
+        repeat queries skip per-instruction scoring too.
+        """
+        entry = self.plan_cache.lookup(
+            sql, self.config, self.database.schema, name=name
+        )
+        return self._run_cached(entry)
+
+    def _run_cached(self, entry) -> QueryResult:
+        backend = self.backend
+        replayable = hasattr(backend, "install_replay")
+        if replayable:
+            backend.install_replay(entry.placements)
+        result = run_program(entry.program, backend)
+        if replayable:
+            trace, replayed = backend.take_trace()
+            entry.placements = trace
+            self.plan_cache.stats.placement_reuses += replayed
+        return result
 
     def run_plan(self, program: MALProgram) -> QueryResult:
+        """Run an already-compiled MAL program (uncached path)."""
         plan = self.config.plan(program)
         return run_program(plan, self.backend)
 
@@ -93,6 +149,35 @@ class Connection:
         """The optimized MAL plan this connection would execute."""
         program = compile_sql(sql, self.database.schema, name=name)
         return self.config.plan(program).format()
+
+    # -- asynchronous sessions ------------------------------------------------
+
+    @property
+    def scheduler(self) -> SessionScheduler:
+        """The connection's session scheduler (created on first use)."""
+        if self._scheduler is None:
+            self._scheduler = SessionScheduler(self)
+        return self._scheduler
+
+    def submit(self, sql: str, name: str = "query") -> QueryFuture:
+        """Admit one statement for pipelined execution; returns a future.
+
+        In-flight queries advance one instruction per turn, round-robin.
+        On the HET engine their simulated timelines overlap across the
+        device pool (independent queries on different devices run
+        concurrently); single-timeline engines execute FIFO.  Drive the
+        scheduler with :meth:`drain` or by awaiting any future's
+        ``result()``.
+        """
+        entry = self.plan_cache.lookup(
+            sql, self.config, self.database.schema, name=name
+        )
+        return self.scheduler.submit(entry, name=name)
+
+    def drain(self) -> None:
+        """Run every submitted query to completion."""
+        if self._scheduler is not None:
+            self._scheduler.drain()
 
 
 class Database:
@@ -102,6 +187,10 @@ class Database:
         self.catalog = Catalog()
         self.schema = CatalogSchema(self.catalog)
         self.data_scale = float(data_scale)
+        #: compiled plans shared by every connection, keyed by
+        #: (SQL text, engine, schema version) — see :mod:`repro.serve`
+        self.plan_cache = PlanCache(self.catalog)
+        self._connections: dict[str, Connection] = {}
 
     # -- DDL -------------------------------------------------------------
 
@@ -112,30 +201,43 @@ class Database:
         ``dictionaries`` maps column names to string-value lists; such
         columns must contain int32 dictionary codes and become queryable
         with string equality literals.
+
+        DDL bumps the catalog's schema version, so every cached plan
+        compiled against the old schema is invalidated.
         """
         self.catalog.create_table(name, columns)
         for column, values in (dictionaries or {}).items():
             dict_name = f"{name}.{column}"
             self.schema.dictionaries[dict_name] = list(values)
             self.schema.column_dicts[(name, column)] = dict_name
+        self.plan_cache.invalidate_schema()
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
+        self.plan_cache.invalidate_schema()
 
     # -- connections -----------------------------------------------------------
 
     def connect(self, engine: str = "CPU") -> Connection:
-        """Open a connection on one of the five configurations.
+        """The connection for one of the five configurations.
 
         ``"MS"``/``"MP"`` are the MonetDB baselines, ``"CPU"``/``"GPU"``
         run Ocelot on one simulated device, and ``"HET"`` schedules each
         query across the CPU *and* the GPU at once (cost-based placement
         plus partitioned fan-out; see :mod:`repro.sched`).
+
+        Connections are cached per engine: repeated ``connect("HET")``
+        returns the same object, so device probes run once and the
+        backend's device caches stay warm across queries.
         """
-        return Connection(self, engine)
+        connection = self._connections.get(engine)
+        if connection is None:
+            connection = Connection(self, engine)
+            self._connections[engine] = connection
+        return connection
 
     def execute(self, sql: str, engine: str = "CPU") -> QueryResult:
-        """One-shot convenience: connect + execute."""
+        """One-shot convenience: cached connection + execute."""
         return self.connect(engine).execute(sql)
 
 

@@ -1,5 +1,6 @@
-"""``repro.bench`` — the benchmark harness (S7): the four configurations,
-microbenchmark and TPC-H drivers, and paper-style reporting."""
+"""``repro.bench`` — the benchmark harness (S7): the five engine
+configurations, microbenchmark and TPC-H drivers, and paper-style
+reporting.  (Layer map: ARCHITECTURE.md; figure recipes: README.md.)"""
 
 from .configs import ALL_LABELS, CONFIGS, EngineConfig
 from .harness import BenchContext, Measurement, Series, uniform_column

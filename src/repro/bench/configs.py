@@ -28,9 +28,20 @@ class EngineConfig:
     label: str
     make: Callable[[Catalog, float], Backend]
     is_ocelot: bool
+    #: one-line description (README engine table, examples, tooling)
+    description: str = ""
+    #: whether the serve layer can overlap submitted queries on this
+    #: engine's timelines (requires the HET pool's per-device queues;
+    #: single-timeline engines execute ``submit`` FIFO)
+    pipelines_sessions: bool = False
 
     def plan(self, program: MALProgram) -> MALProgram:
-        """Optimizer pipeline for this configuration."""
+        """Optimizer pipeline for this configuration.
+
+        Deterministic per (program, engine) — the serve layer's plan
+        cache memoises its output keyed by SQL text, engine label and
+        schema version (see :mod:`repro.serve.plancache`).
+        """
         if self.is_ocelot:
             return rewrite_for_ocelot(program)
         return program
@@ -40,22 +51,28 @@ CONFIGS: dict[str, EngineConfig] = {
     "MS": EngineConfig(
         "MS", lambda cat, scale: MonetDBSequential(cat, data_scale=scale),
         is_ocelot=False,
+        description="sequential MonetDB baseline (single core)",
     ),
     "MP": EngineConfig(
         "MP", lambda cat, scale: MonetDBParallel(cat, data_scale=scale),
         is_ocelot=False,
+        description="parallel MonetDB (Mitosis + Dataflow, hand-tuned)",
     ),
     "CPU": EngineConfig(
         "CPU", lambda cat, scale: OcelotBackend(cat, "cpu", data_scale=scale),
         is_ocelot=True,
+        description="Ocelot on the simulated Intel Xeon (Intel SDK)",
     ),
     "GPU": EngineConfig(
         "GPU", lambda cat, scale: OcelotBackend(cat, "gpu", data_scale=scale),
         is_ocelot=True,
+        description="Ocelot on the simulated NVIDIA GTX 460",
     ),
     "HET": EngineConfig(
         "HET", lambda cat, scale: HeterogeneousBackend(cat, data_scale=scale),
         is_ocelot=True,
+        description="heterogeneous scheduler owning CPU and GPU at once",
+        pipelines_sessions=True,
     ),
 }
 

@@ -6,7 +6,9 @@ with the full event model, runtime kernel compilation with pre-processor
 specialisation, and two execution drivers (work-item reference interpreter
 and vectorised numpy).  Results are always computed for real; execution
 *times* are simulated by calibrated per-device cost models so that the
-paper's comparisons can be reproduced without 2013 hardware (DESIGN.md §2).
+paper's comparisons can be reproduced without 2013 hardware.  Command
+queues also carry per-session timelines for the serve layer's
+overlapping queries.  (Layer map: ARCHITECTURE.md §"repro.cl".)
 """
 
 from .buffer import Buffer

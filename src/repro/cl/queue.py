@@ -18,6 +18,16 @@ available) but derives a *simulated schedule* from the dependency graph:
 
 ``finish()`` joins all timelines (like ``clFinish``) and returns the
 current makespan; measurements bracket work between two ``finish()`` calls.
+
+**Per-session timelines** (serve layer, see ARCHITECTURE.md): when the
+session scheduler interleaves several queries on one device queue, each
+command is attributed to the queue's ``current_session``.  A session has
+its own *floor* — the epoch before which none of its commands may start
+(a session-scoped sync point, e.g. a cross-device hand-over of *its*
+operand) — and its own completion frontier.  The queue's global engine
+clocks still serialise same-device commands in order (device contention
+stays real); only the cross-device barriers stop being global, which is
+what lets independent queries overlap on different devices.
 """
 
 from __future__ import annotations
@@ -74,6 +84,11 @@ class CommandQueue:
         self._engine_time = {self.COMPUTE: 0.0, self.COPY: 0.0}
         self.stats = QueueStats()
         self._released = False
+        #: session the next scheduled commands belong to (``None`` =
+        #: plain single-query execution, the default)
+        self.current_session: str | None = None
+        self._session_floor: dict[str, float] = {}
+        self._session_end: dict[str, float] = {}
 
     # -- internal scheduling --------------------------------------------------
 
@@ -94,11 +109,18 @@ class CommandQueue:
         event.t_queued = self.host_time
         event.t_submit = self.host_time
         start = max(self._engine_time[engine], event.t_submit, latest_end(deps))
+        session = self.current_session
+        if session is not None:
+            start = max(start, self._session_floor.get(session, 0.0))
         event.t_start = start
         event.t_end = start + duration
         event.status = EventStatus.COMPLETE
         event.engine = engine
         self._engine_time[engine] = event.t_end
+        if session is not None:
+            self._session_end[session] = max(
+                self._session_end.get(session, 0.0), event.t_end
+            )
         self.stats.events.append(event)
         return event
 
@@ -281,6 +303,38 @@ class CommandQueue:
         self.host_time = t
         for engine in self._engine_time:
             self._engine_time[engine] = t
+
+    # -- per-session timelines (serve layer) ---------------------------------
+
+    def open_session(self, session: str, epoch: float) -> None:
+        """Start tracking ``session``; none of its commands may start
+        before ``epoch`` (the simulated submit time)."""
+        self._check_alive()
+        self._session_floor[session] = max(
+            epoch, self._session_floor.get(session, 0.0)
+        )
+
+    def close_session(self, session: str) -> None:
+        """Forget a completed session's tracking state."""
+        self._session_floor.pop(session, None)
+        self._session_end.pop(session, None)
+
+    def session_time(self, session: str) -> float:
+        """The session's frontier on this queue: the end of its latest
+        command, or its floor if it has not enqueued anything here."""
+        return max(
+            self._session_floor.get(session, 0.0),
+            self._session_end.get(session, 0.0),
+        )
+
+    def advance_session_to(self, session: str, t: float) -> None:
+        """Session-scoped :meth:`advance_to`: a cross-queue sync point
+        that floors only ``session``'s future commands — other sessions'
+        timelines on this queue are unaffected."""
+        self._check_alive()
+        self._session_floor[session] = max(
+            t, self._session_floor.get(session, 0.0)
+        )
 
     def timeline(self) -> list[Event]:
         """All scheduled events ordered by simulated start time."""

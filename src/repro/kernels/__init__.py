@@ -3,7 +3,7 @@
 One set of kernels, written against the kernel programming model, serving
 every device: the paper's core design premise.  ``KERNEL_LIBRARY`` is the
 complete catalogue handed to :func:`repro.cl.build` for per-device
-specialisation.
+specialisation.  (Layer map: ARCHITECTURE.md §"repro.kernels".)
 """
 
 from . import aggregation, bitmap, groupby, hashing, join, primitives, radix_sort

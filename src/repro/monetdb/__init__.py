@@ -1,8 +1,10 @@
 """``repro.monetdb`` — the MonetDB column-store substrate (S3).
 
-BATs, 128-byte-aligned storage with a callback-firing catalog, MAL plans,
-the operator-at-a-time interpreter, the MS/MP baseline backends, and the
-optimizer pipelines the Ocelot rewriter plugs into.
+BATs, 128-byte-aligned storage with a callback-firing, schema-versioned
+catalog, MAL plans, the operator-at-a-time interpreter (steppable per
+instruction for the serve layer's interleaved sessions), the MS/MP
+baseline backends, and the optimizer pipelines the Ocelot rewriter
+plugs into.  (Layer map: ARCHITECTURE.md §"repro.monetdb".)
 """
 
 from .bat import (

@@ -119,29 +119,57 @@ class QueryResult:
         return self.columns[name]
 
 
-def run_program(program: MALProgram, backend: Backend) -> QueryResult:
-    """Interpret ``program`` on ``backend`` and collect its result set."""
-    backend.begin()
-    env: dict[str, object] = {}
+class ProgramRun:
+    """Stepwise execution of one program: one instruction per step.
 
-    def resolve_arg(arg):
+    ``run_program`` drives a :class:`ProgramRun` to completion for the
+    classic one-query-at-a-time path.  The serve layer's session
+    scheduler (see ARCHITECTURE.md) instead interleaves ``step()`` calls
+    of several in-flight queries round-robin, which is what lets
+    independent queries overlap on the heterogeneous pool's per-device
+    timelines.  Each run owns its private variable environment, so
+    concurrent queries are isolated by construction.
+    """
+
+    def __init__(self, program: MALProgram, backend: Backend):
+        self.program = program
+        self.backend = backend
+        self.env: dict[str, object] = {}
+        self._pc = 0
+
+    @property
+    def done(self) -> bool:
+        return self._pc >= len(self.program.instructions)
+
+    @property
+    def next_op(self) -> str | None:
+        """The operation the next ``step()`` will execute."""
+        if self.done:
+            return None
+        return self.program.instructions[self._pc].op
+
+    def resolve_arg(self, arg):
         if isinstance(arg, Var):
             try:
-                return env[arg.name]
+                return self.env[arg.name]
             except KeyError:
                 raise NameError(
-                    f"{program.name}: variable {arg.name} used before "
-                    f"assignment"
+                    f"{self.program.name}: variable {arg.name} used "
+                    f"before assignment"
                 ) from None
         return arg
 
-    for instruction in program.instructions:
-        fn = backend.resolve(instruction.op)
-        args = [resolve_arg(a) for a in instruction.args]
+    def step(self) -> bool:
+        """Execute the next instruction; returns False when exhausted."""
+        if self.done:
+            return False
+        instruction = self.program.instructions[self._pc]
+        fn = self.backend.resolve(instruction.op)
+        args = [self.resolve_arg(a) for a in instruction.args]
         out = fn(*args)
         results = instruction.results
         if len(results) == 1:
-            env[results[0].name] = out
+            self.env[results[0].name] = out
         elif results:
             if not isinstance(out, tuple) or len(out) != len(results):
                 raise TypeError(
@@ -149,24 +177,40 @@ def run_program(program: MALProgram, backend: Backend) -> QueryResult:
                     f"expected {len(results)} results"
                 )
             for var, value in zip(results, out):
-                env[var.name] = value
+                self.env[var.name] = value
+        self._pc += 1
+        return not self.done
 
-    columns = {
-        name: backend.collect(resolve_arg(var))
-        for name, var in program.result_columns
-    }
-    result_vars = {var.name for _, var in program.result_columns}
-    intermediates = [
-        v
-        for k, v in env.items()
-        if isinstance(v, BAT) and k not in result_vars and not v.is_base
-    ]
-    backend.end_of_query(intermediates)
-    return QueryResult(
-        columns=columns,
-        elapsed=backend.elapsed(),
-        backend=backend.label,
-        program=program,
-        instruction_count=len(program.instructions),
-        env=env,
-    )
+    def run(self) -> None:
+        while self.step():
+            pass
+
+    def collect(self, elapsed: float) -> QueryResult:
+        """Materialise the result set and release the intermediates."""
+        columns = {
+            name: self.backend.collect(self.resolve_arg(var))
+            for name, var in self.program.result_columns
+        }
+        result_vars = {var.name for _, var in self.program.result_columns}
+        intermediates = [
+            v
+            for k, v in self.env.items()
+            if isinstance(v, BAT) and k not in result_vars and not v.is_base
+        ]
+        self.backend.end_of_query(intermediates)
+        return QueryResult(
+            columns=columns,
+            elapsed=elapsed,
+            backend=self.backend.label,
+            program=self.program,
+            instruction_count=len(self.program.instructions),
+            env=self.env,
+        )
+
+
+def run_program(program: MALProgram, backend: Backend) -> QueryResult:
+    """Interpret ``program`` on ``backend`` and collect its result set."""
+    backend.begin()
+    run = ProgramRun(program, backend)
+    run.run()
+    return run.collect(backend.elapsed())

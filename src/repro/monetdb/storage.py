@@ -54,6 +54,10 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, dict[str, BAT]] = {}
         self._delete_callbacks: list[Callable[[BAT], None]] = []
+        #: monotonic DDL counter; every create/drop bumps it.  The serve
+        #: layer's plan cache keys compiled plans by this version, so a
+        #: schema change implicitly invalidates every cached plan.
+        self.version = 0
 
     # -- schema ------------------------------------------------------------
 
@@ -73,10 +77,12 @@ class Catalog:
         for bat in bats.values():
             bat.is_base = True
         self._tables[table] = bats
+        self.version += 1
 
     def drop_table(self, table: str) -> None:
         for bat in self._tables.pop(table).values():
             self._fire_delete(bat)
+        self.version += 1
 
     # -- lookup ----------------------------------------------------------------
 

@@ -2,7 +2,8 @@
 
 Context management (:class:`OcelotEngine`), the Memory Manager, the
 operator host code advertised through MAL bindings, and the query
-rewriter that turns MonetDB plans into Ocelot plans.
+rewriter that turns MonetDB plans into Ocelot plans.  (Layer map and
+query lifecycle: ARCHITECTURE.md §"repro.ocelot".)
 """
 
 from .autotune import (

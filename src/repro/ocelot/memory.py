@@ -122,12 +122,15 @@ class MemoryManager:
             # imbalance, and only raise it when the operator itself
             # succeeded.
             imbalance: RuntimeError | None = None
-            for buffer in self.manager._scope_stack.pop():
+            scope = self.manager._scope_stack.pop()
+            for buffer in scope:
                 try:
                     self.manager.unpin(buffer)
                 except RuntimeError as err:
                     if imbalance is None:
                         imbalance = err
+            if exc_type is not None:
+                self.manager._release_orphans(scope)
             if imbalance is not None and exc_type is None:
                 raise imbalance
             return False
@@ -136,6 +139,18 @@ class MemoryManager:
         """Pin every buffer touched until exit — operators never lose
         their working set to the eviction policy mid-flight."""
         return MemoryManager._OperatorScope(self)
+
+    def _release_orphans(self, buffers) -> None:
+        """Free allocations of a *failed* operator that never became
+        results: a scope buffer whose entry is still unlinked (no BAT)
+        was created by the operator and cannot have escaped it, so after
+        the exception nothing can ever reach it again."""
+        for buffer in buffers:
+            entry = self._entry_for_buffer(buffer)
+            if (entry is not None and entry.pins == 0
+                    and entry.kind is not BufferKind.BASE
+                    and entry.bat is None and entry.bat_id is None):
+                self._free_entry(entry)
 
     def _scope_pin(self, buffer: Buffer) -> None:
         if self._scope_stack:
@@ -451,22 +466,34 @@ class MemoryManager:
     # -- catalog callbacks (paper §4.3) ----------------------------------------------------
 
     def _on_bat_deleted(self, bat: BAT) -> None:
-        """Remove buffers for deleted/recycled BATs from the device cache."""
+        """Remove buffers for deleted/recycled BATs from the device cache.
+
+        Every device's manager receives this callback (they all subscribe
+        to the shared catalog), so each one must only touch buffers of
+        *its own* context: raw-releasing another device's buffer would
+        leave that manager's registry pointing at a released buffer.
+        """
         entry_id = self._bat_entries.pop(bat.bat_id, None)
         if entry_id is not None:
             entry = self._entries.pop(entry_id, None)
             if entry is not None and entry.resident:
                 self._buffer_entries.pop(entry.buffer.buffer_id, None)
                 entry.buffer.release()
-        if bat.device_ref is not None and not bat.device_ref.released:
-            self._buffer_entries.pop(bat.device_ref.buffer_id, None)
-            bat.device_ref.release()
+        ref = bat.device_ref
+        if ref is not None and not ref.released \
+                and ref.context is self.context:
+            self._buffer_entries.pop(ref.buffer_id, None)
+            ref.release()
             bat.device_ref = None
-        # Operator-attached auxiliaries (e.g. a bitmap's materialised oids).
-        for aux in list(bat.aux.values()):
-            if isinstance(aux, Buffer) and not aux.released:
-                self.release(aux)
-        bat.aux.clear()
+        # Operator-attached auxiliaries (e.g. a bitmap's materialised
+        # oids) owned here; a foreign aux stays for its own manager.
+        for key, aux in list(bat.aux.items()):
+            if isinstance(aux, Buffer):
+                if aux.released:
+                    del bat.aux[key]
+                elif aux.context is self.context:
+                    self.release(aux)
+                    del bat.aux[key]
         stale = [k for k, t in self._hash_cache.items() if k[0] == bat.bat_id]
         for k in stale:
             del self._hash_cache[k]

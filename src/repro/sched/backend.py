@@ -18,9 +18,26 @@ with *all* simulated devices and routes every instruction through the
 Per-query framework overheads (the Intel SDK's fixed cost) are charged
 per device *on first use within the query*, so a query that never
 touches the CPU never pays the CPU SDK's overhead.
+
+Two serve-layer hooks (see ARCHITECTURE.md and :mod:`repro.serve`):
+
+* **sessions** — every per-query bit of state (overhead charging, the
+  decision log, the placement trace) lives in a :class:`_QueryState`;
+  the session scheduler opens one state per in-flight query and
+  activates it around each interpreted instruction, so N queries can
+  interleave on the shared pool without corrupting each other's
+  bookkeeping;
+* **placement replay** — the plan cache records the placer's decision
+  sequence for a plan (placement is deterministic given the measured
+  device characteristics) and installs it on the next run, which skips
+  re-scoring every instruction.  Replay is validated per instruction
+  (function name and split bounds) and falls back to fresh scoring on
+  any divergence.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 from ..monetdb.bat import BAT, Role
 from ..monetdb.backends import MonetDBSequential
@@ -28,8 +45,41 @@ from ..monetdb.interpreter import Backend
 from ..monetdb.storage import Catalog
 from ..ocelot.operators import HOST_CODE
 from .partition import execute_split
-from .placer import CostPlacer
+from .placer import CostPlacer, Placement
 from .pool import DevicePool
+
+
+@dataclass
+class _QueryState:
+    """Per-query scheduling state (one per in-flight session query)."""
+
+    #: devices whose fixed per-query framework cost was already paid
+    overhead_charged: set[int] = field(default_factory=set)
+    #: (function, "split"|device index) per dispatched instruction —
+    #: introspection for tests and examples
+    decision_log: list[tuple[str, object]] = field(default_factory=list)
+    #: full decisions in dispatch order, harvested by the plan cache
+    trace: list[tuple[str, Placement]] = field(default_factory=list)
+    #: cached decisions to replay instead of re-scoring; ``None`` = score
+    replay: list[tuple[str, Placement]] | None = None
+    replay_pos: int = 0
+
+    def next_replayed(self, function: str, args) -> Placement | None:
+        """The cached decision for this dispatch, or ``None`` (and replay
+        is abandoned) when the recorded sequence diverges."""
+        if self.replay is None or self.replay_pos >= len(self.replay):
+            return None
+        recorded_fn, decision = self.replay[self.replay_pos]
+        if recorded_fn != function:
+            self.replay = None   # plan diverged: score the rest fresh
+            return None
+        if decision.split is not None:
+            bats = [a for a in args if isinstance(a, BAT)]
+            if not bats or decision.split[-1][2] != bats[0].count:
+                self.replay = None
+                return None
+        self.replay_pos += 1
+        return decision
 
 
 class HeterogeneousBackend(Backend):
@@ -47,11 +97,67 @@ class HeterogeneousBackend(Backend):
         self.placer = CostPlacer(self.pool)
         self.fallback = MonetDBSequential(catalog)
         self._t0 = 0.0
-        self._overhead_charged: set[int] = set()
-        #: (function, "split"|device index) per dispatched instruction of
-        #: the current query — introspection for tests and examples
-        self.decision_log: list[tuple[str, object]] = []
+        self._default_state = _QueryState()
+        self._session_states: dict[str, _QueryState] = {}
+        self.current_session: str | None = None
+        self._pending_replay: list[tuple[str, Placement]] | None = None
         super().__init__(catalog)
+
+    # -- per-query state ------------------------------------------------------
+
+    @property
+    def _state(self) -> _QueryState:
+        if self.current_session is not None:
+            return self._session_states[self.current_session]
+        return self._default_state
+
+    @property
+    def _overhead_charged(self) -> set[int]:
+        return self._state.overhead_charged
+
+    @property
+    def decision_log(self) -> list[tuple[str, object]]:
+        return self._state.decision_log
+
+    def install_replay(
+        self, placements: list[tuple[str, Placement]] | None
+    ) -> None:
+        """Arm the *next* plain (non-session) query with a cached
+        decision sequence; :meth:`begin` transfers it into the fresh
+        per-query state."""
+        self._pending_replay = placements or None
+
+    def take_trace(self) -> tuple[list[tuple[str, Placement]], int]:
+        """Harvest the active state's decisions; returns ``(trace,
+        replayed)`` where ``replayed`` counts decisions served from the
+        installed replay rather than scored fresh."""
+        state = self._state
+        return list(state.trace), state.replay_pos
+
+    # -- session lifecycle (serve layer) --------------------------------------
+
+    def open_session(
+        self, session: str,
+        replay: list[tuple[str, Placement]] | None = None,
+    ) -> float:
+        """Register one in-flight query; returns its submit epoch."""
+        state = _QueryState()
+        state.replay = replay or None
+        self._session_states[session] = state
+        return self.pool.open_session(session)
+
+    def activate_session(self, session: str | None) -> None:
+        """Attribute subsequent dispatches (and their simulated commands)
+        to ``session`` — ``None`` restores plain execution."""
+        self.current_session = session
+        self.pool.set_session(session)
+
+    def close_session(self, session: str) -> float:
+        """Drop a finished query's state; returns its completion epoch."""
+        self._session_states.pop(session, None)
+        if self.current_session == session:
+            self.activate_session(None)
+        return self.pool.close_session(session)
 
     # -- registration ---------------------------------------------------------
 
@@ -102,18 +208,22 @@ class HeterogeneousBackend(Backend):
                 for b in bats:
                     self._sync(b)
                 return self._foreign(f"algebra.{function}")(*args)
-        decision = self.placer.choose(
-            function, args, charged=frozenset(self._overhead_charged)
-        )
+        state = self._state
+        decision = state.next_replayed(function, args)
+        if decision is None:
+            decision = self.placer.choose(
+                function, args, charged=frozenset(state.overhead_charged)
+            )
+        state.trace.append((function, decision))
         if decision.split is not None:
-            self.decision_log.append((function, "split"))
+            state.decision_log.append((function, "split"))
             return execute_split(
                 self.pool, function, args, decision.split,
                 charge_overhead=self._charge_overhead,
             )
         device = decision.device
         engine = self.pool.engines[device]
-        self.decision_log.append((function, device))
+        state.decision_log.append((function, device))
         self._charge_overhead(device)
         for arg in args:
             if isinstance(arg, BAT):
@@ -148,8 +258,9 @@ class HeterogeneousBackend(Backend):
 
     def begin(self) -> None:
         self.fallback.begin()
-        self._overhead_charged.clear()
-        self.decision_log = []
+        self._default_state = _QueryState()
+        self._default_state.replay = self._pending_replay
+        self._pending_replay = None
         self._t0 = self.pool.join_clocks()
 
     def elapsed(self) -> float:

@@ -48,6 +48,9 @@ class DevicePool:
             self.characteristics.append(report.characteristics)
         #: (bat_id, lo, hi) -> sub-range view BAT (partition cache)
         self._slices: dict[tuple[int, int, int], BAT] = {}
+        #: session whose commands are currently being scheduled (serve
+        #: layer); ``None`` = plain one-query-at-a-time execution
+        self.current_session: str | None = None
         catalog.on_delete(self._drop_slices)
 
     def __len__(self) -> int:
@@ -182,7 +185,22 @@ class DevicePool:
     # -- simulated clocks -------------------------------------------------------
 
     def join_clocks(self) -> float:
-        """Barrier across all device queues (cross-device sync point)."""
+        """Barrier across all device queues (cross-device sync point).
+
+        With a ``current_session`` set (serve layer) the barrier is
+        session-scoped: it joins only that session's frontiers and floors
+        only that session's future commands, so independent queries on
+        the other queue keep running — the per-session generalisation of
+        the global join.
+        """
+        session = self.current_session
+        if session is not None:
+            t = max(
+                engine.queue.session_time(session) for engine in self.engines
+            )
+            for engine in self.engines:
+                engine.queue.advance_session_to(session, t)
+            return t
         t = max(engine.queue.finish() for engine in self.engines)
         for engine in self.engines:
             engine.queue.advance_to(t)
@@ -193,13 +211,54 @@ class DevicePool:
         timeline: no device command may start before it completes.
 
         Always a barrier — even zero-cost host work (an empty merge)
-        consumes every device's partials, so the queues must join."""
+        consumes every device's partials, so the queues must join.
+        Session-scoped when ``current_session`` is set (only the owning
+        session waits on its own host work)."""
         t = self.join_clocks() + max(seconds, 0.0)
+        session = self.current_session
         for engine in self.engines:
-            engine.queue.advance_to(t)
+            if session is not None:
+                engine.queue.advance_session_to(session, t)
+            else:
+                engine.queue.advance_to(t)
 
     def makespan(self) -> float:
         return max(engine.queue.makespan() for engine in self.engines)
+
+    # -- session lifecycle (serve layer) ----------------------------------------
+
+    def set_session(self, session: str | None) -> None:
+        """Attribute subsequently scheduled commands to ``session``."""
+        self.current_session = session
+        for engine in self.engines:
+            engine.queue.current_session = session
+
+    def open_session(self, session: str) -> float:
+        """Register a session on every queue; its commands may not start
+        before "now".  Returns the simulated submit epoch.
+
+        "Now" is the pool-wide frontier (the host has already issued
+        everything scheduled so far), so every queue is floored at the
+        same epoch — otherwise a session submitted after a CPU-heavy
+        batch could schedule GPU commands into that queue's idle past
+        and report an impossibly small latency."""
+        epoch = max(engine.queue.makespan() for engine in self.engines)
+        for engine in self.engines:
+            engine.queue.open_session(session, epoch)
+        return epoch
+
+    def close_session(self, session: str) -> float:
+        """Drop a session's tracking state; returns its completion epoch
+        (the latest frontier it reached on any queue)."""
+        t = self.session_time(session)
+        for engine in self.engines:
+            engine.queue.close_session(session)
+        return t
+
+    def session_time(self, session: str) -> float:
+        return max(
+            engine.queue.session_time(session) for engine in self.engines
+        )
 
     # -- host-side merge model --------------------------------------------------
 

@@ -1,0 +1,35 @@
+"""``repro.serve`` — the pipelined query-serving layer.
+
+The paper's engine executes one operator-at-a-time plan per query; this
+package turns the stack into a *serving* system (ROADMAP north star:
+heavy concurrent traffic) with two pieces, both documented end-to-end
+in ARCHITECTURE.md:
+
+* :class:`~repro.serve.plancache.PlanCache` — memoises the whole front
+  half of a query's lifecycle: parse -> lower -> engine rewrite, plus
+  the heterogeneous placer's per-instruction decisions, keyed by
+  ``(SQL text, engine, schema version)``.  Repeat queries skip straight
+  to dispatch; DDL bumps the schema version and invalidates.
+* :class:`~repro.serve.session.SessionScheduler` — ``Connection
+  .submit(sql)`` returns a :class:`~repro.serve.session.QueryFuture`;
+  in-flight queries advance one MAL instruction per turn, round-robin,
+  and on the HET engine their cross-device sync points are
+  session-scoped, so independent queries overlap on the DevicePool's
+  per-device timelines (``benchmarks/test_fig9_concurrency.py``).
+
+Neither piece changes query *results* — only when work is (re)done and
+how simulated timelines interleave; both are property-tested against
+fresh serial execution.
+"""
+
+from .plancache import CachedPlan, CacheStats, PlanCache, sql_cache_key
+from .session import QueryFuture, SessionScheduler
+
+__all__ = [
+    "CachedPlan",
+    "CacheStats",
+    "PlanCache",
+    "QueryFuture",
+    "SessionScheduler",
+    "sql_cache_key",
+]

@@ -1,0 +1,116 @@
+"""The plan cache: memoised ``compile_sql`` -> rewrite -> placement.
+
+Repeat queries are the common case in a serving system, and everything
+between the SQL text and the first dispatched instruction is
+deterministic here: parsing, lowering, the engine's optimizer pipeline
+(the Ocelot rewriter), and — for the heterogeneous engine — the cost
+placer's per-instruction decisions, which depend only on the measured
+device characteristics and the (immutable) base data.  So the whole
+front half of the query lifecycle is cacheable:
+
+* **key** — ``(SQL text, engine label, program name, schema version)``.
+  The schema version is :attr:`repro.monetdb.storage.Catalog.version`,
+  bumped on every DDL statement, so a ``CREATE``/``DROP`` implicitly
+  invalidates every plan compiled against the old schema.
+* **value** — the *rewritten* :class:`~repro.monetdb.mal.MALProgram`
+  (plans are immutable and re-runnable), plus the HET placer's recorded
+  decision sequence from the latest run (installed as a replay on the
+  next one, see
+  :meth:`repro.sched.backend.HeterogeneousBackend.install_replay`).
+* **eviction** — least-recently-used beyond ``max_entries``; explicitly
+  stale versions are purged (and counted) by :meth:`invalidate_schema`.
+
+Counters live in :class:`CacheStats`, surfaced as
+``Connection.plan_cache.stats``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..sql.lower import sql_cache_key
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters for one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    #: placer decisions replayed from a cached trace instead of scored
+    placement_reuses: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"invalidations={self.invalidations} "
+            f"placement_reuses={self.placement_reuses}"
+        )
+
+
+@dataclass
+class CachedPlan:
+    """One memoised plan plus its latest placement trace."""
+
+    key: tuple
+    program: object                    # rewritten MALProgram
+    #: [(function, Placement), ...] recorded by the HET backend on the
+    #: most recent run of this plan; None until the plan first executes
+    #: on the heterogeneous engine
+    placements: list | None = None
+    hits: int = 0
+
+
+class PlanCache:
+    """LRU cache of compiled, rewritten, placement-annotated plans."""
+
+    def __init__(self, catalog, max_entries: int = 256):
+        self.catalog = catalog
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, sql: str, label: str, name: str) -> tuple:
+        return (sql_cache_key(sql), label, name, self.catalog.version)
+
+    def lookup(self, sql: str, config, schema, name: str = "query"
+               ) -> CachedPlan:
+        """The cached plan for ``sql`` under ``config``, compiling (and
+        running the config's optimizer pipeline) on a miss."""
+        key = self._key(sql, config.label, name)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            entry.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        from ..sql.lower import compile_sql
+
+        self.stats.misses += 1
+        program = config.plan(compile_sql(sql, schema, name=name))
+        entry = CachedPlan(key=key, program=program)
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return entry
+
+    def invalidate_schema(self) -> int:
+        """Purge entries compiled against a stale schema version.
+
+        Correctness never depends on this — stale versions can no longer
+        be *looked up* because the key embeds the current version — but
+        purging bounds memory and feeds the invalidation counter."""
+        current = self.catalog.version
+        stale = [k for k in self._entries if k[3] != current]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,279 @@
+"""Async sessions: ``submit()`` futures over a fair round-robin scheduler.
+
+One :class:`SessionScheduler` serves one :class:`~repro.api.Connection`.
+``submit`` compiles (through the plan cache), opens a *session* — one
+in-flight query with its own interpreter environment, its own
+per-device timeline floors, and its own scheduling state — and returns
+a :class:`QueryFuture`.  The scheduler then interleaves the in-flight
+queries **one MAL instruction per turn, round-robin** (fairness: no
+query can starve another, every in-flight query advances once per
+round).
+
+On the heterogeneous engine this pipelines for real: each instruction
+is placed by the cost placer as usual, but cross-device sync points are
+*session-scoped* (see :meth:`repro.cl.queue.CommandQueue
+.advance_session_to`), so a query running on the GPU's queue and a
+query running on the CPU's queue overlap in simulated time — N
+independent queries finish in less wall-clock makespan than the same
+queries run serially, while same-device work still serialises in-order
+on the shared queue (contention stays real).  Engines with a single
+timeline (MS/MP/CPU/GPU) accept ``submit`` too but execute FIFO, one
+query at a time — there is no second device queue to overlap onto.
+
+Execution is cooperative and single-threaded: ``QueryFuture.result()``
+or ``SessionScheduler.drain()`` drive the interleaving.  Results are
+isolated by construction (per-run variable environments; base columns
+are immutable) — property-tested under device memory pressure in
+``tests/property/test_serve_properties.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..monetdb.bat import BAT
+from ..monetdb.interpreter import ProgramRun, QueryResult
+from ..ocelot.memory import OcelotOOM
+from .plancache import CachedPlan
+
+
+class QueryFuture:
+    """Handle to one submitted query; resolves when the scheduler has
+    run the query to completion."""
+
+    def __init__(self, scheduler: "SessionScheduler", session: str,
+                 name: str):
+        self._scheduler = scheduler
+        self.session = session
+        self.name = name
+        self.submit_epoch = 0.0
+        self.completion_epoch: Optional[float] = None
+        self._result: Optional[QueryResult] = None
+        self._error: Optional[BaseException] = None
+        self._done = False
+
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> QueryResult:
+        """Drive the scheduler (cooperatively) until this query finished;
+        returns its :class:`QueryResult` or re-raises its failure."""
+        while not self._done:
+            if not self._scheduler.step():
+                raise RuntimeError(
+                    f"session {self.session} never completed"
+                )  # pragma: no cover - scheduler invariant
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        """The query's failure, if it has one (drives to completion)."""
+        while not self._done:
+            if not self._scheduler.step():  # pragma: no cover
+                break
+        return self._error
+
+
+@dataclass
+class _InFlight:
+    """One admitted query: its stepper, future and plan-cache entry."""
+
+    session: str
+    run: ProgramRun
+    future: QueryFuture
+    entry: Optional[CachedPlan] = None
+    steps: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class SessionScheduler:
+    """Fair round-robin interleaving of in-flight queries."""
+
+    def __init__(self, connection):
+        self.connection = connection
+        self.backend = connection.backend
+        #: heterogeneous backends expose the per-session timeline API;
+        #: single-timeline engines fall back to FIFO execution
+        self.pipelined = hasattr(self.backend, "open_session")
+        self._active: deque[_InFlight] = deque()
+        #: queries that hit transient device memory pressure while
+        #: interleaved; re-run one at a time once the batch drains
+        self._retry: deque[_InFlight] = deque()
+        self._counter = 0
+        #: (session, op) per executed instruction — fairness introspection
+        self.turn_log: list[tuple[str, str]] = []
+        self._batch_start: Optional[float] = None
+        self._batch_end = 0.0
+        self.last_batch_makespan: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, entry: CachedPlan, name: str = "query") -> QueryFuture:
+        """Admit one compiled plan as a new session; returns its future."""
+        self._counter += 1
+        session = f"s{self._counter}"
+        future = QueryFuture(self, session, name)
+        if self._batch_start is None:
+            self._batch_start = self._now()
+            self._batch_end = self._batch_start
+        if self.pipelined:
+            future.submit_epoch = self.backend.open_session(
+                session, replay=entry.placements
+            )
+        else:
+            future.submit_epoch = self._now()
+        run = ProgramRun(entry.program, self.backend)
+        self._active.append(_InFlight(session, run, future, entry))
+        return future
+
+    def _now(self) -> float:
+        if self.pipelined:
+            return self.backend.pool.makespan()
+        return self._batch_end
+
+    # -- the scheduling loop ----------------------------------------------------
+
+    def step(self) -> bool:
+        """One fairness turn: advance the next in-flight query by one
+        instruction (pipelined) or one whole query (FIFO engines).
+        Returns False once nothing is in flight."""
+        if not self._active and self._retry:
+            self._readmit(self._retry.popleft())
+        if not self._active:
+            return False
+        flight = self._active.popleft()
+        try:
+            if self.pipelined:
+                done = self._step_pipelined(flight)
+            else:
+                done = self._run_fifo(flight)
+        except OcelotOOM as error:
+            if self.pipelined and not flight.extra.get("retried"):
+                # transient pressure from the *concurrent* working set:
+                # park the query and re-run it serially after the batch
+                self._park_for_retry(flight)
+            else:
+                self._fail(flight, error)
+            return True
+        except Exception as error:
+            self._fail(flight, error)
+            return True
+        if not done:
+            self._active.append(flight)
+        return True
+
+    def drain(self) -> None:
+        """Run every in-flight query to completion."""
+        while self.step():
+            pass
+
+    # -- pipelined (heterogeneous) path ----------------------------------------
+
+    def _step_pipelined(self, flight: _InFlight) -> bool:
+        backend = self.backend
+        backend.activate_session(flight.session)
+        try:
+            op = flight.run.next_op
+            more = flight.run.step()
+            flight.steps += 1
+            self.turn_log.append((flight.session, op))
+            if not more:
+                self._complete_pipelined(flight)
+                return True
+            return False
+        finally:
+            backend.activate_session(None)
+
+    def _complete_pipelined(self, flight: _InFlight) -> None:
+        backend = self.backend
+        backend.activate_session(flight.session)
+        try:
+            trace, replayed = backend.take_trace()
+            if flight.entry is not None:
+                flight.entry.placements = trace
+                self.connection.plan_cache.stats.placement_reuses += replayed
+        finally:
+            backend.activate_session(None)
+        completion = backend.close_session(flight.session)
+        future = flight.future
+        future.completion_epoch = completion
+        result = flight.run.collect(completion - future.submit_epoch)
+        self._resolve(flight, result, completion)
+
+    # -- FIFO path (single-timeline engines) --------------------------------------
+
+    def _run_fifo(self, flight: _InFlight) -> bool:
+        backend = self.backend
+        backend.begin()
+        flight.run.run()
+        self.turn_log.append((flight.session, "query"))
+        elapsed = backend.elapsed()
+        self._batch_end += elapsed
+        flight.future.completion_epoch = self._batch_end
+        result = flight.run.collect(elapsed)
+        self._resolve(flight, result, self._batch_end)
+        return True
+
+    # -- transient-pressure retry ---------------------------------------------
+
+    def _recycle_partial(self, flight: _InFlight) -> None:
+        """Release a half-executed query's device intermediates."""
+        bats = [
+            v for v in flight.run.env.values()
+            if isinstance(v, BAT) and not v.is_base
+        ]
+        self.backend.end_of_query(bats)
+
+    def _park_for_retry(self, flight: _InFlight) -> None:
+        self.backend.activate_session(None)
+        self.backend.close_session(flight.session)
+        self._recycle_partial(flight)
+        self.turn_log.append((flight.session, "parked"))
+        self._retry.append(flight)
+
+    def _readmit(self, flight: _InFlight) -> None:
+        """Re-run a parked query alone (full device budget), with fresh
+        placement scoring — the recorded trace predates the pressure."""
+        self._counter += 1
+        flight.session = f"s{self._counter}"
+        flight.extra["retried"] = True
+        flight.future.session = flight.session
+        flight.future.submit_epoch = self.backend.open_session(
+            flight.session, replay=None
+        )
+        flight.run = ProgramRun(flight.run.program, self.backend)
+        self._active.append(flight)
+
+    # -- completion bookkeeping ------------------------------------------------
+
+    def _resolve(self, flight: _InFlight, result: QueryResult,
+                 completion: float) -> None:
+        flight.future._result = result
+        flight.future._done = True
+        self._batch_end = max(self._batch_end, completion)
+        if not self._active and not self._retry:
+            self._finish_batch()
+
+    def _fail(self, flight: _InFlight, error: BaseException) -> None:
+        if self.pipelined:
+            self.backend.activate_session(None)
+            self.backend.close_session(flight.session)
+        # on every engine: a half-executed query's device intermediates
+        # must not outlive it inside the long-lived cached connection
+        self._recycle_partial(flight)
+        flight.future._error = error
+        flight.future._done = True
+        if not self._active and not self._retry:
+            self._finish_batch()
+
+    def _finish_batch(self) -> None:
+        """The queue drained: close out the batch's makespan accounting."""
+        if self._batch_start is not None:
+            self.last_batch_makespan = self._batch_end - self._batch_start
+        self._batch_start = None

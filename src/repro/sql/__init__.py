@@ -2,7 +2,9 @@
 
 Lexer, recursive-descent parser, and the MAL lowering (binder, selection
 chains, left-deep join pipeline, grouping, ordering).  See
-:mod:`repro.sql.lower` for dialect notes.
+:mod:`repro.sql.lower` for dialect notes and ARCHITECTURE.md §"repro.sql"
+for where the frontend sits in the stack (its output is what the serve
+layer's plan cache memoises).
 """
 
 from .ast import Query, Select

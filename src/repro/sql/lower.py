@@ -20,10 +20,16 @@ column-at-a-time MAL:
 Strings exist only as dictionary codes: the binder translates string
 literals against the referenced column's dictionary, so only equality
 survives — matching Ocelot's string support (paper Appendix A).
+
+Compilation is pure: the same text against the same schema always
+yields the same program, which is what lets the serve layer's plan
+cache (:mod:`repro.serve.plancache`) memoise ``compile_sql`` keyed by
+:func:`sql_cache_key`.  (Layer map: ARCHITECTURE.md §"sql".)
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
@@ -865,3 +871,21 @@ def compile_sql(text: str, schema: SchemaProvider,
     from .parser import parse
 
     return Compiler(schema, name=name).compile(parse(text))
+
+
+_STRING_LITERAL = re.compile(r"('(?:[^']|'')*')")
+
+
+def sql_cache_key(text: str) -> str:
+    """Whitespace-insensitive identity of one SQL statement.
+
+    Collapses runs of whitespace *outside* single-quoted string literals
+    so reformatted but identical queries share a plan-cache entry,
+    without ever touching literal contents.
+    """
+    parts = _STRING_LITERAL.split(text.strip())
+    # even indices are non-literal segments, odd indices the literals
+    return "".join(
+        part if i % 2 else re.sub(r"\s+", " ", part)
+        for i, part in enumerate(parts)
+    )

@@ -1,4 +1,5 @@
-"""``repro.tpch`` — the TPC-H substrate (S6): schema, dbgen, workload."""
+"""``repro.tpch`` — the TPC-H substrate (S6): schema, dbgen, workload.
+(Layer map: ARCHITECTURE.md §"repro.tpch and repro.bench".)"""
 
 from .dbgen import TPCHData, generate
 from .queries import OMITTED, WORKLOAD

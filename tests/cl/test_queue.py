@@ -132,3 +132,50 @@ def test_enqueue_copy(gpu_ctx, queue):
     event = queue.enqueue_copy(dst, src)
     assert np.array_equal(dst.array, src.array)
     assert event.duration > 0
+
+
+class TestSessionTimelines:
+    """Per-session floors and frontiers (serve layer, ARCHITECTURE.md)."""
+
+    def test_session_floor_gates_only_that_session(self, gpu_ctx, queue):
+        a = gpu_ctx.empty(1 << 18, np.int32, tag="a")
+        queue.open_session("s1", 0.0)
+        queue.open_session("s2", 0.0)
+        queue.advance_session_to("s1", 1.0)   # s1 waits on a foreign epoch
+        queue.current_session = "s2"
+        ev2 = queue.enqueue_write(a, np.zeros(1 << 18, np.int32))
+        assert ev2.t_start < 1.0              # s2 is unaffected
+        queue.current_session = "s1"
+        b = gpu_ctx.empty(1 << 18, np.int32, tag="b")
+        ev1 = queue.enqueue_write(b, np.zeros(1 << 18, np.int32))
+        assert ev1.t_start >= 1.0             # s1 honours its floor
+        queue.current_session = None
+
+    def test_session_time_tracks_frontier_and_floor(self, gpu_ctx, queue):
+        queue.open_session("s", 0.5)
+        assert queue.session_time("s") == 0.5  # floor only, no commands
+        queue.current_session = "s"
+        a = gpu_ctx.empty(1 << 16, np.int32, tag="a")
+        ev = queue.enqueue_write(a, np.zeros(1 << 16, np.int32))
+        queue.current_session = None
+        assert ev.t_start >= 0.5
+        assert queue.session_time("s") == ev.t_end
+
+    def test_close_session_forgets_state(self, gpu_ctx, queue):
+        queue.open_session("s", 2.0)
+        queue.close_session("s")
+        assert queue.session_time("s") == 0.0
+
+    def test_sessions_share_engine_order(self, gpu_ctx, queue):
+        """The queue stays in-order across sessions: same-device
+        contention is real even when cross-device barriers are not."""
+        a = gpu_ctx.empty(1 << 20, np.int32, tag="a")
+        b = gpu_ctx.empty(1 << 20, np.int32, tag="b")
+        queue.open_session("s1", 0.0)
+        queue.open_session("s2", 0.0)
+        queue.current_session = "s1"
+        ev1 = queue.enqueue_write(a, np.zeros(1 << 20, np.int32))
+        queue.current_session = "s2"
+        ev2 = queue.enqueue_write(b, np.zeros(1 << 20, np.int32))
+        queue.current_session = None
+        assert ev2.t_start >= ev1.t_end   # copy engine is in-order

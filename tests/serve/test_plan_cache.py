@@ -1,0 +1,132 @@
+"""The plan cache: keys, counters, invalidation, placement replay, and
+the per-engine connection reuse it rides on."""
+
+import numpy as np
+import pytest
+
+from repro.api import Database
+from repro.serve import PlanCache, sql_cache_key
+
+SQL = "SELECT x, sum(y) AS total FROM points GROUP BY x"
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(17)
+    database = Database()
+    database.create_table("points", {
+        "x": rng.integers(0, 16, 5000).astype(np.int32),
+        "y": rng.random(5000).astype(np.float32),
+    })
+    return database
+
+
+class TestKeying:
+    def test_repeat_execute_hits(self, db):
+        con = db.connect("CPU")
+        first = con.execute(SQL)
+        assert con.plan_cache.stats.misses == 1
+        assert con.plan_cache.stats.hits == 0
+        second = con.execute(SQL)
+        assert con.plan_cache.stats.hits == 1
+        assert np.allclose(first.column("total"), second.column("total"))
+        # the very same compiled program object was reused
+        assert first.program is second.program
+
+    def test_key_is_whitespace_insensitive(self, db):
+        con = db.connect("CPU")
+        con.execute("SELECT sum(y) AS s FROM points")
+        con.execute("SELECT   sum(y) AS s\n  FROM points")
+        assert con.plan_cache.stats.hits == 1
+
+    def test_string_literals_keep_their_spacing(self):
+        assert sql_cache_key("SELECT 'a  b'") != sql_cache_key("SELECT 'a b'")
+        assert sql_cache_key("SELECT  1") == sql_cache_key("SELECT 1")
+
+    def test_engines_do_not_share_entries(self, db):
+        db.connect("MS").execute(SQL)
+        db.connect("CPU").execute(SQL)
+        assert db.plan_cache.stats.hits == 0
+        assert db.plan_cache.stats.misses == 2
+
+    def test_lru_eviction_bounds_entries(self, db):
+        db.plan_cache.max_entries = 4
+        con = db.connect("MS")
+        for k in range(8):
+            con.execute(f"SELECT sum(y) AS s FROM points WHERE x < {k}")
+        assert len(db.plan_cache) == 4
+
+
+class TestInvalidation:
+    def test_ddl_bumps_schema_version_and_invalidates(self, db):
+        con = db.connect("CPU")
+        con.execute(SQL)
+        version = db.catalog.version
+        db.create_table("other", {"z": np.arange(4, dtype=np.int32)})
+        assert db.catalog.version == version + 1
+        assert db.plan_cache.stats.invalidations >= 1
+        con.execute(SQL)   # recompiled under the new version
+        assert db.plan_cache.stats.misses == 2
+
+    def test_recreated_table_serves_fresh_data(self, db):
+        con = db.connect("CPU")
+        before = con.execute("SELECT sum(x) AS s FROM points").column("s")[0]
+        db.drop_table("points")
+        db.create_table("points", {
+            "x": np.array([100, 200], dtype=np.int32),
+            "y": np.array([1.0, 2.0], dtype=np.float32),
+        })
+        after = con.execute("SELECT sum(x) AS s FROM points").column("s")[0]
+        assert after == 300
+        assert after != before
+
+
+class TestPlacementReplay:
+    def test_repeat_het_query_replays_placements(self, db):
+        con = db.connect("HET")
+        first = con.execute(SQL)
+        assert con.plan_cache.stats.placement_reuses == 0
+        log_first = list(con.backend.decision_log)
+        second = con.execute(SQL)
+        # every dispatched instruction reused the recorded decision
+        assert con.plan_cache.stats.placement_reuses == len(log_first)
+        assert con.backend.decision_log == log_first
+        assert np.allclose(first.column("total"), second.column("total"))
+
+    def test_replay_survives_a_schema_change_elsewhere(self, db):
+        con = db.connect("HET")
+        con.execute(SQL)
+        db.create_table("extra", {"z": np.arange(4, dtype=np.int32)})
+        result = con.execute(SQL)   # fresh compile, fresh placements
+        assert result.n_rows == 16
+
+
+class TestConnectionReuse:
+    """Regression: ``Database.execute`` used to build a fresh backend
+    (cold device caches, re-probed devices) on every call."""
+
+    def test_two_executes_share_a_backend(self, db):
+        db.execute("SELECT sum(y) AS s FROM points", engine="CPU")
+        first = db.connect("CPU").backend
+        db.execute("SELECT sum(y) AS s FROM points", engine="CPU")
+        assert db.connect("CPU").backend is first
+
+    def test_connect_returns_the_cached_connection(self, db):
+        assert db.connect("HET") is db.connect("HET")
+        assert db.connect("MS") is not db.connect("MP")
+
+    def test_unknown_engine_still_rejected(self, db):
+        with pytest.raises(ValueError, match="unknown engine"):
+            db.connect("TPU")
+
+
+class TestPlanCacheUnit:
+    def test_invalidate_counts_only_stale_entries(self, db):
+        cache = PlanCache(db.catalog, max_entries=8)
+        config = db.connect("MS").config
+        cache.lookup("SELECT sum(y) AS s FROM points", config, db.schema)
+        assert cache.invalidate_schema() == 0
+        db.catalog.version += 1
+        assert cache.invalidate_schema() == 1
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
