@@ -20,8 +20,18 @@ ARCHITECTURE.md for the layer map (sql -> monetdb/MAL -> ocelot -> cl
 -> sched -> serve) and the lifecycle of a query on each engine.
 """
 
-from . import bench, cl, kernels, monetdb, ocelot, serve, sql, tpch
+from . import bench, cl, kernels, monetdb, ocelot, serve, shard, sql, tpch
 from .api import CatalogSchema, Connection, Database, tpch_database
+# NOTE: ``repro.engines`` is deliberately rebound from the submodule to
+# the listing *function* — ``repro.engines()`` is the public registry
+# listing; the module stays importable as ``repro.engines`` via the
+# import system (sys.modules) for ``from repro.engines import ...``.
+from .engines import (
+    EngineSpecError,
+    engine_table_markdown,
+    engines,
+    register_engine,
+)
 from .monetdb.interpreter import QueryResult
 
 __version__ = "1.0.0"
@@ -30,13 +40,18 @@ __all__ = [
     "CatalogSchema",
     "Connection",
     "Database",
+    "EngineSpecError",
     "QueryResult",
     "bench",
     "cl",
+    "engine_table_markdown",
+    "engines",
     "kernels",
     "monetdb",
     "ocelot",
+    "register_engine",
     "serve",
+    "shard",
     "sql",
     "tpch",
     "tpch_database",

@@ -15,12 +15,16 @@ devices — is documented in ARCHITECTURE.md.)
     >>> result.column("total")
     array([2., 3.])
 
-A :class:`Database` owns the catalog; :meth:`connect` opens a connection
-bound to one of five engine configurations — the paper's four ("MS",
-"MP", "CPU", "GPU") plus "HET", the heterogeneous scheduler that owns
-*both* simulated devices and places every operator by measured device
-characteristics and data gravity, splitting row-independent operators
-across the devices (paper §7 future work).
+A :class:`Database` owns the catalog; :meth:`connect` takes an **engine
+spec** resolved through the engine registry (:mod:`repro.engines`) —
+the paper's four configurations ("MS", "MP", "CPU", "GPU"), "HET" (the
+heterogeneous scheduler owning *both* simulated devices, paper §7
+future work), and composite engines such as ``"SHARD:4xHET"`` (four
+simulated nodes, each running HET, with tables partitioned across them
+— :mod:`repro.shard`).  New engine families plug in with
+:func:`repro.register_engine`; specs are case-insensitive and
+canonicalised, and misspelled specs raise an error listing what is
+registered.
 
 ``execute`` parses SQL, lowers it to MAL, applies the configuration's
 optimizer pipeline (the Ocelot rewriter for CPU/GPU/HET) and interprets
@@ -49,13 +53,13 @@ from typing import Optional
 
 import numpy as np
 
-from .bench.configs import CONFIGS
+from .engines import default_registry
 from .monetdb.interpreter import QueryResult, run_program
 from .monetdb.mal import MALProgram
 from .monetdb.storage import Catalog
 from .serve.plancache import PlanCache
 from .serve.session import QueryFuture, SessionScheduler
-from .sql.lower import SchemaProvider, compile_sql
+from .sql.lower import SchemaProvider
 
 
 class CatalogSchema(SchemaProvider):
@@ -87,31 +91,38 @@ class CatalogSchema(SchemaProvider):
 
 
 class Connection:
-    """One engine configuration bound to a database.
+    """One resolved engine spec bound to a database.
 
     The connection owns a live backend (device contexts, memory-manager
     caches, autotuned profiles) and shares the database's plan cache —
     both stay warm across queries, which is why connections are cached
-    per engine on the :class:`Database` and should be reused.
+    per canonical engine spec on the :class:`Database` and should be
+    reused.  Connections are context managers; :meth:`close` drains any
+    in-flight sessions and releases the backend's device buffers.
     """
 
     def __init__(self, database: "Database", engine: str):
-        if engine not in CONFIGS:
-            raise ValueError(
-                f"unknown engine {engine!r}; choose from {sorted(CONFIGS)}"
-            )
         self.database = database
-        self.config = CONFIGS[engine]
+        self.config = default_registry.resolve(engine)
         self.backend = self.config.make(
             database.catalog, database.data_scale
         )
         #: shared per-database cache of compiled/rewritten/placed plans
         self.plan_cache: PlanCache = database.plan_cache
         self._scheduler: Optional[SessionScheduler] = None
+        self._closed = False
 
     @property
     def engine(self) -> str:
-        return self.config.label
+        """The canonical engine spec (e.g. ``"CPU"``, ``"SHARD:4xHET"``)."""
+        return self.config.spec
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"connection {self.engine!r} is closed; reconnect with "
+                f"Database.connect({self.engine!r})"
+            )
 
     # -- synchronous execution ----------------------------------------------
 
@@ -119,10 +130,12 @@ class Connection:
         """Parse, lower, optimize and run one SQL statement.
 
         Compilation is served from the plan cache when this SQL text ran
-        before on this engine under the current schema version; on the
-        heterogeneous engine the cached placement trace is replayed so
-        repeat queries skip per-instruction scoring too.
+        before on this engine under the current schema version; engines
+        declaring the ``replays_placements`` capability additionally
+        replay the cached placement trace, skipping per-instruction
+        scoring on repeat queries.
         """
+        self._check_open()
         entry = self.plan_cache.lookup(
             sql, self.config, self.database.schema, name=name
         )
@@ -130,11 +143,10 @@ class Connection:
 
     def _run_cached(self, entry) -> QueryResult:
         backend = self.backend
-        replayable = hasattr(backend, "install_replay")
-        if replayable:
+        if backend.replays_placements:
             backend.install_replay(entry.placements)
         result = run_program(entry.program, backend)
-        if replayable:
+        if backend.replays_placements:
             trace, replayed = backend.take_trace()
             entry.placements = trace
             self.plan_cache.stats.placement_reuses += replayed
@@ -142,13 +154,21 @@ class Connection:
 
     def run_plan(self, program: MALProgram) -> QueryResult:
         """Run an already-compiled MAL program (uncached path)."""
+        self._check_open()
         plan = self.config.plan(program)
         return run_program(plan, self.backend)
 
     def explain(self, sql: str, name: str = "query") -> str:
-        """The optimized MAL plan this connection would execute."""
-        program = compile_sql(sql, self.database.schema, name=name)
-        return self.config.plan(program).format()
+        """The optimized MAL plan this connection would execute.
+
+        Served through the plan cache — explaining a statement and then
+        executing it compiles once, and ``explain`` after ``execute`` is
+        a cache hit showing exactly the cached plan."""
+        self._check_open()
+        entry = self.plan_cache.lookup(
+            sql, self.config, self.database.schema, name=name
+        )
+        return entry.program.format()
 
     # -- asynchronous sessions ------------------------------------------------
 
@@ -163,12 +183,13 @@ class Connection:
         """Admit one statement for pipelined execution; returns a future.
 
         In-flight queries advance one instruction per turn, round-robin.
-        On the HET engine their simulated timelines overlap across the
-        device pool (independent queries on different devices run
-        concurrently); single-timeline engines execute FIFO.  Drive the
-        scheduler with :meth:`drain` or by awaiting any future's
-        ``result()``.
+        On engines declaring ``pipelines_sessions`` (HET) their simulated
+        timelines overlap across the device pool (independent queries on
+        different devices run concurrently); single-timeline engines
+        execute FIFO.  Drive the scheduler with :meth:`drain` or by
+        awaiting any future's ``result()``.
         """
+        self._check_open()
         entry = self.plan_cache.lookup(
             sql, self.config, self.database.schema, name=name
         )
@@ -178,6 +199,33 @@ class Connection:
         """Run every submitted query to completion."""
         if self._scheduler is not None:
             self._scheduler.drain()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain in-flight sessions and release the backend's resources.
+
+        Idempotent.  The database drops its cached reference, so a later
+        ``connect`` with the same spec opens a fresh backend."""
+        if self._closed:
+            return
+        self.drain()
+        self.backend.shutdown()
+        self._closed = True
+        cached = self.database._connections
+        if cached.get(self.engine) is self:
+            del cached[self.engine]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Connection":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class Database:
@@ -203,42 +251,75 @@ class Database:
         with string equality literals.
 
         DDL bumps the catalog's schema version, so every cached plan
-        compiled against the old schema is invalidated.
+        compiled against the old schema is invalidated, and every live
+        backend is notified (the sharded engine re-partitions).
         """
         self.catalog.create_table(name, columns)
         for column, values in (dictionaries or {}).items():
             dict_name = f"{name}.{column}"
             self.schema.dictionaries[dict_name] = list(values)
             self.schema.column_dicts[(name, column)] = dict_name
-        self.plan_cache.invalidate_schema()
+        self._after_ddl()
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
+        self._after_ddl()
+
+    def _after_ddl(self) -> None:
         self.plan_cache.invalidate_schema()
+        for connection in list(self._connections.values()):
+            connection.backend.schema_changed()
 
     # -- connections -----------------------------------------------------------
 
     def connect(self, engine: str = "CPU") -> Connection:
-        """The connection for one of the five configurations.
+        """The connection for one engine spec (registry-resolved).
 
         ``"MS"``/``"MP"`` are the MonetDB baselines, ``"CPU"``/``"GPU"``
-        run Ocelot on one simulated device, and ``"HET"`` schedules each
+        run Ocelot on one simulated device, ``"HET"`` schedules each
         query across the CPU *and* the GPU at once (cost-based placement
-        plus partitioned fan-out; see :mod:`repro.sched`).
+        plus partitioned fan-out; see :mod:`repro.sched`), and
+        ``"SHARD:<N>x<CHILD>"`` partitions tables across N simulated
+        nodes each running CHILD (see :mod:`repro.shard`).  Anything
+        registered via :func:`repro.register_engine` connects the same
+        way; unknown specs raise listing the registered engines.
 
-        Connections are cached per engine: repeated ``connect("HET")``
-        returns the same object, so device probes run once and the
-        backend's device caches stay warm across queries.
+        Connections are cached per canonical spec: repeated
+        ``connect("HET")`` — or ``connect("shard:4xhet")`` after
+        ``connect("SHARD:4xHET")`` — returns the same object, so device
+        probes run once and the backend's device caches stay warm
+        across queries.
         """
-        connection = self._connections.get(engine)
+        spec = default_registry.parse(engine).canonical
+        connection = self._connections.get(spec)
         if connection is None:
-            connection = Connection(self, engine)
-            self._connections[engine] = connection
+            connection = Connection(self, spec)
+            self._connections[spec] = connection
         return connection
 
-    def execute(self, sql: str, engine: str = "CPU") -> QueryResult:
-        """One-shot convenience: cached connection + execute."""
-        return self.connect(engine).execute(sql)
+    def execute(self, sql: str, engine: str = "CPU",
+                name: str = "query") -> QueryResult:
+        """One-shot convenience: cached connection + execute.
+
+        ``name`` is forwarded to the plan cache (it names the compiled
+        MAL program and is part of the cache key), matching
+        :meth:`Connection.execute`.
+        """
+        return self.connect(engine).execute(sql, name=name)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every cached connection (drain sessions, free buffers)."""
+        for connection in list(self._connections.values()):
+            connection.close()
+        self._connections.clear()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def tpch_database(sf: float = 1.0, seed: int = 7) -> Database:

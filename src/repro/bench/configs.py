@@ -7,74 +7,108 @@ CPU    Ocelot on the (simulated) Intel Xeon through the Intel SDK
 GPU    Ocelot on the (simulated) NVIDIA GTX 460
 HET    heterogeneous scheduler owning CPU *and* GPU (§7 extension)
 =====  ==========================================================
+
+Each is registered as a (parameterless) family in the engine registry
+(:mod:`repro.engines`); ``CONFIGS`` remains as the benchmarks' view of
+the five legacy labels, resolved through that registry.  Composable
+engines — the sharded multi-node engine (:mod:`repro.shard`) — register
+alongside them and are addressed by spec strings like ``"SHARD:4xHET"``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Mapping
 
+from ..engines import (
+    EngineConfig,
+    EngineFamily,
+    EngineSpec,
+    default_registry,
+    register_engine,
+)
 from ..monetdb.backends import MonetDBParallel, MonetDBSequential
-from ..monetdb.interpreter import Backend
-from ..monetdb.mal import MALProgram
-from ..monetdb.storage import Catalog
 from ..ocelot.engine import OcelotBackend
-from ..ocelot.rewriter import rewrite_for_ocelot
 from ..sched.backend import HeterogeneousBackend
 
-
-@dataclass(frozen=True)
-class EngineConfig:
-    label: str
-    make: Callable[[Catalog, float], Backend]
-    is_ocelot: bool
-    #: one-line description (README engine table, examples, tooling)
-    description: str = ""
-    #: whether the serve layer can overlap submitted queries on this
-    #: engine's timelines (requires the HET pool's per-device queues;
-    #: single-timeline engines execute ``submit`` FIFO)
-    pipelines_sessions: bool = False
-
-    def plan(self, program: MALProgram) -> MALProgram:
-        """Optimizer pipeline for this configuration.
-
-        Deterministic per (program, engine) — the serve layer's plan
-        cache memoises its output keyed by SQL text, engine label and
-        schema version (see :mod:`repro.serve.plancache`).
-        """
-        if self.is_ocelot:
-            return rewrite_for_ocelot(program)
-        return program
+__all__ = [
+    "ALL_LABELS",
+    "CONFIGS",
+    "EngineConfig",
+    "HET_LABELS",
+]
 
 
-CONFIGS: dict[str, EngineConfig] = {
-    "MS": EngineConfig(
-        "MS", lambda cat, scale: MonetDBSequential(cat, data_scale=scale),
-        is_ocelot=False,
-        description="sequential MonetDB baseline (single core)",
-    ),
-    "MP": EngineConfig(
-        "MP", lambda cat, scale: MonetDBParallel(cat, data_scale=scale),
-        is_ocelot=False,
-        description="parallel MonetDB (Mitosis + Dataflow, hand-tuned)",
-    ),
-    "CPU": EngineConfig(
-        "CPU", lambda cat, scale: OcelotBackend(cat, "cpu", data_scale=scale),
-        is_ocelot=True,
-        description="Ocelot on the simulated Intel Xeon (Intel SDK)",
-    ),
-    "GPU": EngineConfig(
-        "GPU", lambda cat, scale: OcelotBackend(cat, "gpu", data_scale=scale),
-        is_ocelot=True,
-        description="Ocelot on the simulated NVIDIA GTX 460",
-    ),
-    "HET": EngineConfig(
-        "HET", lambda cat, scale: HeterogeneousBackend(cat, data_scale=scale),
-        is_ocelot=True,
-        description="heterogeneous scheduler owning CPU and GPU at once",
-        pipelines_sessions=True,
-    ),
-}
+def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
+                   pipelines_sessions: bool = False) -> EngineFamily:
+    """A parameterless family resolving to one fixed configuration."""
+
+    def configure(spec: EngineSpec, registry) -> EngineConfig:
+        return EngineConfig(
+            label=name,
+            make=make,
+            is_ocelot=is_ocelot,
+            description=description,
+            pipelines_sessions=pipelines_sessions,
+            spec=spec.canonical,
+        )
+
+    return EngineFamily(name=name, configure=configure,
+                        description=description, syntax=name)
+
+
+register_engine(_simple_family(
+    "MS", "sequential MonetDB baseline (single core)",
+    lambda cat, scale: MonetDBSequential(cat, data_scale=scale),
+    is_ocelot=False,
+))
+register_engine(_simple_family(
+    "MP", "parallel MonetDB (Mitosis + Dataflow, hand-tuned)",
+    lambda cat, scale: MonetDBParallel(cat, data_scale=scale),
+    is_ocelot=False,
+))
+register_engine(_simple_family(
+    "CPU", "Ocelot on the simulated Intel Xeon (Intel SDK)",
+    lambda cat, scale: OcelotBackend(cat, "cpu", data_scale=scale),
+    is_ocelot=True,
+))
+register_engine(_simple_family(
+    "GPU", "Ocelot on the simulated NVIDIA GTX 460",
+    lambda cat, scale: OcelotBackend(cat, "gpu", data_scale=scale),
+    is_ocelot=True,
+))
+register_engine(_simple_family(
+    "HET", "heterogeneous scheduler owning CPU and GPU at once",
+    lambda cat, scale: HeterogeneousBackend(cat, data_scale=scale),
+    is_ocelot=True,
+    pipelines_sessions=True,
+))
+
+
+class _RegistryView(Mapping):
+    """Live, read-only view of the legacy labels over the registry.
+
+    Kept so benchmark code (and downstream users) can keep writing
+    ``CONFIGS[label]``; lookups resolve through the registry, so a
+    family override via :func:`repro.register_engine` is visible here
+    too.  The mapping contract is the legacy dict's: exactly the five
+    paper labels (case-sensitive), ``KeyError`` on anything else.
+    """
+
+    _LABELS = ("MS", "MP", "CPU", "GPU", "HET")
+
+    def __getitem__(self, label: str) -> EngineConfig:
+        if label not in self._LABELS:
+            raise KeyError(label)
+        return default_registry.resolve(label)
+
+    def __iter__(self):
+        return iter(self._LABELS)
+
+    def __len__(self) -> int:
+        return len(self._LABELS)
+
+
+CONFIGS: Mapping = _RegistryView()
 
 #: the paper's figures sweep exactly the four §5.1 configurations; the
 #: HET extension opts in per benchmark (fig. 8) via an explicit labels

@@ -1,0 +1,289 @@
+"""The engine registry: pluggable, parameterizable, composable engines.
+
+The paper's claim is hardware-obliviousness — the *same* operator plans
+run on whatever execution resources exist, selected at runtime.  This
+module is the API that makes the engine surface itself oblivious: rather
+than a frozen dict of five labels, engines are **families** registered in
+an :class:`EngineRegistry`, and a connection string is an **engine
+spec** parsed by a small grammar::
+
+    spec    :=  FAMILY [ ":" arg ("," arg)* ]
+    arg     :=  COUNT "x" CHILD          (replication argument, e.g. 4xHET)
+             |  WORD                     (family-defined flag, e.g. hash)
+
+Examples::
+
+    "CPU"             the Ocelot single-device engine
+    "HET"             the heterogeneous CPU+GPU scheduler
+    "SHARD:4xHET"     four simulated nodes, each running HET
+    "shard:8xcpu"     case-insensitive; canonicalises to "SHARD:8xCPU"
+
+Parsing yields an :class:`EngineSpec` — ``(family, params)`` plus the
+**canonical** spec string, which is what the plan cache, the serve layer
+and the per-database connection cache key on.  Families resolve a spec
+to an :class:`EngineConfig` (factory + optimizer pipeline + declared
+properties); configs are memoised per canonical spec.
+
+Out-of-tree engines plug in with :func:`register_engine` — the sharded
+multi-node engine (:mod:`repro.shard`) registers itself exactly this
+way, composing over child engines resolved through the same registry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from .monetdb.interpreter import Backend
+from .monetdb.mal import MALProgram
+from .monetdb.storage import Catalog
+
+
+class EngineSpecError(ValueError):
+    """A connection string failed to parse or names no registered engine."""
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One parsed engine spec: family + parameters + canonical string."""
+
+    family: str                       # canonical family name, upper-case
+    count: Optional[int] = None       # the COUNT of a "COUNTxCHILD" arg
+    child: Optional[str] = None       # canonical child spec of that arg
+    flags: tuple[str, ...] = ()       # family-defined words, lower-case
+    canonical: str = ""               # e.g. "SHARD:4xHET"
+
+    def __str__(self) -> str:
+        return self.canonical
+
+
+_REPLICATION_ARG = re.compile(r"^(\d+)x(.+)$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One resolved engine: backend factory + planning pipeline.
+
+    ``label`` is the family display name (figure columns, result
+    attribution); ``spec`` is the canonical spec string the plan cache
+    and connection cache key on.  For parameterless families the two
+    coincide.
+    """
+
+    label: str
+    make: Callable[[Catalog, float], Backend]
+    is_ocelot: bool
+    #: one-line description (README engine table, examples, tooling)
+    description: str = ""
+    #: whether the serve layer can overlap submitted queries on this
+    #: engine's timelines (mirrors ``Backend.pipelines_sessions``)
+    pipelines_sessions: bool = False
+    #: canonical engine spec; defaults to ``label`` for parameterless
+    #: families (set via ``__post_init__`` to keep the dataclass frozen)
+    spec: str = ""
+
+    def __post_init__(self):
+        if not self.spec:
+            object.__setattr__(self, "spec", self.label)
+
+    def plan(self, program: MALProgram) -> MALProgram:
+        """Optimizer pipeline for this configuration.
+
+        Deterministic per (program, engine) — the serve layer's plan
+        cache memoises its output keyed by SQL text, canonical engine
+        spec and schema version (see :mod:`repro.serve.plancache`).
+        """
+        if self.is_ocelot:
+            from .ocelot.rewriter import rewrite_for_ocelot
+
+            return rewrite_for_ocelot(program)
+        return program
+
+
+@dataclass(frozen=True)
+class EngineFamily:
+    """One registered family: how to turn parsed params into a config."""
+
+    name: str
+    configure: Callable[[EngineSpec, "EngineRegistry"], EngineConfig]
+    description: str = ""
+    #: spec syntax shown in listings/errors, e.g. "SHARD:<N>x<CHILD>[,hash]"
+    syntax: str = ""
+    #: whether the family accepts a COUNTxCHILD replication argument
+    takes_child: bool = False
+    #: flag words the family accepts (lower-case)
+    allowed_flags: frozenset = frozenset()
+
+
+class EngineRegistry:
+    """Engine families by name, with per-canonical-spec config memoisation."""
+
+    def __init__(self):
+        self._families: dict[str, EngineFamily] = {}
+        self._configs: dict[str, EngineConfig] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, family: EngineFamily, override: bool = False) -> None:
+        name = family.name.upper()
+        if name in self._families and not override:
+            raise ValueError(
+                f"engine family {name!r} is already registered "
+                f"(pass override=True to replace it)"
+            )
+        self._families[name] = family
+        # a family replacement invalidates every memoised config:
+        # composite configs (SHARD:2xMS) embed child configs in their
+        # factory closures, so scoping the purge to the replaced family
+        # would leave stale children behind — and re-resolving is cheap
+        self._configs.clear()
+
+    def families(self) -> list[EngineFamily]:
+        """Registered families, in registration order."""
+        return list(self._families.values())
+
+    def specs(self) -> list[str]:
+        """Spec syntax of every family, for listings and error messages."""
+        return [f.syntax or f.name for f in self._families.values()]
+
+    # -- the spec grammar --------------------------------------------------------
+
+    def parse(self, text: str) -> EngineSpec:
+        """Parse and canonicalise one engine spec string."""
+        if not isinstance(text, str) or not text.strip():
+            raise EngineSpecError(
+                f"engine spec must be a non-empty string, got {text!r}; "
+                f"registered engines: {', '.join(self.specs())}"
+            )
+        head, sep, rest = text.strip().partition(":")
+        name = head.strip().upper()
+        family = self._families.get(name)
+        if family is None:
+            raise EngineSpecError(
+                f"unknown engine family {head.strip()!r}; "
+                f"registered engines: {', '.join(self.specs())}"
+            )
+        count: Optional[int] = None
+        child: Optional[str] = None
+        flags: list[str] = []
+        if sep:
+            if not rest.strip():
+                raise EngineSpecError(
+                    f"engine spec {text!r}: empty parameter list after ':'"
+                )
+            for arg in rest.split(","):
+                arg = arg.strip()
+                if not arg:
+                    raise EngineSpecError(
+                        f"engine spec {text!r}: empty parameter"
+                    )
+                m = _REPLICATION_ARG.match(arg)
+                if m:
+                    if not family.takes_child:
+                        raise EngineSpecError(
+                            f"engine family {name} takes no parameters "
+                            f"(got {arg!r}); registered engines: "
+                            f"{', '.join(self.specs())}"
+                        )
+                    if count is not None:
+                        raise EngineSpecError(
+                            f"engine spec {text!r}: duplicate "
+                            f"<N>x<CHILD> argument"
+                        )
+                    count = int(m.group(1))
+                    if count < 1:
+                        raise EngineSpecError(
+                            f"engine spec {text!r}: count must be >= 1"
+                        )
+                    child_text = m.group(2).strip()
+                    if ":" in child_text:
+                        raise EngineSpecError(
+                            f"engine spec {text!r}: child engine "
+                            f"{child_text!r} must be a non-composite spec"
+                        )
+                    # canonicalise (and existence-check) the child through
+                    # the same registry — composition, not special-casing
+                    child = self.parse(child_text).canonical
+                    continue
+                word = arg.lower()
+                if word not in family.allowed_flags:
+                    raise EngineSpecError(
+                        f"engine spec {text!r}: unknown parameter {arg!r} "
+                        f"for family {name}"
+                        + (f" (allowed: "
+                           f"{', '.join(sorted(family.allowed_flags))})"
+                           if family.allowed_flags else "")
+                    )
+                if word in flags:
+                    raise EngineSpecError(
+                        f"engine spec {text!r}: duplicate parameter {arg!r}"
+                    )
+                flags.append(word)
+        if family.takes_child and sep and count is None:
+            raise EngineSpecError(
+                f"engine spec {text!r}: family {name} requires an "
+                f"<N>x<CHILD> argument, e.g. {family.syntax}"
+            )
+        # flags sort in the canonical form so "F:a,b" and "F:b,a" name
+        # one engine (one connection, one set of plan-cache entries)
+        flags.sort()
+        args = ([f"{count}x{child}"] if count is not None else []) + flags
+        canonical = name + (":" + ",".join(args) if args else "")
+        return EngineSpec(
+            family=name, count=count, child=child, flags=tuple(flags),
+            canonical=canonical,
+        )
+
+    # -- resolution --------------------------------------------------------------
+
+    def resolve(self, spec: "str | EngineSpec") -> EngineConfig:
+        """The (memoised) config for one spec, parsing if necessary."""
+        if isinstance(spec, str):
+            spec = self.parse(spec)
+        config = self._configs.get(spec.canonical)
+        if config is None:
+            family = self._families[spec.family]
+            config = family.configure(spec, self)
+            if config.spec != spec.canonical:
+                config = replace(config, spec=spec.canonical)
+            self._configs[spec.canonical] = config
+        return config
+
+
+#: the process-wide default registry; the five paper configurations are
+#: registered by :mod:`repro.bench.configs`, the sharded engine by
+#: :mod:`repro.shard`.
+default_registry = EngineRegistry()
+
+
+def register_engine(family: EngineFamily, override: bool = False) -> None:
+    """Register an engine family with the default registry."""
+    default_registry.register(family, override=override)
+
+
+def engines() -> list[EngineFamily]:
+    """The registered engine families (name, description, spec syntax)."""
+    return default_registry.families()
+
+
+def engine_table_markdown() -> str:
+    """The README's engine table, generated from registry descriptions."""
+    rows = ["| Engine | What it is |", "|--------|------------|"]
+    for family in engines():
+        syntax = family.syntax or family.name
+        rows.append(f"| `{syntax}` | {family.description} |")
+    return "\n".join(rows)
+
+
+def _print_engine_table() -> None:  # pragma: no cover - CLI convenience
+    # running as ``python -m repro.engines`` executes a *copy* of this
+    # module with its own (empty) registry; go through the canonical
+    # package attribute so the table reflects the real registrations
+    import repro
+
+    print(repro.engine_table_markdown())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _print_engine_table()

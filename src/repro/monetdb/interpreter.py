@@ -28,11 +28,46 @@ class UnsupportedOperator(LookupError):
     """Backend has no implementation for a MAL operation."""
 
 
+class UnsupportedFeature(RuntimeError):
+    """An optional backend feature was invoked without being declared.
+
+    Callers must gate on the corresponding capability flag
+    (:attr:`Backend.replays_placements` /
+    :attr:`Backend.pipelines_sessions`) instead of probing with
+    ``hasattr`` — the flags *are* the protocol."""
+
+
 class Backend(abc.ABC):
-    """An operator set + simulated clock, addressable by ``module.fn``."""
+    """An operator set + simulated clock, addressable by ``module.fn``.
+
+    This is the formal backend protocol every engine implements — the
+    two MonetDB baselines, the single-device Ocelot backends, the
+    heterogeneous scheduler and the sharded multi-node engine all plug
+    into the same interpreter through it.  Beyond the required operator
+    registry and clock, the protocol has *declared* optional features:
+
+    * :attr:`replays_placements` — the backend records per-instruction
+      scheduling decisions and can replay a recorded trace
+      (:meth:`install_replay` / :meth:`take_trace`); the plan cache uses
+      this to skip re-scoring repeat queries.
+    * :attr:`pipelines_sessions` — the backend supports multiple
+      in-flight queries with isolated per-session timelines
+      (:meth:`open_session` / :meth:`activate_session` /
+      :meth:`close_session`); the serve layer's session scheduler
+      interleaves queries only on such backends.
+
+    A feature's methods raise :class:`UnsupportedFeature` unless the
+    backend declares the flag — callers gate on the flag, never on
+    ``hasattr``.
+    """
 
     #: configuration label as used in the paper's figures (MS/MP/CPU/GPU).
     label: str = "?"
+
+    #: declared feature: placement-trace recording and replay.
+    replays_placements: bool = False
+    #: declared feature: per-session timelines for pipelined execution.
+    pipelines_sessions: bool = False
 
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
@@ -82,10 +117,63 @@ class Backend(abc.ABC):
         """
         return 0.0
 
-    def end_of_query(self, intermediates: list[BAT]) -> None:
-        """Hook: intermediate BATs go out of scope (recycling)."""
-        for bat in intermediates:
-            self.catalog.notify_recycled(bat)
+    def end_of_query(self, intermediates: list) -> None:
+        """Hook: a finished query's leftover values go out of scope.
+
+        Receives every non-result variable of the query's environment;
+        the backend decides what recycling means for its value model —
+        the default drops non-base BATs through the catalog's recycle
+        callbacks (which the Ocelot Memory Managers subscribe to).
+        """
+        for value in intermediates:
+            if isinstance(value, BAT) and not value.is_base:
+                self.catalog.notify_recycled(value)
+
+    # -- optional feature: placement replay (replays_placements) -----------------
+
+    def install_replay(self, placements) -> None:
+        """Arm the next query with a recorded decision trace."""
+        raise UnsupportedFeature(
+            f"backend {self.label!r} does not declare replays_placements"
+        )
+
+    def take_trace(self) -> tuple[list, int]:
+        """Harvest the last query's decision trace; ``(trace, replayed)``."""
+        raise UnsupportedFeature(
+            f"backend {self.label!r} does not declare replays_placements"
+        )
+
+    # -- optional feature: per-session timelines (pipelines_sessions) ------------
+
+    def open_session(self, session: str, replay=None) -> float:
+        """Register one in-flight query; returns its submit epoch."""
+        raise UnsupportedFeature(
+            f"backend {self.label!r} does not declare pipelines_sessions"
+        )
+
+    def activate_session(self, session: str | None) -> None:
+        """Attribute subsequent dispatches to ``session`` (None = plain)."""
+        raise UnsupportedFeature(
+            f"backend {self.label!r} does not declare pipelines_sessions"
+        )
+
+    def close_session(self, session: str) -> float:
+        """Drop a finished query's state; returns its completion epoch."""
+        raise UnsupportedFeature(
+            f"backend {self.label!r} does not declare pipelines_sessions"
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def schema_changed(self) -> None:
+        """Hook: the owning database ran DDL against the catalog.
+
+        Stateless backends need nothing (they read the catalog on every
+        bind); backends holding derived schema state — e.g. the sharded
+        engine's per-shard catalogs — resynchronise here."""
+
+    def shutdown(self) -> None:
+        """Hook: the owning connection closed; release device state."""
 
     # -- result collection ----------------------------------------------------------
 
@@ -96,6 +184,19 @@ class Backend(abc.ABC):
         if isinstance(value, BAT):
             return value.values
         return np.atleast_1d(np.asarray(value))
+
+    def collect_results(self, result_columns, resolve) -> dict[str, np.ndarray]:
+        """Materialise the whole result set on the host.
+
+        ``result_columns`` is the program's ordered (name, Var) list and
+        ``resolve`` maps a Var to its runtime value.  The default
+        collects column by column; backends whose result merge needs
+        cross-column context (the sharded engine aligns grouped partials
+        by key across every column) override this instead of
+        :meth:`collect`."""
+        return {
+            name: self.collect(resolve(var)) for name, var in result_columns
+        }
 
 
 @dataclass
@@ -187,15 +288,12 @@ class ProgramRun:
 
     def collect(self, elapsed: float) -> QueryResult:
         """Materialise the result set and release the intermediates."""
-        columns = {
-            name: self.backend.collect(self.resolve_arg(var))
-            for name, var in self.program.result_columns
-        }
+        columns = self.backend.collect_results(
+            self.program.result_columns, self.resolve_arg
+        )
         result_vars = {var.name for _, var in self.program.result_columns}
         intermediates = [
-            v
-            for k, v in self.env.items()
-            if isinstance(v, BAT) and k not in result_vars and not v.is_base
+            v for k, v in self.env.items() if k not in result_vars
         ]
         self.backend.end_of_query(intermediates)
         return QueryResult(

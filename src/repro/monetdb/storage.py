@@ -115,6 +115,14 @@ class Catalog:
         """Subscribe to BAT delete/recycle notifications."""
         self._delete_callbacks.append(callback)
 
+    def off_delete(self, callback: Callable[[BAT], None]) -> None:
+        """Unsubscribe (a closed connection's Memory Manager must not
+        keep receiving notifications); missing subscriptions are fine."""
+        try:
+            self._delete_callbacks.remove(callback)
+        except ValueError:
+            pass
+
     def _fire_delete(self, bat: BAT) -> None:
         for callback in self._delete_callbacks:
             callback(bat)

@@ -188,6 +188,12 @@ class OcelotBackend(Backend):
     def query_overhead_s(self) -> float:
         return self.engine.device.profile.framework_overhead_s
 
+    # -- lifecycle -------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Release every device buffer this backend's engine caches."""
+        self.engine.memory.shutdown()
+
     # -- result collection ----------------------------------------------------------
 
     def collect(self, value):

@@ -275,6 +275,19 @@ class MemoryManager:
             return
         self._free_entry(entry)
 
+    def shutdown(self) -> None:
+        """Terminal release of every entry (connection close).
+
+        Pins are moot — no operator can be in flight on a connection
+        being closed — so everything is freed unconditionally, and the
+        manager unsubscribes from the catalog's delete notifications so
+        a closed connection leaves no dangling callbacks behind.
+        """
+        for entry in list(self._entries.values()):
+            self._free_entry(entry)
+        self._hash_cache.clear()
+        self.catalog.off_delete(self._on_bat_deleted)
+
     def _free_entry(self, entry: CacheEntry) -> None:
         """Unconditionally drop an entry and its device storage."""
         buffer = entry.buffer
@@ -430,11 +443,16 @@ class MemoryManager:
 
         The device copy stays registered (and ``device_ref`` intact) so a
         later Ocelot operator reuses it as a cache hit; MonetDB reads the
-        freshly transferred host tail."""
+        freshly transferred host tail.  Device buffers are allocated
+        ``max(count, 1)`` elements, so the hand-over truncates to the
+        BAT's logical count — an empty result must not gain a phantom
+        row of padding."""
         host, _event = self.queue.enqueue_read(
             buffer, wait_for=buffer.dependencies_for_read()
         )
         self.queue.finish()
+        if host.shape[0] > bat.count:
+            host = host[:bat.count]
         bat.return_to_monetdb(host)
         return host
 

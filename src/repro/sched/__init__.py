@@ -90,10 +90,12 @@ memory) and ``examples/concurrency.py`` adds the serving layer on top.
 from .backend import HeterogeneousBackend
 from .placer import CostPlacer, Placement
 from .pool import DevicePool
+from .stats import SelectivityStats
 
 __all__ = [
     "CostPlacer",
     "DevicePool",
     "HeterogeneousBackend",
     "Placement",
+    "SelectivityStats",
 ]

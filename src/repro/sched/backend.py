@@ -44,6 +44,7 @@ from ..monetdb.backends import MonetDBSequential
 from ..monetdb.interpreter import Backend
 from ..monetdb.storage import Catalog
 from ..ocelot.operators import HOST_CODE
+from ..ocelot.rewriter import SELECT_FUNCTIONS
 from .partition import execute_split
 from .placer import CostPlacer, Placement
 from .pool import DevicePool
@@ -86,6 +87,11 @@ class HeterogeneousBackend(Backend):
     """MAL backend scheduling one plan across every pooled device."""
 
     label = "HET"
+    #: declared protocol features (see ``Backend``): the plan cache may
+    #: install recorded placement traces, and the serve layer may open
+    #: per-session timelines for pipelined execution.
+    replays_placements = True
+    pipelines_sessions = True
 
     def __init__(
         self,
@@ -95,6 +101,9 @@ class HeterogeneousBackend(Backend):
     ):
         self.pool = DevicePool(catalog, devices, data_scale)
         self.placer = CostPlacer(self.pool)
+        #: observed per-(column, op) selectivities, fed back after every
+        #: selection and consumed by the placer's fan-out pricing
+        self.stats = self.placer.stats
         self.fallback = MonetDBSequential(catalog)
         self._t0 = 0.0
         self._default_state = _QueryState()
@@ -217,19 +226,63 @@ class HeterogeneousBackend(Backend):
         state.trace.append((function, decision))
         if decision.split is not None:
             state.decision_log.append((function, "split"))
-            return execute_split(
+            out = execute_split(
                 self.pool, function, args, decision.split,
                 charge_overhead=self._charge_overhead,
             )
-        device = decision.device
-        engine = self.pool.engines[device]
-        state.decision_log.append((function, device))
-        self._charge_overhead(device)
-        for arg in args:
-            if isinstance(arg, BAT):
-                self.pool.ensure_on(arg, engine)
-        with engine.memory.operator_scope():
-            return HOST_CODE[function](engine, *args)
+        else:
+            device = decision.device
+            engine = self.pool.engines[device]
+            state.decision_log.append((function, device))
+            self._charge_overhead(device)
+            for arg in args:
+                if isinstance(arg, BAT):
+                    self.pool.ensure_on(arg, engine)
+            with engine.memory.operator_scope():
+                out = HOST_CODE[function](engine, *args)
+        if function in SELECT_FUNCTIONS:
+            self._observe_selection(function, args, out)
+        return out
+
+    def _observe_selection(self, function: str, args, result) -> None:
+        """Feed the observed selectivity back to the placer's stats.
+
+        Free in simulated time: a real engine reads result sizes off
+        completion events it already waits on, so peeking the bitmap's
+        population count charges nothing.  Candidate-constrained
+        selections are skipped — their output counts the *conjunction*
+        with the candidate list, which would poison the per-column
+        estimate (and they are never fanned out anyway)."""
+        if len(args) > 1 and args[1] is not None:
+            return
+        bats = [a for a in args if isinstance(a, BAT)]
+        if not bats or not bats[0].count:
+            return
+        hits = self._result_cardinality(result)
+        if hits is None:
+            return
+        self.stats.observe(
+            bats[0].tag, function, hits / bats[0].count
+        )
+
+    @staticmethod
+    def _result_cardinality(result):
+        if not isinstance(result, BAT):
+            return None
+        if result.role is Role.OIDS:
+            return result.count
+        if result.role is Role.BITMAP:
+            ref = result.device_ref
+            bits = (
+                ref.array if ref is not None and not ref.released
+                else result.peek_values()
+            )
+            if bits is None:
+                return None
+            from ..kernels import count_bits
+
+            return count_bits(bits, result.count)
+        return None
 
     def _sync(self, value):
         if not isinstance(value, BAT):
@@ -271,6 +324,13 @@ class HeterogeneousBackend(Backend):
             self.pool.engines[d].device.profile.framework_overhead_s
             for d in self._overhead_charged
         )
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Release the whole pool's device state (connection close)."""
+        self._session_states.clear()
+        self.pool.shutdown()
 
     # -- result collection ----------------------------------------------------------
 

@@ -38,10 +38,18 @@ from .costs import (
     shape_seconds,
 )
 from .pool import DevicePool
+from .stats import SelectivityStats
 
 #: a split must beat the best single device by this factor to be chosen
 #: (absorbs estimation error so HET stays <= min(CPU, GPU))
 SPLIT_MARGIN = 0.9
+
+#: keep the previous split boundaries while their predicted makespan is
+#: within this factor of the fresh optimum — base-column slices stay hot
+#: in the device caches only if the boundaries stay put, and that
+#: amortisation (which plan_split deliberately does not price) is worth
+#: more than a few percent of predicted balance
+SPLIT_STICKINESS = 1.25
 
 #: never plan more device-resident bytes than this fraction of capacity
 MEMORY_FRACTION = 0.7
@@ -62,10 +70,28 @@ class Placement:
 
 
 class CostPlacer:
-    """Scores devices and plans fan-outs for one :class:`DevicePool`."""
+    """Scores devices and plans fan-outs for one :class:`DevicePool`.
 
-    def __init__(self, pool: DevicePool):
+    ``stats`` carries observed per-(column, op) selectivities fed back
+    by the backend after every selection; the fan-out planner prices a
+    split's download/merge legs with the learned value instead of the
+    fixed 15 % guess (which blocks profitable splits of selective
+    predicates at large sizes, fig. 8a)."""
+
+    def __init__(self, pool: DevicePool,
+                 stats: SelectivityStats | None = None):
         self.pool = pool
+        self.stats = stats if stats is not None else SelectivityStats()
+        #: (function, column tag, n) -> last chosen fan-out boundaries
+        self._split_memo: dict[tuple, list] = {}
+
+    def _selectivity(self, function: str, args) -> float:
+        bats = [a for a in args if isinstance(a, BAT)]
+        if not bats:
+            return EST_SELECTIVITY
+        return self.stats.estimate(
+            bats[0].tag, function, EST_SELECTIVITY
+        )
 
     # -- single-device scoring ------------------------------------------------
 
@@ -154,8 +180,9 @@ class CostPlacer:
 
         # per-row downloaded partial bytes and merged host bytes by class
         if function in SELECT_FUNCTIONS:
-            down_per_row = 4.0 * EST_SELECTIVITY * scale
-            merge_bytes = EST_SELECTIVITY * n * 4.0 * scale
+            selectivity = self._selectivity(function, args)
+            down_per_row = 4.0 * selectivity * scale
+            merge_bytes = selectivity * n * 4.0 * scale
         elif function in GROUPED_AGG_FUNCTIONS:
             down_per_row = 0.0     # partials are ngroups-wide
             merge_bytes = 0.0      # folded below via the shape's out
@@ -209,9 +236,36 @@ class CostPlacer:
             idx, plo, _ = plan[-1]
             plan[-1] = (idx, plo, n)
 
-        # predicted makespan, charging uploads per operand for
-        # not-yet-cached slices (base-column slices stay hot across
-        # runs, like whole columns; intermediates pay every time)
+        work_span, wake_span = self._plan_spans(
+            plan, bats, rates, fixed, wake, scale
+        )
+
+        # sticky boundaries: a re-balance (e.g. after a selectivity
+        # observation shifted the rates) that predicts only marginally
+        # better must not move the cut points — moving them invalidates
+        # every device-cached base-column slice, a real re-upload the
+        # prediction deliberately amortises away
+        memo_key = (function, bats[0].tag, n)
+        previous = self._split_memo.get(memo_key)
+        if previous is not None and previous != plan \
+                and all(phi - plo <= caps[idx]
+                        for idx, plo, phi in previous):
+            prev_work, prev_wake = self._plan_spans(
+                previous, bats, rates, fixed, wake, scale
+            )
+            if prev_work <= work_span * SPLIT_STICKINESS:
+                plan, work_span, wake_span = previous, prev_work, prev_wake
+        self._split_memo[memo_key] = plan
+
+        merge_s = pool.merge_seconds(merge_bytes)
+        return plan, wake_span + merge_s, work_span + merge_s
+
+    def _plan_spans(self, plan, bats, rates, fixed, wake, scale
+                    ) -> tuple[float, float]:
+        """Predicted makespan of one fan-out plan, charging uploads per
+        operand for not-yet-cached slices (base-column slices stay hot
+        across runs, like whole columns; intermediates pay every time)."""
+        pool = self.pool
         work_span, wake_span = 0.0, 0.0
         for idx, plo, phi in plan:
             chars = pool.characteristics[idx]
@@ -225,8 +279,7 @@ class CostPlacer:
                     )
             work_span = max(work_span, t)
             wake_span = max(wake_span, t + wake[idx])
-        merge_s = pool.merge_seconds(merge_bytes)
-        return plan, wake_span + merge_s, work_span + merge_s
+        return work_span, wake_span
 
     # -- the decision -----------------------------------------------------------
 

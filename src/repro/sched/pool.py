@@ -278,6 +278,15 @@ class DevicePool:
         host = self.host_characteristics()
         return 2 * merged_nominal_bytes / (host.stream_gbs * GB)
 
+    # -- lifecycle --------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Release every device's cached buffers and the slice cache."""
+        self._slices.clear()
+        self.catalog.off_delete(self._drop_slices)
+        for engine in self.engines:
+            engine.memory.shutdown()
+
     # -- helpers --------------------------------------------------------------
 
     def release_device_bat(self, bat: BAT) -> None:

@@ -1,0 +1,70 @@
+"""Observed per-(column, op) selectivity statistics for the placer.
+
+The fan-out planner needs the selection's output size to price the
+partial-download and host-merge legs of a split.  The original placer
+assumed a fixed 15 % (:data:`repro.sched.costs.EST_SELECTIVITY`), which
+systematically *overprices* splits of selective predicates at large
+inputs — exactly the fig. 8a region where fan-out should win — and
+underprices unselective ones.
+
+``SelectivityStats`` closes the loop: after every executed selection the
+heterogeneous backend feeds back the observed fraction, keyed by
+``(column key, operator)``, smoothed with an exponential moving average
+(recency matters: value distributions drift).  The placer then asks
+:meth:`estimate` instead of using the constant.  Statistics collection
+is free in simulated time — a real engine reads result sizes off
+completion events it already waits on.
+
+The column key is the BAT tag with any partition-slice suffix stripped,
+so observations from fanned-out runs (``lineitem.l_shipdate[0:512]``)
+and whole-column runs pool together.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: EMA weight of the newest observation
+SMOOTHING = 0.4
+
+_SLICE_SUFFIX = re.compile(r"\[\d+:\d+\]$")
+
+
+def column_key(tag: str) -> str:
+    """Normalise a BAT tag to a statistics key (strip slice suffixes)."""
+    return _SLICE_SUFFIX.sub("", tag or "")
+
+
+@dataclass
+class SelectivityStats:
+    """EMA of observed selectivities per (column key, operator)."""
+
+    smoothing: float = SMOOTHING
+    _estimates: dict = field(default_factory=dict)
+    observations: int = 0
+
+    def observe(self, column: str, op: str, selectivity: float) -> None:
+        """Fold one observed output/input fraction into the estimate."""
+        selectivity = min(max(float(selectivity), 0.0), 1.0)
+        key = (column_key(column), op)
+        current = self._estimates.get(key)
+        if current is None:
+            self._estimates[key] = selectivity
+        else:
+            self._estimates[key] = (
+                self.smoothing * selectivity
+                + (1.0 - self.smoothing) * current
+            )
+        self.observations += 1
+
+    def estimate(self, column: str, op: str, default: float) -> float:
+        """The learned selectivity, or ``default`` before any feedback."""
+        return self._estimates.get((column_key(column), op), default)
+
+    def __len__(self) -> int:
+        return len(self._estimates)
+
+    def snapshot(self) -> dict:
+        """Copy of the current estimates (introspection / examples)."""
+        return dict(self._estimates)

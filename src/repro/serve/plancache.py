@@ -8,7 +8,10 @@ placer's per-instruction decisions, which depend only on the measured
 device characteristics and the (immutable) base data.  So the whole
 front half of the query lifecycle is cacheable:
 
-* **key** — ``(SQL text, engine label, program name, schema version)``.
+* **key** — ``(SQL text, canonical engine spec, program name, schema
+  version)``.  The engine component is :attr:`repro.engines
+  .EngineConfig.spec` — e.g. ``"CPU"`` or ``"SHARD:4xHET"`` — so
+  differently-parameterized instances of one family never share plans.
   The schema version is :attr:`repro.monetdb.storage.Catalog.version`,
   bumped on every DDL statement, so a ``CREATE``/``DROP`` implicitly
   invalidates every plan compiled against the old schema.
@@ -75,14 +78,14 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def _key(self, sql: str, label: str, name: str) -> tuple:
-        return (sql_cache_key(sql), label, name, self.catalog.version)
+    def _key(self, sql: str, spec: str, name: str) -> tuple:
+        return (sql_cache_key(sql), spec, name, self.catalog.version)
 
     def lookup(self, sql: str, config, schema, name: str = "query"
                ) -> CachedPlan:
         """The cached plan for ``sql`` under ``config``, compiling (and
         running the config's optimizer pipeline) on a miss."""
-        key = self._key(sql, config.label, name)
+        key = self._key(sql, config.spec, name)
         entry = self._entries.get(key)
         if entry is not None:
             self.stats.hits += 1

@@ -33,7 +33,6 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..monetdb.bat import BAT
 from ..monetdb.interpreter import ProgramRun, QueryResult
 from ..ocelot.memory import OcelotOOM
 from .plancache import CachedPlan
@@ -95,9 +94,10 @@ class SessionScheduler:
     def __init__(self, connection):
         self.connection = connection
         self.backend = connection.backend
-        #: heterogeneous backends expose the per-session timeline API;
-        #: single-timeline engines fall back to FIFO execution
-        self.pipelined = hasattr(self.backend, "open_session")
+        #: a declared backend capability (see the Backend protocol):
+        #: engines with per-session timelines pipeline; single-timeline
+        #: engines fall back to FIFO execution
+        self.pipelined = self.backend.pipelines_sessions
         self._active: deque[_InFlight] = deque()
         #: queries that hit transient device memory pressure while
         #: interleaved; re-run one at a time once the batch drains
@@ -223,12 +223,10 @@ class SessionScheduler:
     # -- transient-pressure retry ---------------------------------------------
 
     def _recycle_partial(self, flight: _InFlight) -> None:
-        """Release a half-executed query's device intermediates."""
-        bats = [
-            v for v in flight.run.env.values()
-            if isinstance(v, BAT) and not v.is_base
-        ]
-        self.backend.end_of_query(bats)
+        """Release a half-executed query's device intermediates (the
+        backend's ``end_of_query`` decides what recycling means for its
+        value model and skips base columns itself)."""
+        self.backend.end_of_query(list(flight.run.env.values()))
 
     def _park_for_retry(self, flight: _InFlight) -> None:
         self.backend.activate_session(None)

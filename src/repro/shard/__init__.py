@@ -1,0 +1,92 @@
+"""``repro.shard`` — the sharded multi-node engine (``SHARD:<N>x<CHILD>``).
+
+ROADMAP's multi-backend sharding item: partition *tables* (not just
+operators) across N simulated nodes.  The package composes over the
+engine registry rather than special-casing anything:
+
+* :class:`~repro.shard.partition.ShardPartitioner` keeps one catalog
+  per shard in sync with the parent database — large tables range- (or
+  hash-) partitioned, small ones replicated — and re-syncs on DDL,
+  bumping every child's schema version.
+* :class:`~repro.shard.backend.ShardedBackend` implements the formal
+  Backend protocol by fanning each MAL instruction across N *child
+  backends* of any registered family and merging aggregate partials
+  mat.pack-style (scalar folds, key-aligned grouped folds, exact
+  (sum, count) averages), with eager merge + re-broadcast at
+  post-aggregation consumption points and broadcast joins / driver
+  gathers where an operator needs global context.
+
+Registered as the ``SHARD`` engine family::
+
+    con = db.connect("SHARD:4xHET")    # 4 nodes, each running HET
+    con = db.connect("SHARD:8xCPU")    # 8 single-device nodes
+    con = db.connect("SHARD:4xCPU,hash")   # round-robin row placement
+
+The spec's child component is resolved through the same registry, so
+anything registered with :func:`repro.register_engine` — including
+other composites-to-be — can serve as the per-node engine.
+"""
+
+from __future__ import annotations
+
+from ..engines import (
+    EngineConfig,
+    EngineFamily,
+    EngineSpec,
+    EngineSpecError,
+    register_engine,
+)
+from .backend import ShardedBackend, ShardedValue
+from .partition import DEFAULT_MIN_PARTITION_ROWS, ShardPartitioner
+
+__all__ = [
+    "DEFAULT_MIN_PARTITION_ROWS",
+    "ShardPartitioner",
+    "ShardedBackend",
+    "ShardedValue",
+]
+
+
+def _configure(spec: EngineSpec, registry) -> EngineConfig:
+    if spec.count is None or spec.child is None:
+        raise EngineSpecError(
+            "the SHARD family requires an <N>x<CHILD> argument, "
+            "e.g. SHARD:4xHET or SHARD:8xCPU"
+        )
+    child = registry.resolve(spec.child)
+    mode = "hash" if "hash" in spec.flags else "range"
+    n_shards = spec.count
+
+    def make(catalog, data_scale):
+        return ShardedBackend(
+            catalog, child, n_shards, data_scale=data_scale,
+            mode=mode, label=spec.canonical,
+        )
+
+    return EngineConfig(
+        label=spec.canonical,
+        make=make,
+        is_ocelot=child.is_ocelot,
+        description=(
+            f"{n_shards} simulated nodes each running {child.label}, "
+            f"tables {mode}-partitioned, mat.pack-style merges"
+        ),
+        spec=spec.canonical,
+    )
+
+
+register_engine(EngineFamily(
+    name="SHARD",
+    configure=_configure,
+    description=(
+        "N-node sharded execution over any registered child engine: "
+        "tables partitioned per node, aggregate partials merged "
+        "mat.pack-style on the driver"
+    ),
+    syntax="SHARD:<N>x<CHILD>[,hash]",
+    takes_child=True,
+    # range partitioning is the default and deliberately NOT a flag:
+    # "SHARD:2xCPU,range" aliasing "SHARD:2xCPU" would split the plan
+    # cache and the connection cache over one identical engine
+    allowed_flags=frozenset({"hash"}),
+))

@@ -1,0 +1,723 @@
+"""The sharded multi-node engine: N child backends + mat.pack merges.
+
+``ShardedBackend`` is the engine registry's first *composable* client:
+it implements the same formal :class:`~repro.monetdb.interpreter
+.Backend` protocol as every single-node engine, but owns **N child
+backends** (any registered family — MS, CPU, HET, ...), each bound to
+its own shard catalog (:mod:`repro.shard.partition`).  The *same*
+rewritten MAL program is interpreted once; every instruction fans out to
+all shards through the children's own operator registries, so each shard
+executes exactly the per-node plan a single-node engine would — the
+paper's hardware-obliviousness lifted one level: the plan is also
+*topology*-oblivious.
+
+Values flowing through the interpreter are :class:`ShardedValue`
+wrappers holding one part per shard plus merge provenance:
+
+* values derived from **replicated** tables are identical on every
+  shard — the merge takes shard 0's copy;
+* row-space values from **partitioned** tables concatenate in shard
+  order (with range partitioning that *is* the global base order);
+* **aggregate partials** carry a fold tag: scalar aggregates fold on
+  the driver; grouped aggregates are aligned **by group key** across
+  shards (shard-local dense group ids are translated through each
+  shard's key table) and folded mat.pack-style with the same fold
+  semantics as the heterogeneous engine's partition merge —
+  ``avg`` partials are computed as (sum, count) pairs so the merged
+  average is exact;
+* a partial consumed by a *later* operator (``HAVING`` over grouped
+  sums, ``ORDER BY`` over aggregates, scalar arithmetic on a ``sum``)
+  is **merged eagerly at that point** and re-broadcast to every shard —
+  the scatter/gather boundary of a real cluster plan — after which the
+  post-aggregation tail of the query runs identically everywhere.
+
+Operators that fundamentally need global context — ``sort`` over a
+partitioned row space, a join whose *both* sides are partitioned —
+gather the needed side to the driver and broadcast it, trading
+interconnect bytes for correctness (the classic broadcast join).
+Gathers and merges charge simulated interconnect + driver time;
+``elapsed`` is the slowest shard's clock plus that merge time, which is
+what makes the fig. 10 makespan sweep meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cl import GB
+from ..engines import EngineConfig
+from ..monetdb.bat import BAT, Role, make_bat
+from ..monetdb.interpreter import Backend, UnsupportedOperator
+from ..monetdb.storage import Catalog
+from .partition import DEFAULT_MIN_PARTITION_ROWS, ShardPartitioner
+
+#: simulated interconnect between shards and the driver (10 GbE-ish)
+SHARD_NET_GBS = 8.0
+#: per-gather/merge round-trip latency
+SHARD_LATENCY_S = 40e-6
+
+_SCALAR_AGGS = frozenset({"sum", "min", "max", "count", "avg"})
+_GROUPED_AGGS = frozenset(
+    {"subsum", "submin", "submax", "subcount", "subavg"}
+)
+#: fold op per aggregate partial (count partials fold by summing)
+_FOLD_OF = {"sum": "sum", "count": "sum", "min": "min", "max": "max",
+            "subsum": "sum", "subcount": "sum", "submin": "min",
+            "submax": "max"}
+
+
+class ShardedValue:
+    """One interpreter value, sharded: a part per shard + provenance."""
+
+    __slots__ = ("parts", "partitioned", "merge", "group", "pair",
+                 "avg_dtype", "global_oids", "base_rows", "_gathered")
+
+    def __init__(self, parts, partitioned, merge=None, group=None,
+                 pair=None, avg_dtype=None, global_oids=False):
+        self.parts = parts
+        self.partitioned = partitioned
+        #: fold tag ("sum"/"min"/"max"/"avg") for aggregate partials
+        self.merge = merge
+        #: the _Grouping aligning ngroups-wide partials, if grouped
+        self.group = group
+        #: (sums, counts) ShardedValues for exact avg merges
+        self.pair = pair
+        self.avg_dtype = avg_dtype
+        #: positions referring to a *gathered* (global) row space —
+        #: projections through them must gather their source column too
+        self.global_oids = global_oids
+        #: for position-valued columns: per-shard row counts of the
+        #: space the positions index; gathering translates shard-local
+        #: positions into the gathered layout by these offsets
+        self.base_rows: "tuple[int, ...] | None" = None
+        self._gathered = None      # cached broadcast after an eager merge
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "part" if self.partitioned else "repl"
+        extra = f" merge={self.merge}" if self.merge else ""
+        return f"<SV {kind}x{len(self.parts)}{extra}>"
+
+
+class _Grouping:
+    """Cross-shard alignment of one grouping's dense local group ids.
+
+    Built when ``group.group`` / ``group.subgroup`` runs over
+    partitioned rows.  Every shard assigns its own dense gids in
+    ascending key order (the engine-wide convention); :meth:`merged`
+    computes, lazily, the sorted global key table and each shard's
+    ``local gid -> global group index`` map, which is what lets grouped
+    partials fold by *key* even though the id spaces differ per shard.
+    """
+
+    def __init__(self, backend: "ShardedBackend", key_bats,
+                 gids_bats, ngroups, outer: "_Grouping | None" = None,
+                 outer_gids=None):
+        self.backend = backend
+        self.key_bats = key_bats          # per-shard grouped column
+        self.gids_bats = gids_bats        # per-shard dense id rows
+        self.ngroups = ngroups            # per-shard group counts
+        self.outer = outer                # subgroup: the outer grouping
+        self.outer_gids = outer_gids      # per-shard outer id rows
+        self._merged = None
+        self._key_cache: dict[int, np.ndarray] = {}
+
+    def keys_matrix(self, shard: int) -> np.ndarray:
+        """(ngroups_s, n_key_columns) matrix of shard-local group keys,
+        row ``g`` holding local group ``g``'s key tuple (ascending)."""
+        cached = self._key_cache.get(shard)
+        if cached is not None:
+            return cached
+        values = self.backend._host_values(shard, self.key_bats[shard])
+        if self.outer is None:
+            keys = np.unique(values).reshape(-1, 1)
+        else:
+            gids = self.backend._host_values(
+                shard, self.gids_bats[shard]
+            ).astype(np.int64, copy=False)
+            outer_gids = self.backend._host_values(
+                shard, self.outer_gids[shard]
+            ).astype(np.int64, copy=False)
+            # first row of each dense id; ids ascend in key order, so
+            # np.unique's sorted ids line up with row positions 0..n-1
+            _ids, first = np.unique(gids, return_index=True)
+            outer_keys = self.outer.keys_matrix(shard)
+            keys = np.column_stack(
+                [outer_keys[outer_gids[first]], values[first]]
+            )
+        if keys.shape[0] != int(self.ngroups[shard]):
+            raise AssertionError(
+                "shard group keys out of step with dense ids"
+            )
+        self._key_cache[shard] = keys
+        return keys
+
+    def merged(self):
+        """``(n_global, maps)``: global group count and, per shard, the
+        ``local gid -> global index`` translation (global groups sorted
+        ascending by key tuple — the single-node output convention)."""
+        if self._merged is None:
+            mats = [
+                self.keys_matrix(s)
+                for s in range(len(self.key_bats))
+            ]
+            common = np.result_type(*[m.dtype for m in mats])
+            stacked = np.vstack([m.astype(common, copy=False)
+                                 for m in mats])
+            uniq, inverse = np.unique(
+                stacked, axis=0, return_inverse=True
+            )
+            inverse = np.asarray(inverse).reshape(-1)
+            maps, offset = [], 0
+            for m in mats:
+                maps.append(inverse[offset:offset + m.shape[0]])
+                offset += m.shape[0]
+            self._merged = (uniq.shape[0], maps)
+            self.backend._charge_merge(int(stacked.nbytes))
+        return self._merged
+
+
+def _fold_identity(op: str, dtype: np.dtype):
+    if op == "sum":
+        return 0
+    info = (np.finfo(dtype) if np.issubdtype(dtype, np.floating)
+            else np.iinfo(dtype))
+    return info.max if op == "min" else info.min
+
+
+class ShardedBackend(Backend):
+    """MAL backend fanning every instruction across N shard backends."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        child_config: EngineConfig,
+        n_shards: int,
+        data_scale: float = 1.0,
+        mode: str = "range",
+        min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+        label: str = "SHARD",
+    ):
+        self.label = label
+        self.child_config = child_config
+        self.data_scale = float(data_scale)
+        self.partitioner = ShardPartitioner(
+            catalog, n_shards, mode=mode,
+            min_partition_rows=min_partition_rows,
+        )
+        self.children: list[Backend] = [
+            child_config.make(shard_catalog, data_scale)
+            for shard_catalog in self.partitioner.catalogs
+        ]
+        self._merge_s = 0.0
+        super().__init__(catalog)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.children)
+
+    # -- protocol: registration / resolution ---------------------------------
+
+    def _register_ops(self) -> None:
+        """No own operators: every op fans out to the children."""
+
+    def resolve(self, op: str):
+        # existence check up front so unsupported ops fail like any
+        # other backend's resolve (children share one operator set)
+        self.children[0].resolve(op)
+
+        def fan(*args):
+            return self._run_op(op, args)
+
+        return fan
+
+    def supports(self, op: str) -> bool:
+        return self.children[0].supports(op)
+
+    def supported_ops(self) -> list[str]:
+        return self.children[0].supported_ops()
+
+    # -- protocol: timing ------------------------------------------------------
+
+    def begin(self) -> None:
+        for child in self.children:
+            child.begin()
+        self._merge_s = 0.0
+
+    def elapsed(self) -> float:
+        """Slowest shard + driver-side gather/merge time.
+
+        Shards are independent nodes: their simulated clocks advance
+        concurrently, so the query's makespan is the maximum, plus the
+        serial driver work (merges, gathers, broadcasts)."""
+        return max(child.elapsed() for child in self.children) \
+            + self._merge_s
+
+    def query_overhead_s(self) -> float:
+        return max(child.query_overhead_s() for child in self.children)
+
+    def _charge_merge(self, nbytes: int) -> None:
+        """Interconnect + driver cost of moving ``nbytes`` (actual array
+        bytes; scaled to nominal) through the merge point."""
+        nominal = nbytes * self.data_scale
+        self._merge_s += SHARD_LATENCY_S + nominal / (SHARD_NET_GBS * GB)
+
+    # -- protocol: lifecycle ------------------------------------------------------
+
+    def schema_changed(self) -> None:
+        """Parent DDL: re-partition and bump every shard's catalog."""
+        self.partitioner.sync()
+
+    def shutdown(self) -> None:
+        for child in self.children:
+            child.shutdown()
+
+    def end_of_query(self, intermediates: list) -> None:
+        per_child: list[list] = [[] for _ in self.children]
+        for value in intermediates:
+            for sv in self._component_values(value):
+                for shard, part in enumerate(sv.parts):
+                    per_child[shard].append(part)
+        for child, leftovers in zip(self.children, per_child):
+            child.end_of_query(leftovers)
+
+    def _component_values(self, value):
+        """A value's ShardedValues incl. avg pairs and cached gathers."""
+        if not isinstance(value, ShardedValue):
+            return
+        yield value
+        if value.pair is not None:
+            for sub in value.pair:
+                yield from self._component_values(sub)
+        if isinstance(value._gathered, ShardedValue):
+            yield from self._component_values(value._gathered)
+
+    # -- shard-local helpers -------------------------------------------------------
+
+    def _localize(self, shard: int, args):
+        return [
+            a.parts[shard] if isinstance(a, ShardedValue) else a
+            for a in args
+        ]
+
+    def _host_values(self, shard: int, part) -> np.ndarray:
+        """Host tail of one shard's BAT, syncing through the shard's own
+        backend (charging that shard's clock) when device-resident.
+
+        Synced device results are backed by ``max(count, 1)``-element
+        buffers, so a count-0 BAT (a shard whose filter matched nothing)
+        carries one element of padding — truncate to the logical count
+        or gathers and folds would fabricate a phantom row."""
+        if not isinstance(part, BAT):
+            return part
+        if not part.has_host_values:
+            self.children[shard].resolve("ocelot.sync")(part)
+        values = part.values
+        if values.shape[0] != part.count:
+            return values[:part.count]
+        return values
+
+    def _fan(self, op: str, args, partitioned=None) -> object:
+        outs = [
+            self.children[shard].resolve(op)(*self._localize(shard, args))
+            for shard in range(self.n_shards)
+        ]
+        if partitioned is None:
+            partitioned = any(
+                isinstance(a, ShardedValue) and a.partitioned
+                for a in args
+            )
+        first = outs[0]
+        if isinstance(first, tuple):
+            return tuple(
+                ShardedValue([o[i] for o in outs], partitioned)
+                for i in range(len(first))
+            )
+        return ShardedValue(outs, partitioned)
+
+    # -- the dispatch ----------------------------------------------------------------
+
+    def _run_op(self, op: str, args):
+        # aggregate partials consumed by a downstream operator merge
+        # here — the cluster plan's scatter/gather boundary
+        args = [self._demote(a) for a in args]
+        fn = op.split(".", 1)[1] if "." in op else op
+        if fn in _SCALAR_AGGS:
+            return self._scalar_agg(op, fn, args)
+        if fn in _GROUPED_AGGS:
+            return self._grouped_agg(op, fn, args)
+        handler = getattr(self, f"_op_{fn}", None)
+        if handler is not None:
+            return handler(op, args)
+        return self._fan(op, args)
+
+    def _demote(self, value):
+        """Merge an aggregate-partial argument and broadcast the result."""
+        if not isinstance(value, ShardedValue) or value.merge is None:
+            return value
+        if value._gathered is None:
+            if value.group is not None:
+                merged = self._fold_grouped(value)
+                self._charge_merge(int(merged.nbytes) * self.n_shards)
+                value._gathered = ShardedValue(
+                    [make_bat(merged, tag="shard_merge")
+                     for _ in range(self.n_shards)],
+                    partitioned=False,
+                )
+            else:
+                value._gathered = self._fold_scalar(value)
+                self._charge_merge(8 * self.n_shards)
+        return value._gathered
+
+    # -- aggregates -----------------------------------------------------------------
+
+    def _scalar_agg(self, op: str, fn: str, args):
+        partitioned = any(
+            isinstance(a, ShardedValue) and a.partitioned for a in args
+        )
+        if not partitioned:
+            return self._fan(op, args, partitioned=False)
+        module = op.split(".", 1)[0]
+        # shards whose filtered input is empty contribute the fold
+        # identity, not a partial — single-node engines (rightly) refuse
+        # e.g. min() over an empty column, and a shard must not turn a
+        # non-empty global aggregate into that refusal.  When *every*
+        # shard is empty, run one child anyway so the global query keeps
+        # exact single-node empty-input semantics (0 for sum, an error
+        # for min/max).
+        b = args[0]
+        active = [
+            shard for shard in range(self.n_shards)
+            if not (isinstance(b, ShardedValue)
+                    and isinstance(b.parts[shard], BAT)
+                    and b.parts[shard].count == 0)
+        ] or [0]
+
+        def fan_active(op_name: str) -> ShardedValue:
+            parts = [None] * self.n_shards
+            for shard in active:
+                parts[shard] = self.children[shard].resolve(op_name)(
+                    *self._localize(shard, args)
+                )
+            return ShardedValue(parts, True)
+
+        if fn == "avg":
+            sums = fan_active(f"{module}.sum")
+            counts = fan_active(f"{module}.count")
+            sums.merge, counts.merge = "sum", "sum"
+            return ShardedValue([None] * self.n_shards, True,
+                                merge="avg", pair=(sums, counts))
+        out = fan_active(op)
+        out.merge = _FOLD_OF[fn]
+        return out
+
+    def _grouped_agg(self, op: str, fn: str, args):
+        gids = args[0] if fn == "subcount" else args[1]
+        partitioned = any(
+            isinstance(a, ShardedValue) and a.partitioned for a in args
+        )
+        if not partitioned:
+            return self._fan(op, args, partitioned=False)
+        grouping = getattr(gids, "group", None) if isinstance(
+            gids, ShardedValue) else None
+        if grouping is None:
+            raise UnsupportedOperator(
+                f"{op} over partitioned rows without a sharded grouping "
+                f"— plan shape not supported by the SHARD engine"
+            )
+        module = op.split(".", 1)[0]
+        if fn == "subavg":
+            vals = args[0]
+            sums = self._grouped_agg(f"{module}.subsum", "subsum", args)
+            counts = self._grouped_agg(
+                f"{module}.subcount", "subcount", args[1:]
+            )
+            dtype = None
+            if isinstance(vals, ShardedValue) \
+                    and isinstance(vals.parts[0], BAT):
+                from ..monetdb.calc import grouped_dtype
+
+                dtype = grouped_dtype("avg", vals.parts[0].dtype)
+            return ShardedValue(
+                [None] * self.n_shards, True, merge="avg",
+                group=grouping, pair=(sums, counts), avg_dtype=dtype,
+            )
+        out = self._fan(op, args, partitioned=True)
+        out.merge = _FOLD_OF[fn]
+        out.group = grouping
+        return out
+
+    def _fold_scalar(self, value: ShardedValue):
+        if value.merge == "avg":
+            total = self._fold_scalar(value.pair[0])
+            count = self._fold_scalar(value.pair[1])
+            return float(total) / max(float(count), 1.0)
+        # empty shards were skipped at fan-out time (None = identity)
+        parts = [p for p in value.parts if p is not None]
+        if value.merge == "sum":
+            total = parts[0]
+            for part in parts[1:]:
+                total = total + part
+            return total
+        if value.merge == "min":
+            return min(parts)
+        if value.merge == "max":
+            return max(parts)
+        if value.merge == "first" or not value.partitioned:
+            return parts[0]
+        raise UnsupportedOperator(
+            "partitioned scalar without merge semantics reached a "
+            "merge point (unsupported plan shape for SHARD)"
+        )
+
+    def _fold_grouped(self, value: ShardedValue) -> np.ndarray:
+        """Key-aligned fold of an ngroups-wide partial across shards,
+        in ascending global key order (the single-node convention)."""
+        grouping = value.group
+        n_global, maps = grouping.merged()
+        if value.merge == "avg":
+            sums = self._fold_grouped(value.pair[0]).astype(np.float64)
+            counts = self._fold_grouped(value.pair[1]).astype(np.float64)
+            avg = sums / np.maximum(counts, 1.0)
+            return avg.astype(value.avg_dtype or np.float64)
+        arrays = [
+            self._host_values(shard, part)
+            for shard, part in enumerate(value.parts)
+        ]
+        dtype = np.result_type(*[np.asarray(a).dtype for a in arrays])
+        out = np.full(n_global, _fold_identity(value.merge, dtype),
+                      dtype=dtype)
+        for shard, vals in enumerate(arrays):
+            idx = maps[shard]
+            if value.merge == "sum":
+                out[idx] = out[idx] + vals
+            elif value.merge == "min":
+                out[idx] = np.minimum(out[idx], vals)
+            else:
+                out[idx] = np.maximum(out[idx], vals)
+        return out
+
+    # -- gathers (global row-space operators) ------------------------------------
+
+    def _gather_rows(self, value: ShardedValue) -> ShardedValue:
+        """Concatenate a partitioned row-space value on the driver and
+        broadcast it to every shard (sort / broadcast-join path).
+
+        Every gathered column of one row space concatenates in shard
+        order, so gathered layouts are mutually consistent; *position*
+        columns additionally translate shard-local positions into that
+        layout via their space's per-shard row counts (``base_rows``).
+        """
+        if value._gathered is None:
+            arrays = [
+                self._host_values(shard, part)
+                for shard, part in enumerate(value.parts)
+            ]
+            positions = any(
+                isinstance(p, BAT) and p.role is Role.OIDS
+                for p in value.parts
+            )
+            if positions:
+                if value.base_rows is None:
+                    raise UnsupportedOperator(
+                        "cannot gather a sharded position column whose "
+                        "row space is unknown (unsupported plan shape "
+                        "for SHARD)"
+                    )
+                offsets = np.concatenate(
+                    ([0], np.cumsum(value.base_rows[:-1]))
+                ).astype(np.int64)
+                arrays = [
+                    a.astype(np.int64) + offsets[s]
+                    for s, a in enumerate(arrays)
+                ]
+                merged = np.concatenate(arrays)
+                from ..monetdb.bat import OID_DTYPE, oid_bat
+
+                bats = [
+                    oid_bat(merged.astype(OID_DTYPE), tag="shard_gather")
+                    for _ in range(self.n_shards)
+                ]
+            else:
+                merged = np.concatenate(arrays)
+                bats = [
+                    make_bat(merged, tag="shard_gather")
+                    for _ in range(self.n_shards)
+                ]
+            self._charge_merge(int(merged.nbytes) * (1 + self.n_shards))
+            gathered = ShardedValue(bats, partitioned=False)
+            # offset-translated positions now live in the gathered
+            # (global) layout — consumers must gather their sources too
+            gathered.global_oids = positions
+            value._gathered = gathered
+        return value._gathered
+
+    def _needs_gather(self, value) -> bool:
+        return isinstance(value, ShardedValue) and value.partitioned
+
+    @staticmethod
+    def _counts(value) -> "tuple[int, ...] | None":
+        if not isinstance(value, ShardedValue):
+            return None
+        if not all(isinstance(p, BAT) for p in value.parts):
+            return None
+        return tuple(int(p.count) for p in value.parts)
+
+    # -- special operators ------------------------------------------------------------
+
+    def _op_bind(self, op: str, args):
+        ref = args[0]
+        return self._fan(
+            op, args,
+            partitioned=self.partitioner.is_partitioned(ref.table),
+        )
+
+    def _op_select(self, op: str, args):
+        out = self._fan(op, args)
+        if isinstance(out, ShardedValue):
+            out.base_rows = self._counts(args[0])
+        return out
+
+    _op_thetaselect = _op_select
+    _op_mirror = _op_select
+
+    def _op_oidunion(self, op: str, args):
+        out = self._fan(op, args)
+        if isinstance(out, ShardedValue) \
+                and isinstance(args[0], ShardedValue):
+            out.base_rows = args[0].base_rows
+        return out
+
+    _op_oidintersect = _op_oidunion
+
+    def _op_group(self, op: str, args):
+        b = args[0]
+        gids, ngroups = self._fan(op, args)
+        if self._needs_gather(b):
+            grouping = _Grouping(
+                self, key_bats=list(b.parts), gids_bats=list(gids.parts),
+                ngroups=[int(n) for n in ngroups.parts],
+            )
+            gids.group = grouping
+        return gids, ngroups
+
+    def _op_subgroup(self, op: str, args):
+        b, outer_gids = args[0], args[1]
+        gids, ngroups = self._fan(op, args)
+        if gids.partitioned:
+            outer = getattr(outer_gids, "group", None) if isinstance(
+                outer_gids, ShardedValue) else None
+            if outer is None:
+                raise UnsupportedOperator(
+                    f"{op}: subgrouping partitioned rows without a "
+                    f"sharded outer grouping is not supported"
+                )
+            grouping = _Grouping(
+                self, key_bats=list(b.parts), gids_bats=list(gids.parts),
+                ngroups=[int(n) for n in ngroups.parts],
+                outer=outer, outer_gids=list(outer_gids.parts),
+            )
+            gids.group = grouping
+        return gids, ngroups
+
+    def _op_sort(self, op: str, args):
+        b = args[0]
+        gathered = self._needs_gather(b)
+        if gathered:
+            args = [self._gather_rows(b)] + list(args[1:])
+        sorted_sv, order_sv = self._fan(op, args, partitioned=False)
+        if gathered:
+            order_sv.global_oids = True
+        return sorted_sv, order_sv
+
+    def _op_firstn(self, op: str, args):
+        b = args[0]
+        if self._needs_gather(b):
+            args = [self._gather_rows(b)] + list(args[1:])
+        return self._fan(op, args, partitioned=False)
+
+    def _op_projection(self, op: str, args):
+        oids, source = args[0], args[1]
+        if isinstance(oids, ShardedValue) and oids.global_oids \
+                and self._needs_gather(source):
+            # positions refer to a gathered (global) row space: the
+            # source column must be gathered the same way; whether the
+            # *output* is shard-local still follows the position lists
+            # (a per-shard pair list projected through a broadcast
+            # column yields per-shard results)
+            args = [oids, self._gather_rows(source)] + list(args[2:])
+        out = self._fan(op, args)
+        if isinstance(out, ShardedValue) and isinstance(source, ShardedValue):
+            # a projection's output *values* are drawn from the source,
+            # so whatever space those values index (row-map composition
+            # through shard-local or gathered spaces) carries over
+            out.base_rows = source.base_rows
+            out.global_oids = source.global_oids
+        return out
+
+    def _op_join(self, op: str, args):
+        left, right = args[0], args[1]
+        gathered = False
+        if self._needs_gather(left) and self._needs_gather(right):
+            # broadcast join: gather the build side to every shard
+            args = [left, self._gather_rows(right)] + list(args[2:])
+            gathered = True
+        lpos, rpos = self._fan(
+            op, args, partitioned=True if gathered else None
+        )
+        lpos.base_rows = self._counts(left)
+        if gathered:
+            rpos.global_oids = True
+        else:
+            rpos.base_rows = self._counts(right)
+        return lpos, rpos
+
+    _op_thetajoin = _op_join
+
+    def _op_semijoin(self, op: str, args):
+        left, right = args[0], args[1]
+        if self._needs_gather(right):
+            # membership is against the *whole* right side; gather it
+            args = [left, self._gather_rows(right)] + list(args[2:])
+        out = self._fan(op, args, partitioned=self._needs_gather(left))
+        if isinstance(out, ShardedValue):
+            out.base_rows = self._counts(left)
+        return out
+
+    _op_antijoin = _op_semijoin
+
+    # -- protocol: result collection ---------------------------------------------------
+
+    def collect_results(self, result_columns, resolve):
+        return {
+            name: self._collect_value(resolve(var))
+            for name, var in result_columns
+        }
+
+    def _collect_value(self, value) -> np.ndarray:
+        if not isinstance(value, ShardedValue):
+            return np.atleast_1d(np.asarray(value))
+        if value.merge is not None:
+            if value.group is not None:
+                merged = self._fold_grouped(value)
+                self._charge_merge(int(merged.nbytes))
+                return merged
+            return np.atleast_1d(np.asarray(self._fold_scalar(value)))
+        if not value.partitioned:
+            return self.children[0].collect(value.parts[0])
+        if not all(isinstance(part, BAT) for part in value.parts):
+            raise UnsupportedOperator(
+                "per-shard scalar without merge semantics reached the "
+                "result set — the SHARD engine cannot fold it (e.g. "
+                "hashbuild's distinct count is not additive across "
+                "shards)"
+            )
+        arrays = [
+            np.atleast_1d(np.asarray(self._host_values(shard, part)))
+            for shard, part in enumerate(value.parts)
+        ]
+        merged = np.concatenate(arrays)
+        self._charge_merge(int(merged.nbytes))
+        return merged
+
+    def collect(self, value):
+        return self._collect_value(value)

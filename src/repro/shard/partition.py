@@ -1,0 +1,111 @@
+"""Table partitioning across shard catalogs.
+
+Each shard of the sharded engine is an independent single-node database:
+it has its *own* :class:`~repro.monetdb.storage.Catalog` holding its
+slice of every partitioned table (and a full copy of every replicated
+one).  Positions, selections and joins inside a shard are therefore
+plain shard-local operations — exactly the model of a cluster of
+column-store nodes (Hespe et al.: partition the big table, replicate the
+small ones, keep the merge cheap).
+
+Two row-assignment schemes:
+
+* ``range`` (default) — shard *s* holds the contiguous row range
+  ``[s*n/N, (s+1)*n/N)``.  Concatenating per-shard rows in shard order
+  reproduces the global base order, so even order-sensitive results
+  match single-node execution exactly.
+* ``hash`` — round-robin on the row id (row *i* lives on shard
+  ``i % N``), the classic hash-on-key placement degenerated to the row
+  id since the reproduction has no declared shard keys.  Row *sets* are
+  preserved but unordered result row *order* may differ from
+  single-node execution.
+
+Tables with fewer than ``min_partition_rows`` rows are **replicated**
+to every shard: dimension tables must be joinable everywhere without a
+shuffle.  DDL on the parent database re-syncs every shard catalog
+(creating/dropping per-shard tables bumps each child's schema version,
+which is what invalidates per-shard cached state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..monetdb.storage import Catalog
+
+#: below this row count a table is replicated to every shard rather
+#: than partitioned (dimension tables join locally without a shuffle)
+DEFAULT_MIN_PARTITION_ROWS = 256
+
+
+class ShardPartitioner:
+    """Keeps N shard catalogs in sync with one parent catalog."""
+
+    def __init__(
+        self,
+        parent: Catalog,
+        n_shards: int,
+        mode: str = "range",
+        min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+    ):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if mode not in ("range", "hash"):
+            raise ValueError(f"unknown partition mode {mode!r}")
+        self.parent = parent
+        self.n_shards = n_shards
+        self.mode = mode
+        self.min_partition_rows = max(int(min_partition_rows), n_shards)
+        self.catalogs = [Catalog() for _ in range(n_shards)]
+        #: table -> True if partitioned, False if replicated
+        self.partitioned: dict[str, bool] = {}
+        self.sync()
+
+    def is_partitioned(self, table: str) -> bool:
+        return self.partitioned.get(table, False)
+
+    # -- row assignment ------------------------------------------------------
+
+    def _slice(self, values: np.ndarray, shard: int) -> np.ndarray:
+        n = values.shape[0]
+        if self.mode == "hash":
+            return values[shard::self.n_shards]
+        lo = shard * n // self.n_shards
+        hi = (shard + 1) * n // self.n_shards
+        return values[lo:hi]
+
+    # -- synchronisation -----------------------------------------------------
+
+    def sync(self) -> None:
+        """Bring every shard catalog up to date with the parent.
+
+        New parent tables are partitioned or replicated per the size
+        policy; dropped parent tables are dropped from every shard
+        (firing the per-shard delete callbacks, so shard-local device
+        caches release their buffers).  Both directions bump each child
+        catalog's schema version.
+        """
+        parent_tables = set(self.parent.tables())
+        for shard, catalog in enumerate(self.catalogs):
+            for stale in set(catalog.tables()) - parent_tables:
+                catalog.drop_table(stale)
+        for name in list(self.partitioned):
+            if name not in parent_tables:
+                del self.partitioned[name]
+        for name in self.parent.tables():
+            rows = self.parent.row_count(name)
+            partition = rows >= self.min_partition_rows
+            self.partitioned[name] = partition
+            for shard, catalog in enumerate(self.catalogs):
+                if catalog.has_table(name):
+                    continue
+                columns = {
+                    column: (
+                        self._slice(self.parent.bat(name, column).values,
+                                    shard)
+                        if partition
+                        else self.parent.bat(name, column).values
+                    )
+                    for column in self.parent.columns(name)
+                }
+                catalog.create_table(name, columns)

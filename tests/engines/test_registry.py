@@ -1,0 +1,144 @@
+"""Engine registry: spec grammar, canonicalization, registration,
+override semantics, and the generated README engine table."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engines import (
+    EngineConfig,
+    EngineFamily,
+    EngineRegistry,
+    EngineSpecError,
+    default_registry,
+    engine_table_markdown,
+)
+
+
+class TestSpecGrammar:
+    @pytest.mark.parametrize("text,canonical", [
+        ("CPU", "CPU"),
+        ("cpu", "CPU"),
+        (" het ", "HET"),
+        ("SHARD:4xHET", "SHARD:4xHET"),
+        ("shard:4xhet", "SHARD:4xHET"),
+        ("Shard:8xCpu", "SHARD:8xCPU"),
+        ("SHARD:2xMS,hash", "SHARD:2xMS,hash"),
+        ("shard:2xms,HASH", "SHARD:2xMS,hash"),
+    ])
+    def test_canonicalization(self, text, canonical):
+        assert default_registry.parse(text).canonical == canonical
+
+    def test_parse_fields(self):
+        spec = default_registry.parse("shard:4xhet")
+        assert spec.family == "SHARD"
+        assert spec.count == 4
+        assert spec.child == "HET"
+        assert spec.flags == ()
+
+    @pytest.mark.parametrize("bad", [
+        "",                      # empty
+        "   ",
+        "TPU",                   # unknown family
+        "CPU:2",                 # legacy family takes no parameters
+        "CPU:4xGPU",             # replication arg on a simple family
+        "SHARD:",                # empty parameter list
+        "SHARD:hash",            # missing NxCHILD
+        "SHARD:0xCPU",           # zero shards
+        "SHARD:4xTPU",           # unknown child
+        "SHARD:4xSHARD:2xCPU",   # nested composite child
+        "SHARD:4xCPU,turbo",     # unknown flag
+        "SHARD:4xCPU,hash,hash",  # duplicate flag
+        "SHARD:4xCPU,2xMS",      # duplicate replication arg
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(EngineSpecError):
+            default_registry.resolve(bad)
+
+    def test_error_lists_registered_engines(self):
+        with pytest.raises(EngineSpecError, match="SHARD:<N>x<CHILD>"):
+            default_registry.parse("TPU")
+        with pytest.raises(EngineSpecError, match="registered engines"):
+            default_registry.parse("TPU")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(EngineSpecError):
+            default_registry.parse(None)
+
+
+class TestRegistry:
+    def _family(self, name, description="test engine"):
+        def configure(spec, registry):
+            return EngineConfig(
+                label=name, make=lambda cat, scale: None,
+                is_ocelot=False, description=description,
+                spec=spec.canonical,
+            )
+
+        return EngineFamily(name=name, configure=configure,
+                            description=description, syntax=name)
+
+    def test_register_and_resolve(self):
+        registry = EngineRegistry()
+        registry.register(self._family("TOY"))
+        config = registry.resolve("toy")
+        assert config.spec == "TOY"
+        assert config.description == "test engine"
+
+    def test_duplicate_registration_rejected(self):
+        registry = EngineRegistry()
+        registry.register(self._family("TOY"))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(self._family("TOY"))
+
+    def test_override_replaces_and_invalidates(self):
+        registry = EngineRegistry()
+        registry.register(self._family("TOY", "v1"))
+        first = registry.resolve("TOY")
+        registry.register(self._family("TOY", "v2"), override=True)
+        second = registry.resolve("TOY")
+        assert first.description == "v1"
+        assert second.description == "v2"
+
+    def test_configs_memoised_per_canonical_spec(self):
+        registry = EngineRegistry()
+        registry.register(self._family("TOY"))
+        assert registry.resolve("TOY") is registry.resolve("toy")
+
+    def test_all_legacy_labels_connect_through_registry(self):
+        db = repro.Database()
+        db.create_table("t", {"x": np.arange(8, dtype=np.int32)})
+        for label in ("MS", "MP", "CPU", "GPU", "HET"):
+            con = db.connect(label)
+            assert con.engine == label
+            result = con.execute("SELECT count(*) AS n FROM t")
+            assert int(result.column("n")[0]) == 8
+
+    def test_connection_cached_per_canonical_spec(self):
+        db = repro.Database()
+        db.create_table("t", {"x": np.arange(300, dtype=np.int32)})
+        a = db.connect("SHARD:2xMS")
+        b = db.connect("shard:2xms")
+        assert a is b
+
+    def test_repro_engines_listing(self):
+        names = [family.name for family in repro.engines()]
+        for expected in ("MS", "MP", "CPU", "GPU", "HET", "SHARD"):
+            assert expected in names
+
+
+class TestGeneratedDocs:
+    def test_engine_table_contains_every_family(self):
+        table = engine_table_markdown()
+        for family in repro.engines():
+            assert (family.syntax or family.name) in table
+
+    def test_readme_engine_table_matches_registry(self):
+        """The README's engine table is generated — regenerate with
+        ``PYTHONPATH=src python -m repro.engines`` after registry
+        changes."""
+        from pathlib import Path
+
+        readme = Path(__file__).resolve().parents[2] / "README.md"
+        content = readme.read_text()
+        assert engine_table_markdown() in content

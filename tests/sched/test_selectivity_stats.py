@@ -1,0 +1,104 @@
+"""Observed selectivity statistics: the EMA store, the dispatch-time
+feedback loop, and the fig. 8a split-unblocking they exist for."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.harness import uniform_column
+from repro.monetdb.storage import Catalog
+from repro.sched import CostPlacer, DevicePool, SelectivityStats
+from repro.sched.stats import column_key
+
+
+class TestStatsStore:
+    def test_default_until_observed(self):
+        stats = SelectivityStats()
+        assert stats.estimate("t.a", "select", 0.15) == 0.15
+
+    def test_ema_converges_toward_observations(self):
+        stats = SelectivityStats()
+        stats.observe("t.a", "select", 0.5)
+        assert stats.estimate("t.a", "select", 0.15) == 0.5
+        for _ in range(20):
+            stats.observe("t.a", "select", 0.01)
+        assert stats.estimate("t.a", "select", 0.15) < 0.02
+
+    def test_keys_are_per_column_and_op(self):
+        stats = SelectivityStats()
+        stats.observe("t.a", "select", 0.9)
+        assert stats.estimate("t.b", "select", 0.15) == 0.15
+        assert stats.estimate("t.a", "thetaselect", 0.15) == 0.15
+
+    def test_slice_suffix_pools_with_whole_column(self):
+        assert column_key("lineitem.l_shipdate[0:512]") == \
+            "lineitem.l_shipdate"
+        stats = SelectivityStats()
+        stats.observe("t.a[128:256]", "select", 0.2)
+        assert stats.estimate("t.a", "select", 0.15) == 0.2
+
+    def test_observations_clamped(self):
+        stats = SelectivityStats()
+        stats.observe("t.a", "select", 7.0)
+        assert stats.estimate("t.a", "select", 0.15) == 1.0
+
+
+class TestFeedbackLoop:
+    def test_het_selections_feed_the_stats(self):
+        rng = np.random.default_rng(5)
+        db = repro.Database(data_scale=2048.0)
+        db.create_table("t", {
+            "v": rng.integers(0, 1000, 1 << 15).astype(np.int32),
+        })
+        con = db.connect("HET")
+        con.execute("SELECT count(*) AS n FROM t WHERE v < 50")
+        stats = con.backend.stats
+        assert stats.observations >= 1
+        learned = stats.estimate("t.v", "thetaselect", default=-1.0)
+        assert learned == pytest.approx(0.05, abs=0.01)
+
+
+class TestSplitUnblocking:
+    """The reason the stats exist: at very large inputs the fixed 15 %
+    guess overprices a selective selection's download/merge legs and
+    rejects the split (fig. 8a at 4096 MB); the learned value admits
+    it with a better predicted makespan."""
+
+    @pytest.fixture(scope="class")
+    def pool(self):
+        values, scale = uniform_column(4096, actual_elems=1 << 19)
+        catalog = Catalog()
+        catalog.create_table("t", {"a": values})
+        return DevicePool(catalog, ("cpu", "gpu"), scale), catalog
+
+    def _select_args(self, catalog):
+        return (catalog.bat("t", "a"), None, 0, int(0.01 * 2 ** 30),
+                True, False, False)
+
+    def test_learned_selectivity_unblocks_split(self, pool):
+        device_pool, catalog = pool
+        args = self._select_args(catalog)
+
+        blind = CostPlacer(device_pool)
+        assert blind.choose("select", args).split is None
+
+        informed = CostPlacer(device_pool)
+        informed.stats.observe("t.a", "select", 0.01)
+        decision = informed.choose("select", args)
+        assert decision.split is not None
+        assert decision.predicted_s < \
+            blind.choose("select", args).predicted_s
+
+    def test_sticky_boundaries_survive_refinements(self, pool):
+        """A marginal re-balance after an observation must not move the
+        cut points — moving them would invalidate every device-cached
+        base-column slice."""
+        device_pool, catalog = pool
+        args = self._select_args(catalog)
+        placer = CostPlacer(device_pool)
+        placer.stats.observe("t.a", "select", 0.010)
+        first = placer.choose("select", args)
+        placer.stats.observe("t.a", "select", 0.012)
+        second = placer.choose("select", args)
+        assert first.split is not None
+        assert second.split == first.split

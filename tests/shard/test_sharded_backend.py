@@ -1,0 +1,249 @@
+"""The SHARD engine: partitioning, result equivalence against the
+single-node engines, plan-cache behaviour, and DDL propagation."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.shard import ShardPartitioner, ShardedBackend
+from repro.monetdb.interpreter import UnsupportedOperator
+from repro.tpch import WORKLOAD
+
+
+def assert_results_equal(expected, got, rtol=1e-6):
+    assert set(expected.columns) == set(got.columns)
+    for column in expected.columns:
+        a = expected.columns[column].astype(np.float64)
+        b = got.columns[column].astype(np.float64)
+        assert a.shape == b.shape, column
+        np.testing.assert_allclose(b, a, rtol=rtol, atol=1e-9,
+                                   err_msg=column)
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(41)
+    database = repro.Database()
+    database.create_table("points", {
+        "x": rng.integers(0, 8, 4000).astype(np.int32),
+        "y": rng.random(4000).astype(np.float32),
+        "g": rng.integers(0, 5, 4000).astype(np.int32),
+    })
+    database.create_table("tiny", {             # replicated (small)
+        "k": np.arange(5, dtype=np.int32),
+        "w": np.linspace(0.0, 1.0, 5).astype(np.float32),
+    })
+    return database
+
+
+class TestPartitioner:
+    def test_range_partitioning_covers_all_rows(self, db):
+        part = ShardPartitioner(db.catalog, 3)
+        assert part.is_partitioned("points")
+        counts = [c.row_count("points") for c in part.catalogs]
+        assert sum(counts) == 4000
+        merged = np.concatenate(
+            [c.bat("points", "x").values for c in part.catalogs]
+        )
+        np.testing.assert_array_equal(
+            merged, db.catalog.bat("points", "x").values
+        )
+
+    def test_hash_partitioning_covers_all_rows(self, db):
+        part = ShardPartitioner(db.catalog, 3, mode="hash")
+        counts = [c.row_count("points") for c in part.catalogs]
+        assert sum(counts) == 4000
+        assert max(counts) - min(counts) <= 1
+
+    def test_small_tables_replicated(self, db):
+        part = ShardPartitioner(db.catalog, 3)
+        assert not part.is_partitioned("tiny")
+        for catalog in part.catalogs:
+            assert catalog.row_count("tiny") == 5
+
+    def test_bad_modes_rejected(self, db):
+        with pytest.raises(ValueError):
+            ShardPartitioner(db.catalog, 2, mode="zigzag")
+        with pytest.raises(ValueError):
+            ShardPartitioner(db.catalog, 0)
+
+
+QUERIES = [
+    "SELECT x, sum(y) AS s, count(*) AS n, avg(y) AS a "
+    "FROM points GROUP BY x ORDER BY x",
+    "SELECT sum(y) AS s FROM points WHERE x < 4",
+    "SELECT min(y) AS lo, max(y) AS hi FROM points",
+    "SELECT g, x, sum(y) AS s FROM points GROUP BY g, x",
+    "SELECT x, sum(y * w) AS s FROM points "
+    "JOIN tiny ON g = k GROUP BY x ORDER BY x",
+    "SELECT x, count(*) AS n FROM points WHERE y < 0.25 "
+    "GROUP BY x ORDER BY n DESC",
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("spec", ["SHARD:2xMS", "SHARD:3xMS",
+                                      "SHARD:2xMS,hash"])
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_matches_single_node(self, db, spec, sql):
+        expected = db.connect("MS").execute(sql)
+        got = db.connect(spec).execute(sql)
+        assert_results_equal(expected, got, rtol=1e-10)
+
+    def test_result_attribution(self, db):
+        result = db.connect("SHARD:2xMS").execute(
+            "SELECT count(*) AS n FROM points"
+        )
+        assert result.backend == "SHARD:2xMS"
+
+    def test_elapsed_is_slowest_shard_plus_merge(self, db):
+        con = db.connect("SHARD:2xMS")
+        result = con.execute("SELECT sum(y) AS s FROM points WHERE x < 3")
+        backend = con.backend
+        assert result.elapsed >= max(
+            child.elapsed() for child in backend.children
+        )
+
+
+class TestEmptyShards:
+    """A range filter can zero out entire shards (range partitioning
+    puts whole value runs on one node); empty shards must contribute
+    fold identities, never phantom rows or single-shard errors."""
+
+    @pytest.fixture
+    def skewed(self):
+        database = repro.Database()
+        database.create_table("t", {
+            "k": np.repeat([0, 1], 500).astype(np.int32),
+            "v": np.arange(1000, dtype=np.int32),
+        })
+        return database
+
+    @pytest.mark.parametrize("spec", ["SHARD:2xMS", "SHARD:2xCPU"])
+    def test_rows_from_one_shard_only(self, skewed, spec):
+        expected = skewed.connect("MS").execute(
+            "SELECT v FROM t WHERE k > 0"
+        )
+        got = skewed.connect(spec).execute("SELECT v FROM t WHERE k > 0")
+        assert_results_equal(expected, got, rtol=0)
+
+    @pytest.mark.parametrize("spec", ["SHARD:2xMS", "SHARD:2xCPU"])
+    def test_scalar_aggregates_skip_empty_shards(self, skewed, spec):
+        sql = ("SELECT min(v) AS lo, max(v) AS hi, sum(v) AS s, "
+               "count(*) AS n, avg(v) AS a FROM t WHERE k > 0")
+        expected = skewed.connect("MS").execute(sql)
+        got = skewed.connect(spec).execute(sql)
+        assert_results_equal(expected, got, rtol=1e-10)
+
+    @pytest.mark.parametrize("spec", ["SHARD:2xMS", "SHARD:2xCPU"])
+    def test_grouped_aggregates_with_empty_shard(self, skewed, spec):
+        sql = ("SELECT k, sum(v) AS s, count(*) AS n FROM t "
+               "WHERE k > 0 GROUP BY k")
+        expected = skewed.connect("MS").execute(sql)
+        got = skewed.connect(spec).execute(sql)
+        assert_results_equal(expected, got, rtol=1e-10)
+
+    def test_all_shards_empty_keeps_single_node_semantics(self, skewed):
+        sql = "SELECT sum(v) AS s, count(*) AS n FROM t WHERE k > 99"
+        expected = skewed.connect("MS").execute(sql)
+        got = skewed.connect("SHARD:2xMS").execute(sql)
+        assert_results_equal(expected, got, rtol=0)
+
+
+class TestTPCH:
+    """The acceptance queries on the composed engine (HET children)."""
+
+    @pytest.fixture(scope="class")
+    def tpch(self):
+        return repro.tpch_database(sf=1)
+
+    @pytest.mark.parametrize("query", ["Q1", "Q6"])
+    def test_q1_q6_match_cpu_engine(self, tpch, query):
+        expected = tpch.connect("CPU").execute(WORKLOAD[query], name=query)
+        got = tpch.connect("SHARD:4xHET").execute(
+            WORKLOAD[query], name=query
+        )
+        assert_results_equal(expected, got, rtol=1e-5)
+
+    def test_repeat_queries_hit_plan_cache(self, tpch):
+        con = tpch.connect("SHARD:4xHET")
+        before = con.plan_cache.stats.hits
+        con.execute(WORKLOAD["Q6"], name="Q6")
+        first = con.plan_cache.stats.hits
+        con.execute(WORKLOAD["Q6"], name="Q6")
+        assert con.plan_cache.stats.hits == first + 1
+        assert first >= before
+
+    def test_specs_do_not_share_plans(self, tpch):
+        misses = tpch.plan_cache.stats.misses
+        tpch.connect("SHARD:2xMS").execute(WORKLOAD["Q6"], name="Q6X")
+        tpch.connect("SHARD:3xMS").execute(WORKLOAD["Q6"], name="Q6X")
+        assert tpch.plan_cache.stats.misses == misses + 2
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("query", ["Q3", "Q5", "Q7", "Q10", "Q12",
+                                       "Q15", "Q17", "Q19", "Q21"])
+    def test_join_workload_matches_ms(self, tpch, query):
+        """Broadcast joins + grouped merges cover the join workload."""
+        expected = tpch.connect("MS").execute(WORKLOAD[query], name=query)
+        got = tpch.connect("SHARD:2xMS").execute(WORKLOAD[query], name=query)
+        assert_results_equal(expected, got)
+
+
+class TestDDL:
+    def test_ddl_propagates_to_every_shard(self, db):
+        con = db.connect("SHARD:3xMS")
+        backend = con.backend
+        versions = [c.version for c in backend.partitioner.catalogs]
+        rows = np.arange(3000, dtype=np.int32)
+        db.create_table("extra", {"v": rows})
+        for shard_catalog, before in zip(
+                backend.partitioner.catalogs, versions):
+            assert shard_catalog.has_table("extra")
+            assert shard_catalog.version > before
+        assert backend.partitioner.is_partitioned("extra")
+        result = con.execute("SELECT sum(v) AS s FROM extra")
+        assert int(result.column("s")[0]) == int(rows.sum())
+
+    def test_drop_propagates_and_invalidates_plans(self, db):
+        con = db.connect("SHARD:2xMS")
+        con.execute("SELECT count(*) AS n FROM points")
+        db.drop_table("points")
+        for shard_catalog in con.backend.partitioner.catalogs:
+            assert not shard_catalog.has_table("points")
+        with pytest.raises(Exception):
+            con.execute("SELECT count(*) AS n FROM points")
+
+    def test_ddl_invalidates_cached_plans(self, db):
+        con = db.connect("SHARD:2xMS")
+        sql = "SELECT count(*) AS n FROM points"
+        con.execute(sql)
+        misses = con.plan_cache.stats.misses
+        db.create_table("other", {"z": np.arange(4, dtype=np.int32)})
+        con.execute(sql)
+        assert con.plan_cache.stats.misses == misses + 1
+
+
+class TestLimitsAreExplicit:
+    def test_unmergeable_partitioned_scalar_raises(self, db):
+        """hashbuild's distinct count cannot fold across shards; the
+        engine refuses loudly instead of returning a wrong number."""
+        from repro.monetdb.mal import MALBuilder
+
+        con = db.connect("SHARD:2xMS")
+        builder = MALBuilder("hb")
+        col = builder.bind("points", "x")
+        n = builder.emit("algebra", "hashbuild", (col,))
+        out = builder.emit("calc", "add", (n, 0))
+        program = builder.returns([("n", out)])
+        with pytest.raises(UnsupportedOperator):
+            con.run_plan(program)
+
+
+class TestSessions:
+    def test_submit_works_fifo(self, db):
+        con = db.connect("SHARD:2xMS")
+        serial = con.execute("SELECT x, sum(y) AS s FROM points GROUP BY x")
+        future = con.submit("SELECT x, sum(y) AS s FROM points GROUP BY x")
+        con.drain()
+        assert_results_equal(serial, future.result(), rtol=1e-10)
