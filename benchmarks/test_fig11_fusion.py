@@ -1,0 +1,145 @@
+"""Fig. 11 (extension): operator fusion of element-wise chains (ROADMAP).
+
+Not a figure of the original paper — this is the operator-fusion
+milestone (see ARCHITECTURE.md, "Fusion"): the rewrite-time pass
+collapses Q1-style ``batcalc`` chains (``1-d``, ``ep*(1-d)``,
+``ep*(1-d)*(1+t)``) into one generated single-pass kernel, cutting both
+the per-instruction kernel-launch tax and the intermediate result
+buffers that per-operator execution bakes in (the memory-traffic
+bottleneck MorphStore and Sirin & Ailamaki identify).
+
+Three panels:
+
+* (a) device kernel launches and intermediate-buffer allocations on the
+  Q1 chain, fused vs unfused (the acceptance numbers: >= 3x fewer
+  launches, fewer intermediates),
+* (b) simulated Q1 time per engine, fused vs unfused,
+* (c) the A/B safety net — all 14 TPC-H queries produce identical
+  results with fusion on vs off on every registered engine family.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.api import tpch_database
+from repro.bench.harness import Measurement, Series
+from repro.tpch import WORKLOAD
+
+pytestmark = pytest.mark.slow
+
+#: the Q1 expression chain, isolated: six batcalc instructions unfused
+#: (sub, mul for disc_price; sub, mul, add, mul for charge), one
+#: generated kernel fused
+CHAIN_SQL = (
+    "SELECT l_extendedprice * (1 - l_discount) AS disc_price, "
+    "l_extendedprice * (1 - l_discount) * (1 + l_tax) AS charge "
+    "FROM lineitem"
+)
+
+#: one spec per registered engine family
+FAMILY_SPECS = ("MS", "MP", "CPU", "GPU", "HET", "SHARD:2xMS")
+
+
+def _no_fuse(spec: str) -> str:
+    return f"{spec},fusion=off" if ":" in spec else f"{spec}:fusion=off"
+
+
+def test_fig11a_chain_launches_and_intermediates(benchmark):
+    db = tpch_database(sf=0.5)
+    fused = db.connect("CPU")
+    plain = db.connect("CPU:fusion=off")
+
+    def measure(con):
+        queue = con.backend.engine.queue.stats
+        memory = con.backend.engine.memory.stats
+        launches0 = queue.kernels_launched
+        buffers0 = memory.intermediates_allocated
+        result = con.execute(CHAIN_SQL)
+        return (
+            queue.kernels_launched - launches0,
+            memory.intermediates_allocated - buffers0,
+            result,
+        )
+
+    (fused_launches, fused_buffers, fused_result) = benchmark.pedantic(
+        lambda: measure(fused), rounds=1, iterations=1
+    )
+    plain_launches, plain_buffers, plain_result = measure(plain)
+    series = Series(
+        name="fig11a: Q1 chain launches / intermediate buffers",
+        x_label="metric (1=launches, 2=buffers)",
+        labels=("fused", "unfused"),
+        points=[
+            Measurement(x=1, millis={"fused": fused_launches,
+                                     "unfused": plain_launches}),
+            Measurement(x=2, millis={"fused": fused_buffers,
+                                     "unfused": plain_buffers}),
+        ],
+    )
+    emit(series)
+    # the acceptance bar: >= 3x fewer device kernel launches and fewer
+    # intermediate-buffer allocations on the fused plan
+    assert plain_launches >= 3 * fused_launches
+    assert fused_buffers < plain_buffers
+    for column in ("disc_price", "charge"):
+        np.testing.assert_allclose(
+            fused_result.column(column), plain_result.column(column),
+            rtol=1e-6,
+        )
+
+
+def test_fig11b_q1_simulated_time_per_engine():
+    db = tpch_database(sf=1)
+    points = []
+    for spec in ("MS", "MP", "CPU", "GPU", "HET"):
+        fused_con = db.connect(spec)
+        plain_con = db.connect(_no_fuse(spec))
+        fused_con.execute(WORKLOAD["Q1"], name="Q1")      # warm caches
+        plain_con.execute(WORKLOAD["Q1"], name="Q1")
+        fused = fused_con.execute(WORKLOAD["Q1"], name="Q1").elapsed
+        plain = plain_con.execute(WORKLOAD["Q1"], name="Q1").elapsed
+        points.append((spec, fused, plain))
+    series = Series(
+        name="fig11b: TPC-H Q1 hot time, fused vs unfused",
+        x_label="engine (index into " + ",".join(p[0] for p in points) + ")",
+        labels=("fused", "unfused"),
+        points=[
+            Measurement(x=i + 1, millis={"fused": f * 1e3,
+                                         "unfused": u * 1e3})
+            for i, (_spec, f, u) in enumerate(points)
+        ],
+    )
+    emit(series)
+    # fusion must never slow a query down: same data volume streamed,
+    # strictly fewer launches and strictly less materialisation
+    for spec, fused, plain in points:
+        assert fused <= plain * 1.01, spec
+    # on the launch-taxed Ocelot engines the chain win is visible
+    ocelot = {s: (f, u) for s, f, u in points if s in ("CPU", "GPU")}
+    assert any(f < u for f, u in ocelot.values())
+
+
+@pytest.mark.parametrize("spec", FAMILY_SPECS)
+def test_fig11c_all_queries_identical_fused_vs_unfused(spec):
+    db = tpch_database(sf=0.25)
+    fused_con = db.connect(spec)
+    plain_con = db.connect(_no_fuse(spec))
+    for query_id in WORKLOAD:
+        fused = fused_con.execute(WORKLOAD[query_id], name=query_id)
+        plain = plain_con.execute(WORKLOAD[query_id], name=query_id)
+        assert set(fused.columns) == set(plain.columns), query_id
+        for column in fused.columns:
+            a, b = fused.columns[column], plain.columns[column]
+            assert a.shape == b.shape, (spec, query_id, column)
+            if a.dtype.kind == "f" or b.dtype.kind == "f":
+                np.testing.assert_allclose(
+                    a.astype(np.float64), b.astype(np.float64),
+                    rtol=1e-4, atol=1e-6,
+                    err_msg=f"{spec}/{query_id}/{column}",
+                )
+            else:
+                np.testing.assert_array_equal(
+                    a, b, err_msg=f"{spec}/{query_id}/{column}"
+                )
+    db.close()

@@ -158,15 +158,25 @@ class Connection:
         plan = self.config.plan(program)
         return run_program(plan, self.backend)
 
-    def explain(self, sql: str, name: str = "query") -> str:
+    def explain(self, sql: str, name: str = "query",
+                no_fuse: bool = False) -> str:
         """The optimized MAL plan this connection would execute.
 
         Served through the plan cache — explaining a statement and then
         executing it compiles once, and ``explain`` after ``execute`` is
-        a cache hit showing exactly the cached plan."""
+        a cache hit showing exactly the cached plan.  Fused regions
+        render as ``fuse.pipe`` (``ocelot.pipe`` after the rewriter)
+        with their expression trees inlined; pass ``no_fuse=True`` for
+        the comparison plan compiled with the fusion pass disabled
+        (cached separately, so the two plans coexist)."""
         self._check_open()
+        config = self.config
+        if no_fuse and config.fusion:
+            from dataclasses import replace
+
+            config = replace(config, fusion=False)
         entry = self.plan_cache.lookup(
-            sql, self.config, self.database.schema, name=name
+            sql, config, self.database.schema, name=name
         )
         return entry.program.format()
 

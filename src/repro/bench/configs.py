@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from ..engines import (
+    FUSION_OFF,
     EngineConfig,
     EngineFamily,
     EngineSpec,
@@ -40,7 +41,11 @@ __all__ = [
 
 def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
                    pipelines_sessions: bool = False) -> EngineFamily:
-    """A parameterless family resolving to one fixed configuration."""
+    """A family resolving to one fixed configuration.
+
+    Every family accepts the ``fusion=off`` flag (e.g.
+    ``"CPU:fusion=off"``) for A/B comparison against the operator-fusion
+    pass; see :mod:`repro.fuse`."""
 
     def configure(spec: EngineSpec, registry) -> EngineConfig:
         return EngineConfig(
@@ -49,11 +54,13 @@ def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
             is_ocelot=is_ocelot,
             description=description,
             pipelines_sessions=pipelines_sessions,
+            fusion=FUSION_OFF not in spec.flags,
             spec=spec.canonical,
         )
 
     return EngineFamily(name=name, configure=configure,
-                        description=description, syntax=name)
+                        description=description, syntax=name,
+                        allowed_flags=frozenset({FUSION_OFF}))
 
 
 register_engine(_simple_family(

@@ -44,6 +44,11 @@ class EngineSpecError(ValueError):
     """A connection string failed to parse or names no registered engine."""
 
 
+#: the spec flag every family accepts to disable operator fusion for
+#: one engine instance (A/B comparison), e.g. ``"CPU:fusion=off"``
+FUSION_OFF = "fusion=off"
+
+
 @dataclass(frozen=True)
 class EngineSpec:
     """One parsed engine spec: family + parameters + canonical string."""
@@ -79,6 +84,10 @@ class EngineConfig:
     #: whether the serve layer can overlap submitted queries on this
     #: engine's timelines (mirrors ``Backend.pipelines_sessions``)
     pipelines_sessions: bool = False
+    #: whether the operator-fusion pass runs for this engine instance
+    #: (the ``fusion=off`` spec flag clears it; the ``REPRO_FUSION``
+    #: environment variable additionally gates it globally)
+    fusion: bool = True
     #: canonical engine spec; defaults to ``label`` for parameterless
     #: families (set via ``__post_init__`` to keep the dataclass frozen)
     spec: str = ""
@@ -87,13 +96,29 @@ class EngineConfig:
         if not self.spec:
             object.__setattr__(self, "spec", self.label)
 
+    @property
+    def fuses(self) -> bool:
+        """Whether :meth:`plan` will run the operator-fusion pass."""
+        from .fuse import fusion_enabled
+
+        return self.fusion and fusion_enabled()
+
     def plan(self, program: MALProgram) -> MALProgram:
         """Optimizer pipeline for this configuration.
 
-        Deterministic per (program, engine) — the serve layer's plan
-        cache memoises its output keyed by SQL text, canonical engine
-        spec and schema version (see :mod:`repro.serve.plancache`).
+        Runs the operator-fusion pass (unless disabled for this engine
+        or globally), then — for Ocelot engines — the Ocelot rewriter,
+        which reroutes ``fuse.pipe`` to ``ocelot.pipe`` alongside the
+        ordinary module swaps.  Deterministic per (program, engine,
+        fusion switch) — the serve layer's plan cache memoises its
+        output keyed by SQL text, canonical engine spec, schema version
+        and the effective fusion switch (see
+        :mod:`repro.serve.plancache`).
         """
+        if self.fuses:
+            from .fuse import fuse_program
+
+            program = fuse_program(program)
         if self.is_ocelot:
             from .ocelot.rewriter import rewrite_for_ocelot
 

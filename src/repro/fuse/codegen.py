@@ -1,0 +1,127 @@
+"""Kernel generation for fused regions.
+
+Compiles a :class:`~repro.fuse.expr.FusedPipe` into **one** generated
+:class:`~repro.cl.kernel.KernelDef`: an expression-interpreting inner
+loop over the ``cl`` layer that reads every input column once, evaluates
+the region's DAG in registers, and writes only the region's live
+outputs — intermediates never touch memory.  Selection outputs are
+written as the paper's little-endian selection bitmaps, exactly like
+``select_bitmap`` (§4.1.1), so downstream operators cannot tell a fused
+selection from a plain one.
+
+Generated definitions are memoised in the process-wide
+:data:`KERNEL_CACHE`, keyed by the tree's **structural hash**
+(:meth:`FusedPipe.structural_key`): repeated shapes — the same query
+re-run, or distinct queries sharing a chain shape — reuse one compiled
+kernel per device program instead of re-generating.  ``cache.hits`` /
+``cache.misses`` make the reuse observable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cl import KernelDef, KernelWork, params
+from ..kernels.selection import bitmap_nbytes
+from .expr import FusedPipe, evaluate, render
+
+
+@dataclass
+class KernelCacheStats:
+    hits: int = 0
+    misses: int = 0
+
+
+class KernelCache:
+    """Structural-hash keyed cache of generated fused kernels."""
+
+    def __init__(self):
+        self._defs: dict[str, KernelDef] = {}
+        self.stats = KernelCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def kernel_for(self, spec: FusedPipe) -> KernelDef:
+        key = spec.structural_key()
+        definition = self._defs.get(key)
+        if definition is not None:
+            self.stats.hits += 1
+            return definition
+        self.stats.misses += 1
+        definition = build_kernel(spec)
+        self._defs[key] = definition
+        return definition
+
+    def clear(self) -> None:
+        self._defs.clear()
+        self.stats = KernelCacheStats()
+
+
+def build_kernel(spec: FusedPipe) -> KernelDef:
+    """One single-pass kernel definition for ``spec``."""
+    n_out = len(spec.outputs)
+    n_in = len(spec.inputs)
+    outputs = spec.outputs
+    signature = " ".join(
+        [f"out:o{i}" for i in range(n_out)]
+        + [f"in:i{j}" for j in range(n_in)]
+        + ["scalar:n"]
+    )
+
+    def vec_fn(ctx, *args):
+        outs = args[:n_out]
+        columns = [a[: int(args[-1])] for a in args[n_out:n_out + n_in]]
+        n = int(args[-1])
+        memo: dict = {}
+        for output, out in zip(outputs, outs):
+            value = evaluate(output.expr, columns, memo)
+            if output.is_select:
+                packed = np.packbits(value, bitorder="little")
+                out[: packed.size] = packed
+                out[packed.size:] = 0
+            else:
+                np.copyto(out[:n], value, casting="unsafe")
+
+    node_count = spec.node_count()
+
+    def work_fn(ctx, *args):
+        outs = args[:n_out]
+        columns = args[n_out:n_out + n_in]
+        n = int(args[-1])
+        written = sum(
+            bitmap_nbytes(n) if output.is_select
+            else n * out.dtype.itemsize
+            for output, out in zip(outputs, outs)
+        )
+        return KernelWork(
+            elements=n,
+            bytes_read=n * sum(c.dtype.itemsize for c in columns),
+            bytes_written=written,
+            ops=n * node_count,
+        )
+
+    slots = [f"i{j}" for j in range(n_in)]
+    body = "\n".join(
+        f"    o{i}[gid] = {render(output.expr, slots)};"
+        for i, output in enumerate(outputs)
+    )
+    source = (
+        f"__kernel void {spec.kernel_name()}"
+        f"(/* {n_out} outputs, {n_in} inputs */ uint n) {{\n"
+        f"    /* generated single-pass fused region */\n{body}\n}}\n"
+    )
+    return KernelDef(
+        name=spec.kernel_name(),
+        params=params(signature),
+        vec_fn=vec_fn,
+        work_fn=work_fn,
+        source=source,
+    )
+
+
+#: process-wide cache: one generated definition per region shape,
+#: shared by every device program that installs it
+KERNEL_CACHE = KernelCache()

@@ -1,0 +1,111 @@
+"""Backend dispatch of ``fuse.pipe``.
+
+Two executors cover every engine family:
+
+* :func:`op_pipe` — Ocelot host code (registered as ``ocelot.pipe`` in
+  :data:`repro.ocelot.operators.HOST_CODE`): installs the generated
+  kernel into the device program on first use and issues **one** launch
+  that writes all live outputs.  The single-device backends, the
+  heterogeneous scheduler (which places or fans out the fused op as a
+  unit) and Ocelot-childed shards all run this.
+* :func:`monetdb_pipe` — the scalar engines (MS/MP): evaluates the tree
+  over the host arrays in one pass and charges **one** operator cost
+  (work = rows x unique nodes) instead of one materialisation per chain
+  link.
+
+Selection outputs follow each backend's native convention — oid lists
+on MonetDB, selection bitmaps on Ocelot — so consumers downstream see
+exactly what the unfused ``select`` would have produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.selection import bitmap_nbytes
+from ..monetdb.bat import BAT, OID_DTYPE, Role, make_bat, oid_bat
+from .codegen import KERNEL_CACHE
+from .expr import FusedPipe, evaluate, node_dtype
+
+
+def _rows_of(inputs) -> int:
+    for value in inputs:
+        if isinstance(value, BAT):
+            return value.count
+    raise TypeError("fuse.pipe needs at least one BAT operand")
+
+
+# ---------------------------------------------------------------------------
+# Ocelot host code (single generated launch)
+# ---------------------------------------------------------------------------
+
+def op_pipe(engine, spec: FusedPipe, *inputs):
+    """Run one fused region as a single generated kernel launch."""
+    n = _rows_of(inputs)
+    definition = KERNEL_CACHE.kernel_for(spec)
+    if definition.name not in engine.program:
+        engine.program.add(definition)
+    in_bufs = [engine.buffer_of(b) for b in inputs]
+    in_dtypes = [b.dtype for b in inputs]
+    out_bufs = []
+    for output in spec.outputs:
+        if output.is_select:
+            out_bufs.append(
+                engine.result_buffer(
+                    bitmap_nbytes(n), np.uint8, tag="pipe_bm"
+                )
+            )
+        else:
+            out_bufs.append(
+                engine.result_buffer(
+                    max(n, 1),
+                    node_dtype(output.expr, in_dtypes),
+                    tag="pipe_val",
+                )
+            )
+    engine.launch(definition.name, *out_bufs, *in_bufs, n)
+    results = tuple(
+        engine.device_bat(buf, Role.BITMAP, count=n)
+        if output.is_select
+        else engine.device_bat(buf, Role.VALUES, count=n)
+        for output, buf in zip(spec.outputs, out_bufs)
+    )
+    return results[0] if len(results) == 1 else results
+
+
+# ---------------------------------------------------------------------------
+# MonetDB scalar engines (one-pass host evaluation)
+# ---------------------------------------------------------------------------
+
+def monetdb_pipe(backend, spec: FusedPipe, *inputs):
+    """Execute one fused region on a MonetDB baseline backend."""
+    from ..monetdb.costmodel import OpCost
+
+    arrays = [
+        value.values if isinstance(value, BAT) else value
+        for value in inputs
+    ]
+    n = _rows_of(inputs)
+    model = backend.model
+    memo: dict = {}
+    results, merge_bytes, extra_work = [], 0, 0.0
+    for output in spec.outputs:
+        value = evaluate(output.expr, arrays, memo)
+        if output.is_select:
+            oids = np.nonzero(value)[0].astype(OID_DTYPE)
+            extra_work += model.ns(oids.size, model.select_result_ns)
+            merge_bytes += oids.nbytes
+            results.append(oid_bat(oids))
+        else:
+            column = np.ascontiguousarray(value)
+            merge_bytes += column.nbytes
+            results.append(make_bat(column))
+    backend._charge(
+        OpCost(
+            op="fuse.pipe",
+            work=model.ns(n * spec.node_count(), model.calc_ns)
+            + extra_work,
+            merge_bytes=merge_bytes,
+        )
+    )
+    return results[0] if len(results) == 1 else tuple(results)

@@ -1,0 +1,316 @@
+"""The fusion pass: collapse element-wise chains into ``fuse.pipe``.
+
+A dataflow pass over a :class:`~repro.monetdb.mal.MALProgram` that finds
+maximal DAG regions of fusable instructions — element-wise ``batcalc``
+operations, plus ``algebra.select``/``algebra.thetaselect`` consuming an
+in-region value — and replaces each region with **one** ``fuse.pipe``
+instruction carrying the region's expression tree
+(:class:`~repro.fuse.expr.FusedPipe`).
+
+Safety rules, in order:
+
+* an instruction only joins a region if every BAT operand is *known* to
+  be a BAT (producer whitelist — a ``batcalc`` over an aggregate scalar
+  variable stays unfused),
+* a region is **sealed** the moment any non-member consumes one of its
+  definitions; values consumed outside the region become *live outputs*
+  of the pipe (written by the single pass), values consumed only inside
+  become intermediates and are never materialised,
+* a sealed region is split into **connected components** (instructions
+  sharing a variable, transitively).  Element-wise operators require
+  equal-length operands, so a connected component provably lives in one
+  row space — the single row count its generated kernel iterates over;
+  two unrelated chains (a lineitem predicate and a HAVING filter over
+  an ngroups-wide column) never share a pass,
+* selection members are terminal: their (oid/bitmap) result never feeds
+  a calc node inside the same region — the region seals first,
+* components below ``MIN_REGION`` instructions are left exactly in
+  place (fusing a single operator saves nothing).
+
+Each fused component replaces its members with one ``fuse.pipe`` at the
+*last* member's position; every other instruction keeps its place.
+That placement is safe by construction: operands are defined before
+their consuming member, and the seal rule guarantees no external
+consumer appears before the seal point.  The pass is **idempotent** —
+a plan already containing ``fuse.pipe`` instructions is returned
+unchanged.  It runs inside every engine's optimizer pipeline
+(:meth:`repro.engines.EngineConfig.plan`), *before* the Ocelot
+rewriter, which then reroutes ``fuse.pipe`` to ``ocelot.pipe`` — so
+the serve layer's plan cache memoises fused plans and HET placement
+traces replay over them.
+
+The ``REPRO_FUSION`` environment variable (``off``/``0``/``false``)
+globally disables the pass — the CI A/B job runs the whole TPC-H
+correctness suite with it off so the non-fused path cannot rot.  Per
+engine, every family accepts a ``fusion=off`` spec flag
+(``db.connect("CPU:fusion=off")``) for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+
+from ..monetdb.backends import select_bounds_to_op
+from ..monetdb.calc import CALC_OPS, COMPARE_FNS
+from ..monetdb.mal import MALInstruction, MALProgram, Var
+from .expr import FConst, FIn, FOp, FSelect, FusedOutput, FusedPipe
+
+#: element-wise batcalc functions the pass may fold into a region
+FUSABLE_CALC = (
+    frozenset(CALC_OPS) | frozenset(COMPARE_FNS) | {"ifthenelse"}
+)
+
+#: minimum region size worth replacing with a fused instruction
+MIN_REGION = 2
+
+_SELECT_OPS = frozenset({"algebra.select", "algebra.thetaselect"})
+
+#: which result positions of an operator are BAT-valued — the producer
+#: whitelist that keeps scalar-valued variables (``aggr.sum``,
+#: ``group.group``'s ngroups, ``calc.*``) out of fused regions
+_BAT_RESULTS = {
+    "sql.bind": (True,),
+    "algebra.projection": (True,),
+    "algebra.select": (True,),
+    "algebra.thetaselect": (True,),
+    "algebra.sort": (True, True),
+    "algebra.join": (True, True),
+    "algebra.thetajoin": (True, True),
+    "algebra.semijoin": (True,),
+    "algebra.antijoin": (True,),
+    "algebra.oidunion": (True,),
+    "algebra.oidintersect": (True,),
+    "algebra.firstn": (True,),
+    "bat.mirror": (True,),
+    "group.group": (True, False),
+    "group.subgroup": (True, False),
+    "aggr.subsum": (True,),
+    "aggr.submin": (True,),
+    "aggr.submax": (True,),
+    "aggr.subcount": (True,),
+    "aggr.subavg": (True,),
+}
+
+
+def fusion_enabled() -> bool:
+    """Global switch: ``REPRO_FUSION=off|0|false`` disables the pass."""
+    return os.environ.get("REPRO_FUSION", "on").strip().lower() not in (
+        "off", "0", "false", "no",
+    )
+
+
+def _bat_result_flags(instruction: MALInstruction) -> tuple:
+    if instruction.module in ("batcalc", "fuse"):
+        return (True,) * len(instruction.results)
+    return _BAT_RESULTS.get(
+        instruction.op, (False,) * len(instruction.results)
+    )
+
+
+def _literal(arg) -> bool:
+    return not isinstance(arg, Var)
+
+
+def fuse_program(program: MALProgram,
+                 min_region: int = MIN_REGION) -> MALProgram:
+    """Rewrite ``program``, replacing fusable regions with ``fuse.pipe``."""
+    instructions = program.instructions
+    if any(i.module == "fuse" for i in instructions):
+        return program     # already fused: the pass is a no-op
+    result_vars = {var.name for _, var in program.result_columns}
+    total_uses: Counter = Counter()
+    bat_vars: set[str] = set()
+    for instruction in instructions:
+        for arg in instruction.args:
+            if isinstance(arg, Var):
+                total_uses[arg.name] += 1
+        # SSA: producers precede consumers, so the full set is exactly
+        # what incremental availability would have been at each use
+        for var, is_bat in zip(
+            instruction.results, _bat_result_flags(instruction)
+        ):
+            if is_bat:
+                bat_vars.add(var.name)
+
+    # -- phase 1: sealed super-regions (member indices) ---------------------
+    regions: list[list[int]] = []
+    members: list[int] = []
+    region_defs: set[str] = set()       # all member result variables
+    select_defs: set[str] = set()       # results of fused selections
+
+    def classify(instruction: MALInstruction):
+        """``"calc"`` / ``"select"`` if the instruction can join the
+        open region (or start one, for calcs) right now, else ``None``."""
+        if instruction.module == "batcalc" \
+                and instruction.function in FUSABLE_CALC \
+                and len(instruction.results) == 1:
+            var_args = instruction.var_args()
+            if not var_args:
+                return None
+            if any(a.name in select_defs for a in var_args):
+                return None        # selection results are terminal
+            if all(a.name in bat_vars for a in var_args):
+                return "calc"
+            return None
+        if instruction.op in _SELECT_OPS:
+            args = instruction.args
+            src = args[0]
+            if not isinstance(src, Var) or src.name not in region_defs \
+                    or src.name in select_defs:
+                return None        # only selections over in-region values
+            if args[1] is not None:     # candidate-constrained: keep whole
+                return None
+            if any(not _literal(a) for a in args[2:]):
+                return None
+            return "select"
+        return None
+
+    def seal():
+        if members:
+            regions.append(list(members))
+        members.clear()
+        region_defs.clear()
+        select_defs.clear()
+
+    for index, instruction in enumerate(instructions):
+        kind = classify(instruction)
+        if members and kind is None and any(
+            isinstance(a, Var) and a.name in region_defs
+            for a in instruction.args
+        ):
+            # a non-member consumes a region value: seal the region so
+            # its live outputs materialise before this consumer
+            seal()
+            kind = classify(instruction)
+        if kind is not None:
+            members.append(index)
+            region_defs.add(instruction.results[0].name)
+            if kind == "select":
+                select_defs.add(instruction.results[0].name)
+    seal()
+
+    # -- phase 2: connected components within each sealed region ------------
+    # (shared variables, transitively: element-wise operators require
+    # equal-length operands, so each component lives in one row space)
+    components: list[list[int]] = []
+    for region in regions:
+        components.extend(_connected_components(region, instructions))
+
+    # -- phase 3: emit, collapsing each large-enough component to one
+    # fuse.pipe at its last member's position --------------------------------
+    fused_members: set[int] = set()
+    pipe_at: dict[int, MALInstruction] = {}
+    for component in components:
+        if len(component) < min_region:
+            continue
+        pipe = _build_pipe(
+            [instructions[i] for i in component], total_uses, result_vars
+        )
+        if pipe is None:
+            continue
+        fused_members.update(component)
+        pipe_at[component[-1]] = pipe
+
+    if not pipe_at:
+        return program
+    out = MALProgram(
+        name=program.name,
+        result_columns=list(program.result_columns),
+    )
+    for index, instruction in enumerate(instructions):
+        pipe = pipe_at.get(index)
+        if pipe is not None:
+            out.instructions.append(pipe)
+        elif index not in fused_members:
+            out.instructions.append(instruction)
+    return out
+
+
+def _connected_components(region: list[int], instructions) -> list[list[int]]:
+    """Split one sealed region into variable-connected components."""
+    parent: dict[str, str] = {}
+
+    def find(name: str) -> str:
+        root = name
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        parent[name] = root
+        return root
+
+    def union(a: str, b: str) -> None:
+        parent[find(a)] = find(b)
+
+    for index in region:
+        instruction = instructions[index]
+        names = [instruction.results[0].name] + [
+            a.name for a in instruction.var_args()
+        ]
+        for other in names[1:]:
+            union(names[0], other)
+    grouped: dict[str, list[int]] = {}
+    for index in region:
+        root = find(instructions[index].results[0].name)
+        grouped.setdefault(root, []).append(index)
+    return list(grouped.values())
+
+
+def _build_pipe(members, total_uses, result_vars):
+    """One ``fuse.pipe`` instruction for a closed region (or ``None``
+    when the region has no live output — emit unchanged, stay safe)."""
+    exprs: dict[str, object] = {}
+    inputs: list[Var] = []
+    input_index: dict[str, int] = {}
+
+    def as_node(arg):
+        if isinstance(arg, Var):
+            node = exprs.get(arg.name)
+            if node is not None:
+                return node
+            slot = input_index.get(arg.name)
+            if slot is None:
+                slot = len(inputs)
+                input_index[arg.name] = slot
+                inputs.append(arg)
+            return FIn(slot)
+        return FConst(arg)
+
+    for member in members:
+        if member.module == "batcalc":
+            node = FOp(
+                member.function, tuple(as_node(a) for a in member.args)
+            )
+        elif member.function == "thetaselect":
+            src, _cand, value, op = member.args
+            node = FSelect(as_node(src), op, value)
+        else:
+            src, _cand, lo, hi, li, hi_incl, anti = member.args
+            op, lo_v, hi_v = select_bounds_to_op(
+                lo, hi, bool(li), bool(hi_incl)
+            )
+            node = FSelect(as_node(src), op, lo_v, hi_v, bool(anti))
+        exprs[member.results[0].name] = node
+
+    internal: Counter = Counter()
+    for member in members:
+        for arg in member.args:
+            if isinstance(arg, Var):
+                internal[arg.name] += 1
+    outputs, out_vars = [], []
+    for member in members:
+        var = member.results[0]
+        external = total_uses[var.name] - internal[var.name]
+        if external > 0 or var.name in result_vars:
+            outputs.append(FusedOutput(var.name, exprs[var.name]))
+            out_vars.append(var)
+    if not outputs:
+        return None
+    spec = FusedPipe(outputs=tuple(outputs), inputs=tuple(inputs))
+    return MALInstruction(
+        tuple(out_vars), "fuse", "pipe", (spec,) + tuple(inputs)
+    )
+
+
+def count_pipes(program: MALProgram) -> int:
+    """Number of fused instructions in a plan (test helper)."""
+    return sum(1 for i in program.instructions if i.op == "fuse.pipe")

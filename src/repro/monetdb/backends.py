@@ -27,7 +27,13 @@ import numpy as np
 from ..kernels.aggregation import segmented_reduce
 from ..kernels.selection import predicate_mask
 from .bat import BAT, OID_DTYPE, Role, bitmap_bat, make_bat, oid_bat
-from .calc import CALC_OPS, COMPARE_FNS, calc_result_dtype, grouped_dtype
+from .calc import (
+    CALC_FNS,
+    CALC_OPS,
+    COMPARE_FNS,
+    calc_result_dtype,
+    grouped_dtype,
+)
 from .costmodel import DEFAULT_COST_MODEL, MonetDBCostModel, OpCost
 from .interpreter import Backend
 from .mal import ColumnRef
@@ -153,6 +159,7 @@ class MonetDBBackend(Backend):
         for op in COMPARE_FNS:
             reg(f"batcalc.{op}", self._make_compare(op))
         reg("batcalc.ifthenelse", m.op_ifthenelse)
+        reg("fuse.pipe", m.op_fuse_pipe)
         # host-side scalar arithmetic (MAL's calc module)
         reg("calc.add", lambda a, b: a + b)
         reg("calc.sub", lambda a, b: a - b)
@@ -472,13 +479,7 @@ class MonetDBBackend(Backend):
     # -- batcalc -------------------------------------------------------------------
 
     def _make_calc(self, op: str):
-        py_op = {
-            "add": np.add, "sub": np.subtract,
-            "mul": np.multiply, "div": np.divide,
-            "intdiv": np.floor_divide,
-            "and": lambda a, b: np.logical_and(a, b).astype(np.uint8),
-            "or": lambda a, b: np.logical_or(a, b).astype(np.uint8),
-        }[op]
+        py_op = CALC_FNS[op]
 
         def fn(a, b):
             a_v, b_v = self._tail(a), self._tail(b)
@@ -519,6 +520,14 @@ class MonetDBBackend(Backend):
 
         fn.__name__ = f"op_batcalc_{op}"
         return fn
+
+    def op_fuse_pipe(self, spec, *inputs):
+        """One fused element-wise region, evaluated in a single pass
+        (see :mod:`repro.fuse`): one cost charge for the whole chain
+        instead of one materialisation per operator."""
+        from ..fuse.dispatch import monetdb_pipe
+
+        return monetdb_pipe(self, spec, *inputs)
 
     def op_ifthenelse(self, cond: BAT, a, b) -> BAT:
         cond_v = cond.values

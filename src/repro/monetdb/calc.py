@@ -10,6 +10,31 @@ from __future__ import annotations
 import numpy as np
 
 CALC_OPS = ("add", "sub", "mul", "div", "intdiv", "and", "or")
+
+
+def _logical_and(a, b):
+    return np.logical_and(a, b).astype(np.uint8)
+
+
+def _logical_or(a, b):
+    return np.logical_or(a, b).astype(np.uint8)
+
+
+#: op name -> numpy implementation, the single source of truth shared
+#: by the MonetDB baselines and the fused-expression evaluator (the
+#: Ocelot kernels keep their own launch-argument table in
+#: :mod:`repro.kernels.primitives`, which additionally carries the
+#: reversed/bitwise variants the device code needs)
+CALC_FNS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.divide,
+    "intdiv": np.floor_divide,
+    "and": _logical_and,
+    "or": _logical_or,
+}
+
 COMPARE_FNS = {
     "eq": np.equal,
     "ne": np.not_equal,

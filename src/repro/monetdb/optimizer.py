@@ -28,9 +28,22 @@ def mitosis_pipe(program: MALProgram) -> MALProgram:
 
 
 def ocelot_pipe(program: MALProgram) -> MALProgram:
-    """Sequential pipeline + the Ocelot query rewriter."""
+    """Sequential pipeline + operator fusion + the Ocelot rewriter.
+
+    Fusion runs first (collapsing element-wise chains into ``fuse.pipe``
+    regions, see :mod:`repro.fuse`) so the rewriter reroutes whole fused
+    regions to ``ocelot.pipe`` alongside the ordinary module swaps.
+
+    A *named* pipeline has no engine context, so only the global
+    ``REPRO_FUSION`` gate applies here; the per-engine ``fusion=off``
+    spec flag lives in :meth:`repro.engines.EngineConfig.plan`, which is
+    the pipeline every connection actually runs.
+    """
+    from ..fuse import fuse_program, fusion_enabled
     from ..ocelot.rewriter import rewrite_for_ocelot
 
+    if fusion_enabled():
+        program = fuse_program(program)
     return rewrite_for_ocelot(program)
 
 

@@ -86,6 +86,13 @@ class MemoryManagerStats:
     cache_misses: int = 0
     hash_cache_hits: int = 0
     hash_cache_misses: int = 0
+    #: result/aux buffers allocated while an operator scope was active —
+    #: the per-operator materialisation traffic that operator fusion
+    #: (repro.fuse) eliminates; base-column uploads are not counted
+    intermediates_allocated: int = 0
+    #: of those, buffers already freed before their operator's scope
+    #: closed (pure scratch: histograms, partial tables, staging)
+    intermediates_freed: int = 0
 
 
 class MemoryManager:
@@ -104,6 +111,9 @@ class MemoryManager:
         self.stats = MemoryManagerStats()
         #: buffers auto-pinned for the duration of the running operator
         self._scope_stack: list[list[Buffer]] = []
+        #: entry ids allocated inside each active operator scope (feeds
+        #: the intermediates_allocated / intermediates_freed counters)
+        self._scope_allocs: list[set[int]] = []
         catalog.on_delete(self._on_bat_deleted)
 
     # -- operator scopes (automatic reference counting, paper §3.3) -------
@@ -114,6 +124,7 @@ class MemoryManager:
 
         def __enter__(self):
             self.manager._scope_stack.append([])
+            self.manager._scope_allocs.append(set())
             return self
 
         def __exit__(self, exc_type, exc, tb):
@@ -123,6 +134,7 @@ class MemoryManager:
             # succeeded.
             imbalance: RuntimeError | None = None
             scope = self.manager._scope_stack.pop()
+            self.manager._scope_allocs.pop()
             for buffer in scope:
                 try:
                     self.manager.unpin(buffer)
@@ -237,6 +249,11 @@ class MemoryManager:
         )
         self._entries[entry.entry_id] = entry
         self._buffer_entries[buffer.buffer_id] = entry.entry_id
+        if self._scope_allocs and kind is not BufferKind.BASE:
+            # an operator allocated working storage: this is exactly the
+            # per-operator materialisation traffic fusion eliminates
+            self.stats.intermediates_allocated += 1
+            self._scope_allocs[-1].add(entry.entry_id)
         self._scope_pin(buffer)
         return buffer
 
@@ -290,6 +307,12 @@ class MemoryManager:
 
     def _free_entry(self, entry: CacheEntry) -> None:
         """Unconditionally drop an entry and its device storage."""
+        for frame in self._scope_allocs:
+            if entry.entry_id in frame:
+                # allocated and freed within one operator scope: scratch
+                frame.discard(entry.entry_id)
+                self.stats.intermediates_freed += 1
+                break
         buffer = entry.buffer
         self._entries.pop(entry.entry_id, None)
         if buffer is not None:

@@ -22,6 +22,7 @@ Operator catalogue (module-level ``HOST_CODE`` maps MAL names here):
 ``sum``/...        binary-reduction scalar aggregates (§4.1.7)
 ``subsum``/...     hierarchical grouped aggregates (§4.1.7)
 ``add``/...        element-wise batcalc replacements
+``pipe``           generated single-pass fused region (repro.fuse)
 ``sync``           ownership hand-over to MonetDB (§3.4)
 =================  ======================================================
 """
@@ -35,6 +36,7 @@ from ..kernels.aggregation import accumulators_for
 from ..kernels.hashing import EMPTY, TableFull
 from ..kernels.radix_sort import key_dtype_for, key_kind_for, num_passes
 from ..kernels.selection import bitmap_nbytes
+from ..fuse.dispatch import op_pipe
 from ..monetdb.bat import BAT, OID_DTYPE, Owner, Role
 from ..monetdb.backends import select_bounds_to_op
 from ..monetdb.calc import calc_result_dtype, grouped_dtype
@@ -915,5 +917,6 @@ HOST_CODE = {
     "ifthenelse": op_ifthenelse,
     "mirror": op_mirror,
     "hashbuild": op_hashbuild,
+    "pipe": op_pipe,
     "sync": op_sync,
 }

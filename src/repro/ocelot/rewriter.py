@@ -108,6 +108,18 @@ def rewrite_for_ocelot(program: MALProgram) -> MALProgram:
 
     for instruction in program.instructions:
         args = tuple(resolve(a) for a in instruction.args)
+        if instruction.module == "fuse":
+            # fused regions (repro.fuse) run as one generated Ocelot
+            # kernel; every live output is a device-resident BAT
+            out.instructions.append(
+                MALInstruction(
+                    instruction.results, "ocelot", instruction.function,
+                    args,
+                )
+            )
+            for var in instruction.results:
+                ocelot_owned.add(var.name)
+            continue
         mapping = OCELOT_MAP.get(instruction.op)
         if mapping is not None:
             function, kinds = mapping

@@ -134,6 +134,19 @@ def shape_of(function: str, args, scale: float,
     if function in ("oidunion", "oidintersect"):
         return OpShape(stream_bytes=3 * in_bytes, launches=3,
                        out_bytes=in_bytes)
+    if function == "pipe":
+        # a fused region (repro.fuse) is one launch streaming every
+        # input once and writing only the live outputs — the placer
+        # prices it as one transfer-in/one-out with the chain's summed
+        # compute, so fusion changes placement decisions, not just
+        # launch counts (intermediates cost nothing anywhere)
+        spec = args[0]
+        out = sum(
+            (n / 8.0) * scale if output.is_select else n * 4 * scale
+            for output in spec.outputs
+        )
+        return OpShape(stream_bytes=in_bytes + out, launches=1,
+                       out_bytes=out)
     # element-wise calc / compare / ifthenelse and anything unmodelled:
     # stream everything once and write one output column
     out = n * 4 * scale

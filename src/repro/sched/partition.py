@@ -31,6 +31,8 @@ def execute_split(pool: DevicePool, function: str, args,
         return _split_select(pool, function, args, plan, charge_overhead)
     if function in GROUPED_AGG_FUNCTIONS:
         return _split_grouped(pool, function, args, plan, charge_overhead)
+    if function == "pipe":
+        return _split_pipe(pool, function, args, plan, charge_overhead)
     return _split_ewise(pool, function, args, plan, charge_overhead)
 
 
@@ -111,6 +113,33 @@ def _split_ewise(pool, function, args, plan, charge_overhead):
     _merge_barrier(pool, int(values.nbytes))
     _discard(pool, partials)
     return BAT(np.ascontiguousarray(values), Role.VALUES, tag="het_ewise")
+
+
+# ---------------------------------------------------------------------------
+# fused regions: per-output concatenation of the row slices
+# ---------------------------------------------------------------------------
+
+def _split_pipe(pool, function, args, plan, charge_overhead):
+    """Fan out one fused region (pure value outputs — the placer never
+    splits a pipe with a selection output) and merge each live output
+    by concatenation, exactly like a plain element-wise operator."""
+    partials = _run_partials(pool, function, args, plan, charge_overhead)
+    n_out = len(args[0].outputs)
+    merged, merged_bytes = [], 0
+    for index in range(n_out):
+        pieces = []
+        for engine, _lo, _hi, out in partials:
+            part = out[index] if isinstance(out, tuple) else out
+            pieces.append(_to_host(engine, part))
+        values = np.ascontiguousarray(np.concatenate(pieces))
+        merged_bytes += values.nbytes
+        merged.append(BAT(values, Role.VALUES, tag="het_pipe"))
+    _merge_barrier(pool, merged_bytes)
+    for engine, _lo, _hi, out in partials:
+        for part in (out if isinstance(out, tuple) else (out,)):
+            if isinstance(part, BAT):
+                pool.release_device_bat(part)
+    return merged[0] if n_out == 1 else tuple(merged)
 
 
 # ---------------------------------------------------------------------------

@@ -144,7 +144,13 @@ class CostPlacer:
     # -- fan-out planning --------------------------------------------------------
 
     def _splittable(self, function: str, args) -> bool:
-        if function not in PARTITIONABLE_FUNCTIONS:
+        if function == "pipe":
+            # fused regions stay element-wise per row, so pure-value
+            # pipes fan out like any batcalc; a fused *selection*
+            # output is device-shaped (bitmap) and is placed whole
+            if any(o.is_select for o in args[0].outputs):
+                return False
+        elif function not in PARTITIONABLE_FUNCTIONS:
             return False
         if len(self.pool) < 2:
             return False
@@ -186,6 +192,10 @@ class CostPlacer:
         elif function in GROUPED_AGG_FUNCTIONS:
             down_per_row = 0.0     # partials are ngroups-wide
             merge_bytes = 0.0      # folded below via the shape's out
+        elif function == "pipe":
+            # every live output of the fused region comes back per row
+            down_per_row = 4.0 * len(args[0].outputs) * scale
+            merge_bytes = n * down_per_row
         else:
             down_per_row = 4.0 * scale
             merge_bytes = n * 4.0 * scale

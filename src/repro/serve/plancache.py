@@ -9,9 +9,12 @@ device characteristics and the (immutable) base data.  So the whole
 front half of the query lifecycle is cacheable:
 
 * **key** — ``(SQL text, canonical engine spec, program name, schema
-  version)``.  The engine component is :attr:`repro.engines
-  .EngineConfig.spec` — e.g. ``"CPU"`` or ``"SHARD:4xHET"`` — so
-  differently-parameterized instances of one family never share plans.
+  version, fusion switch)``.  The engine component is :attr:`repro
+  .engines.EngineConfig.spec` — e.g. ``"CPU"`` or ``"SHARD:4xHET"`` —
+  so differently-parameterized instances of one family never share
+  plans; the fusion switch keeps plans compiled with the operator-
+  fusion pass (:mod:`repro.fuse`) apart from ``fusion=off`` /
+  ``REPRO_FUSION=off`` compilations of the same statement.
   The schema version is :attr:`repro.monetdb.storage.Catalog.version`,
   bumped on every DDL statement, so a ``CREATE``/``DROP`` implicitly
   invalidates every plan compiled against the old schema.
@@ -78,14 +81,21 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def _key(self, sql: str, spec: str, name: str) -> tuple:
-        return (sql_cache_key(sql), spec, name, self.catalog.version)
+    def _key(self, sql: str, config, name: str) -> tuple:
+        # the effective fusion switch (engine flag AND the REPRO_FUSION
+        # environment gate) is part of the identity: a fused and an
+        # unfused compilation of one statement are different plans, and
+        # flipping the environment variable mid-process must not serve
+        # plans compiled under the other setting
+        fused = bool(getattr(config, "fuses", False))
+        return (sql_cache_key(sql), config.spec, name,
+                self.catalog.version, fused)
 
     def lookup(self, sql: str, config, schema, name: str = "query"
                ) -> CachedPlan:
         """The cached plan for ``sql`` under ``config``, compiling (and
         running the config's optimizer pipeline) on a miss."""
-        key = self._key(sql, config.spec, name)
+        key = self._key(sql, config, name)
         entry = self._entries.get(key)
         if entry is not None:
             self.stats.hits += 1

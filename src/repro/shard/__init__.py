@@ -30,6 +30,7 @@ other composites-to-be — can serve as the per-node engine.
 from __future__ import annotations
 
 from ..engines import (
+    FUSION_OFF,
     EngineConfig,
     EngineFamily,
     EngineSpec,
@@ -71,6 +72,7 @@ def _configure(spec: EngineSpec, registry) -> EngineConfig:
             f"{n_shards} simulated nodes each running {child.label}, "
             f"tables {mode}-partitioned, mat.pack-style merges"
         ),
+        fusion=FUSION_OFF not in spec.flags,
         spec=spec.canonical,
     )
 
@@ -88,5 +90,5 @@ register_engine(EngineFamily(
     # range partitioning is the default and deliberately NOT a flag:
     # "SHARD:2xCPU,range" aliasing "SHARD:2xCPU" would split the plan
     # cache and the connection cache over one identical engine
-    allowed_flags=frozenset({"hash"}),
+    allowed_flags=frozenset({"hash", FUSION_OFF}),
 ))

@@ -580,6 +580,22 @@ class ShardedBackend(Backend):
     _op_thetaselect = _op_select
     _op_mirror = _op_select
 
+    def _op_pipe(self, op, args):
+        """Fused regions (repro.fuse) fan out unchanged — they stay
+        element-wise per row, so each shard runs the same single-pass
+        kernel over its slice.  Selection outputs are shard-local
+        positions like any unfused select, so they carry the input's
+        per-shard row counts for a later gather."""
+        out = self._fan(op, args)
+        spec = args[0]
+        sharded = [a for a in args[1:] if isinstance(a, ShardedValue)]
+        rows = self._counts(sharded[0]) if sharded else None
+        outputs = out if isinstance(out, tuple) else (out,)
+        for value, fused_output in zip(outputs, spec.outputs):
+            if isinstance(value, ShardedValue) and fused_output.is_select:
+                value.base_rows = rows
+        return out
+
     def _op_oidunion(self, op: str, args):
         out = self._fan(op, args)
         if isinstance(out, ShardedValue) \

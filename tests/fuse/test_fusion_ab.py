@@ -1,0 +1,46 @@
+"""Fusion A/B safety net: the whole TPC-H workload returns identical
+results with fusion on and off, on every engine family the issue names
+(MS, CPU, HET, SHARD).  Run with ``REPRO_FUSION=off`` in the CI A/B job
+the same suite exercises the non-fused path end to end."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.tpch import WORKLOAD
+
+ENGINES = ("MS", "CPU", "HET", "SHARD:2xMS")
+
+
+@pytest.fixture(scope="module")
+def db():
+    return repro.tpch_database(sf=0.25)
+
+
+def _assert_equal(fused, plain, context):
+    assert set(fused.columns) == set(plain.columns), context
+    for column in fused.columns:
+        a = fused.columns[column]
+        b = plain.columns[column]
+        assert a.shape == b.shape, (context, column)
+        if a.dtype.kind == "f" or b.dtype.kind == "f":
+            np.testing.assert_allclose(
+                a.astype(np.float64), b.astype(np.float64),
+                rtol=1e-4, atol=1e-6, err_msg=f"{context}:{column}",
+            )
+        else:
+            np.testing.assert_array_equal(
+                a, b, err_msg=f"{context}:{column}"
+            )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("query_id", list(WORKLOAD))
+def test_fusion_on_off_results_identical(db, engine, query_id):
+    fused = db.connect(engine).execute(
+        WORKLOAD[query_id], name=query_id
+    )
+    plain = db.connect(f"{engine},fusion=off"
+                       if ":" in engine else f"{engine}:fusion=off"
+                       ).execute(WORKLOAD[query_id], name=query_id)
+    _assert_equal(fused, plain, f"{engine}/{query_id}")

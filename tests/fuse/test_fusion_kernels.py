@@ -1,0 +1,169 @@
+"""Generated fused kernels: cache reuse, dtypes, launch/buffer savings."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.fuse import (
+    KERNEL_CACHE,
+    FConst,
+    FIn,
+    FOp,
+    FusedOutput,
+    FusedPipe,
+    evaluate,
+    node_dtype,
+)
+from repro.monetdb.calc import calc_result_dtype
+from repro.monetdb.mal import Var
+
+SQL = "SELECT a * (1 - b) AS x, a * (1 - b) * (1 + b) AS y FROM t"
+
+
+@pytest.fixture(autouse=True)
+def _fusion_on(monkeypatch):
+    """These tests assert *fused* behaviour — pin the global gate on so
+    they keep meaning even under the CI job's REPRO_FUSION=off run."""
+    monkeypatch.setenv("REPRO_FUSION", "on")
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(11)
+    database = repro.Database()
+    database.create_table("t", {
+        "a": (rng.random(512) * 10).astype(np.float32),
+        "b": rng.random(512).astype(np.float32),
+        "k": rng.integers(0, 50, 512).astype(np.int32),
+    })
+    return database
+
+
+class TestExpressionTrees:
+    def test_dtype_inference_matches_unfused_rules(self):
+        expr = FOp("mul", (FIn(0), FOp("sub", (FConst(1), FIn(1)))))
+        inner = calc_result_dtype(
+            np.min_scalar_type(1), np.dtype(np.float32), "sub"
+        )
+        assert node_dtype(expr, [np.dtype(np.float32),
+                                 np.dtype(np.float32)]) == \
+            calc_result_dtype(np.dtype(np.float32), inner, "mul")
+        compare = FOp("gt", (FIn(0), FIn(1)))
+        assert node_dtype(compare, [np.dtype(np.int32)] * 2) == np.uint8
+
+    def test_evaluate_memoises_shared_subexpressions(self):
+        shared = FOp("sub", (FConst(1), FIn(0)))
+        a = np.array([0.25, 0.5], np.float32)
+        memo = {}
+        first = evaluate(shared, [a], memo)
+        again = evaluate(FOp("mul", (shared, shared)), [a], memo)
+        assert evaluate(shared, [a], memo) is first
+        np.testing.assert_allclose(again, (1 - a) * (1 - a), rtol=1e-6)
+
+    def test_structural_key_distinguishes_constants(self):
+        one = FusedPipe(
+            outputs=(FusedOutput(
+                "X_1", FOp("mul", (FIn(0), FConst(2)))), ),
+            inputs=(Var("X_0"),),
+        )
+        two = FusedPipe(
+            outputs=(FusedOutput(
+                "X_1", FOp("mul", (FIn(0), FConst(3)))), ),
+            inputs=(Var("X_0"),),
+        )
+        assert one.structural_key() != two.structural_key()
+        assert one.kernel_name() != two.kernel_name()
+
+
+class TestKernelCache:
+    def test_repeated_shape_reuses_the_compiled_kernel(self, db):
+        KERNEL_CACHE.clear()
+        con = db.connect("CPU")
+        con.execute(SQL)
+        assert KERNEL_CACHE.stats.misses == 1
+        hits = KERNEL_CACHE.stats.hits
+        con.execute(SQL)          # cached plan, cached kernel
+        assert KERNEL_CACHE.stats.hits > hits
+        assert KERNEL_CACHE.stats.misses == 1
+
+    def test_same_shape_shared_across_devices(self, db):
+        KERNEL_CACHE.clear()
+        db.connect("CPU").execute(SQL)
+        assert KERNEL_CACHE.stats.misses == 1
+        hits = KERNEL_CACHE.stats.hits
+        db.connect("GPU").execute(SQL)
+        # one generated definition, installed into both device programs
+        assert KERNEL_CACHE.stats.misses == 1
+        assert KERNEL_CACHE.stats.hits > hits
+
+
+class TestSingePassExecution:
+    def test_chain_launches_one_kernel_instead_of_n(self, db):
+        fused = db.connect("CPU")
+        plain = db.connect("CPU:fusion=off")
+
+        def launches(con):
+            before = con.backend.engine.queue.stats.kernels_launched
+            con.execute(SQL)
+            return con.backend.engine.queue.stats.kernels_launched - before
+
+        n_fused, n_plain = launches(fused), launches(plain)
+        assert n_fused == 1
+        assert n_plain == 6       # sub, mul, sub, mul, add, mul
+        np.testing.assert_allclose(
+            fused.execute(SQL).column("y"),
+            plain.execute(SQL).column("y"),
+            rtol=1e-6,
+        )
+
+    def test_fusion_allocates_fewer_intermediate_buffers(self, db):
+        fused = db.connect("CPU")
+        plain = db.connect("CPU:fusion=off")
+
+        def allocations(con):
+            stats = con.backend.engine.memory.stats
+            before = stats.intermediates_allocated
+            con.execute(SQL)
+            return stats.intermediates_allocated - before
+
+        n_fused, n_plain = allocations(fused), allocations(plain)
+        assert n_plain == 6       # one result buffer per chain link
+        assert n_fused == 2       # only the two live outputs
+        assert n_fused < n_plain
+
+    def test_fused_selection_matches_unfused_positions(self, db):
+        sql = ("SELECT sum(a) AS s FROM t "
+               "WHERE a * (1 - b) > b * (1 + b)")
+        for engine in ("CPU", "MS", "HET"):
+            fused = db.connect(engine).execute(sql)
+            plain = db.connect(f"{engine}:fusion=off").execute(sql)
+            np.testing.assert_allclose(
+                fused.column("s"), plain.column("s"), rtol=1e-6,
+                err_msg=engine,
+            )
+
+    def test_grouped_chain_matches_on_shard(self, db):
+        sql = ("SELECT k, sum(a * (1 - b)) AS disc FROM t "
+               "GROUP BY k")
+        fused = db.connect("SHARD:2xMS").execute(sql)
+        plain = db.connect("SHARD:2xMS,fusion=off").execute(sql)
+        np.testing.assert_allclose(
+            fused.column("disc"), plain.column("disc"), rtol=1e-6
+        )
+        np.testing.assert_array_equal(
+            fused.column("k"), plain.column("k")
+        )
+
+
+class TestMemoryManagerCounters:
+    def test_scratch_counts_as_allocated_and_freed(self, db):
+        """The satellite fix: buffers allocated and freed within one
+        operator scope are now observable in the stats."""
+        con = db.connect("CPU:fusion=off")
+        stats = con.backend.engine.memory.stats
+        con.execute("SELECT sum(a) AS s FROM t WHERE b < 0.5")
+        # the selection + aggregation pipeline allocates scratch
+        # (bitmap counts, reduction partials) and frees it in-scope
+        assert stats.intermediates_allocated > 0
+        assert stats.intermediates_freed > 0
+        assert stats.intermediates_freed <= stats.intermediates_allocated

@@ -1,0 +1,208 @@
+"""The fusion pass: region finding, safety rules, idempotence, gating."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.fuse import FusedPipe, count_pipes, fuse_program
+from repro.monetdb.mal import MALBuilder, Var
+from repro.tpch import WORKLOAD, compile_query
+
+
+def _chain_program():
+    """The Q1 batcalc chain: ``ep*(1-d)`` and ``ep*(1-d)*(1+t)``."""
+    b = MALBuilder("chain")
+    ep = b.bind("lineitem", "l_extendedprice")
+    d = b.bind("lineitem", "l_discount")
+    t = b.bind("lineitem", "l_tax")
+    one_minus = b.emit("batcalc", "sub", (1, d))
+    disc = b.emit("batcalc", "mul", (ep, one_minus))
+    one_plus = b.emit("batcalc", "add", (1, t))
+    charge = b.emit("batcalc", "mul", (disc, one_plus))
+    return b.returns([("disc", disc), ("charge", charge)])
+
+
+class TestRegionFinding:
+    def test_chain_collapses_to_one_pipe(self):
+        fused = fuse_program(_chain_program())
+        assert count_pipes(fused) == 1
+        pipe = next(i for i in fused.instructions if i.op == "fuse.pipe")
+        # live outputs only: the two result columns, not the two
+        # intermediates (1-d and 1+t vanish into the single pass)
+        assert len(pipe.results) == 2
+        spec = pipe.args[0]
+        assert isinstance(spec, FusedPipe)
+        assert {o.name for o in spec.outputs} == {
+            v.name for v in pipe.results
+        }
+        # four instructions became one: the launch count collapses
+        assert len(fused.instructions) == len(_chain_program()) - 3
+
+    def test_externally_consumed_intermediate_stays_materialised(self):
+        b = MALBuilder("leaky")
+        a = b.bind("t", "a")
+        c = b.bind("t", "b")
+        inner = b.emit("batcalc", "sub", (1, c))
+        outer = b.emit("batcalc", "mul", (a, inner))
+        total = b.emit("aggr", "sum", (inner,))   # external consumer
+        program = b.returns([("y", outer), ("s", total)])
+        fused = fuse_program(program)
+        pipe = next(i for i in fused.instructions if i.op == "fuse.pipe")
+        # the externally-consumed value is a live output of the pipe —
+        # it is never eliminated, and aggr.sum still sees it
+        assert inner in pipe.results
+        assert outer in pipe.results
+
+    def test_select_consuming_calc_result_joins_the_region(self):
+        b = MALBuilder("residual")
+        x = b.bind("t", "a")
+        y = b.bind("t", "b")
+        mask = b.emit("batcalc", "gt", (x, y))
+        positions = b.emit(
+            "algebra", "thetaselect", (mask, None, 0, "!=")
+        )
+        program = b.returns([("pos", positions)])
+        fused = fuse_program(program)
+        assert count_pipes(fused) == 1
+        pipe = next(i for i in fused.instructions if i.op == "fuse.pipe")
+        spec = pipe.args[0]
+        assert len(spec.outputs) == 1 and spec.outputs[0].is_select
+
+    def test_candidate_constrained_select_stays_unfused(self):
+        b = MALBuilder("cand")
+        x = b.bind("t", "a")
+        y = b.bind("t", "b")
+        cand = b.emit("algebra", "thetaselect", (x, None, 3, "<"))
+        mask = b.emit("batcalc", "gt", (x, y))
+        kept = b.emit(
+            "algebra", "thetaselect", (mask, cand, 0, "!=")
+        )
+        program = b.returns([("pos", kept)])
+        fused = fuse_program(program)
+        assert count_pipes(fused) == 0
+
+    def test_scalar_valued_variables_never_fuse(self):
+        b = MALBuilder("scalar")
+        x = b.bind("t", "a")
+        total = b.emit("aggr", "sum", (x,))       # scalar at runtime
+        scaled = b.emit("batcalc", "mul", (x, total))
+        doubled = b.emit("batcalc", "add", (scaled, scaled))
+        program = b.returns([("y", doubled)])
+        fused = fuse_program(program)
+        # scaled consumes a scalar var -> unfusable; doubled alone is a
+        # one-instruction region, below the fusion threshold
+        assert count_pipes(fused) == 0
+
+    def test_disconnected_chains_get_separate_pipes(self):
+        """Chains sharing no variables may live in different row spaces
+        (a lineitem predicate vs. an ngroups-wide HAVING filter) and
+        must not share a single-pass kernel."""
+        b = MALBuilder("spaces")
+        x = b.bind("t", "a")
+        y = b.bind("t", "b")
+        u = b.bind("other", "c")
+        v = b.bind("other", "d")
+        m1 = b.emit("batcalc", "gt", (x, y))
+        s1 = b.emit("algebra", "thetaselect", (m1, None, 0, "!="))
+        m2 = b.emit("batcalc", "lt", (u, v))
+        s2 = b.emit("algebra", "thetaselect", (m2, None, 0, "!="))
+        program = b.returns([("p1", s1), ("p2", s2)])
+        fused = fuse_program(program)
+        assert count_pipes(fused) == 2
+
+    def test_single_instruction_regions_stay_unfused(self):
+        b = MALBuilder("single")
+        x = b.bind("t", "a")
+        y = b.emit("batcalc", "mul", (x, 2))
+        program = b.returns([("y", y)])
+        fused = fuse_program(program)
+        assert count_pipes(fused) == 0
+        assert fused.format() == program.format()
+
+
+class TestIdempotence:
+    def test_pass_is_idempotent_on_the_chain(self):
+        once = fuse_program(_chain_program())
+        twice = fuse_program(once)
+        assert twice.format() == once.format()
+
+    @pytest.mark.parametrize("query_id", list(WORKLOAD))
+    def test_pass_is_idempotent_on_tpch(self, query_id):
+        once = fuse_program(compile_query(query_id))
+        twice = fuse_program(once)
+        assert twice.format() == once.format()
+
+    def test_tpch_fuses_somewhere(self):
+        fused_anywhere = sum(
+            count_pipes(fuse_program(compile_query(q))) for q in WORKLOAD
+        )
+        assert fused_anywhere >= 5    # Q1's chains alone give two
+
+
+class TestGating:
+    @pytest.fixture(autouse=True)
+    def _fusion_on(self, monkeypatch):
+        """Pin the global gate on: the flag/explain tests compare a
+        fused engine against an unfused one and stay meaningful under
+        the CI job's REPRO_FUSION=off run."""
+        monkeypatch.setenv("REPRO_FUSION", "on")
+
+    @pytest.fixture
+    def db(self):
+        rng = np.random.default_rng(3)
+        database = repro.Database()
+        database.create_table("t", {
+            "a": rng.random(256).astype(np.float32),
+            "b": rng.random(256).astype(np.float32),
+        })
+        return database
+
+    SQL = "SELECT a * (1 - b) AS x, a * (1 - b) * (1 + b) AS y FROM t"
+
+    def test_fusion_off_spec_flag(self, db):
+        fused = db.connect("CPU").explain(self.SQL)
+        plain = db.connect("CPU:fusion=off").explain(self.SQL)
+        assert "ocelot.pipe" in fused
+        assert "ocelot.pipe" not in plain
+        a = db.connect("CPU").execute(self.SQL)
+        b = db.connect("CPU:fusion=off").execute(self.SQL)
+        for col in ("x", "y"):
+            np.testing.assert_allclose(
+                a.column(col), b.column(col), rtol=1e-6
+            )
+
+    def test_explain_renders_inlined_expression_tree(self, db):
+        text = db.connect("CPU").explain(self.SQL)
+        # the fused instruction shows the expression tree, not an
+        # opaque opcode: operands and operators appear inline
+        assert "ocelot.pipe({" in text
+        assert "* (1 - " in text
+
+    def test_explain_no_fuse_comparison_path(self, db):
+        con = db.connect("CPU")
+        fused = con.explain(self.SQL)
+        plain = con.explain(self.SQL, no_fuse=True)
+        assert "pipe" in fused and "pipe" not in plain
+        assert fused != plain
+        # both plans stay cached side by side
+        assert con.explain(self.SQL) == fused
+        assert con.explain(self.SQL, no_fuse=True) == plain
+
+    def test_env_variable_disables_fusion(self, db, monkeypatch):
+        con = db.connect("CPU")
+        fused = con.explain(self.SQL)
+        monkeypatch.setenv("REPRO_FUSION", "off")
+        plain = con.explain(self.SQL)
+        assert "pipe" in fused and "pipe" not in plain
+        result = con.execute(self.SQL)
+        monkeypatch.delenv("REPRO_FUSION")
+        np.testing.assert_allclose(
+            result.column("x"),
+            con.execute(self.SQL).column("x"),
+            rtol=1e-6,
+        )
+
+    def test_fusion_off_canonicalises_into_the_spec(self, db):
+        con = db.connect("cpu:FUSION=OFF")
+        assert con.engine == "CPU:fusion=off"
+        assert db.connect("CPU:fusion=off") is con

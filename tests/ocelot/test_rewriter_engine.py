@@ -96,8 +96,9 @@ def test_map_covers_all_host_code():
     from repro.ocelot.operators import HOST_CODE
 
     mapped = {fn for fn, _kinds in OCELOT_MAP.values()}
-    # sync is inserted (not mapped); everything else must be reachable
-    assert mapped == set(HOST_CODE) - {"sync"}
+    # sync is inserted (not mapped) and fused pipes are rerouted via the
+    # fuse-module special case; everything else must be reachable
+    assert mapped == set(HOST_CODE) - {"sync", "pipe"}
 
 
 class TestMixedExecution:
