@@ -5,18 +5,68 @@ it prints the same rows/series the paper plots (simulated milliseconds
 per configuration) and asserts the qualitative shape — who wins, by
 roughly what factor, where lines end.  ``pytest-benchmark`` wraps one
 representative sweep per figure for wall-clock tracking.
+
+When ``REPRO_BENCH_JSON`` names a file, every emitted series is
+additionally collected and written there at session end as a
+machine-readable report — per-figure makespans plus any auxiliary
+metrics a point carries (``Measurement.extra``, e.g. interconnect
+bytes) — so CI can archive a perf trajectory across PRs
+(the manually-triggered ``bench-json`` job uploads ``BENCH_PR5.json``).
 """
+
+import json
+import os
 
 import pytest
 
 from repro import cl
 from repro.bench.report import format_series
 
+_EMITTED = []
+
 
 def emit(series):
     """Print a figure table through pytest's capture-friendly path."""
     print()
     print(format_series(series))
+    _EMITTED.append(series)
+
+
+def _jsonable(value):
+    """Plain-Python view of a value (numpy scalars -> int/float)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item"):          # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path or not _EMITTED:
+        return
+    figures = {}
+    for series in _EMITTED:
+        figures[series.name] = {
+            "x_label": series.x_label,
+            "labels": [str(label) for label in series.labels],
+            "points": [
+                {
+                    "x": _jsonable(point.x),
+                    "millis": _jsonable(point.millis),
+                    **({"extra": _jsonable(point.extra)}
+                       if point.extra else {}),
+                }
+                for point in series.points
+            ],
+        }
+    with open(path, "w") as handle:
+        json.dump({"figures": figures}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session", autouse=True)

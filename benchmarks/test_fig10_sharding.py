@@ -6,7 +6,7 @@ full single-node engine), per-shard MAL plans through the unchanged
 interpreter, mat.pack-style merges on the driver (see ARCHITECTURE.md,
 "shard").
 
-Two panels:
+Three panels:
 
 * (a) makespan vs shard count — TPC-H Q1 (selection + grouped
   aggregation over lineitem) on ``SHARD:NxMS``: per-shard work shrinks
@@ -14,7 +14,13 @@ Two panels:
   makespan falls as shards are added,
 * (b) composed engines — the same sweep with heterogeneous children
   (``SHARD:NxHET``): composition over the registry, not a special case;
-  every node still fans out across its own CPU+GPU pool.
+  every node still fans out across its own CPU+GPU pool,
+* (c) join strategies — TPC-H Q12 (lineitem ⋈ orders on the order
+  key) under the three join plans: the PR-3 broadcast-gather baseline
+  (``join=broadcast``), the hash-shuffle re-partition, and the
+  co-partitioned shard-local join with declared shard keys.
+  Interconnect bytes (``Connection.interconnect``) drop by orders of
+  magnitude from broadcast to co-located, and the makespan follows.
 """
 
 import numpy as np
@@ -22,6 +28,7 @@ import pytest
 
 from conftest import emit
 from repro.api import tpch_database
+from repro.bench.configs import SHARD_JOIN_SPECS
 from repro.bench.harness import Measurement, Series
 from repro.tpch import WORKLOAD
 
@@ -77,6 +84,64 @@ def test_fig10a_makespan_shrinks_with_shard_count(benchmark):
             expected.columns[column].astype(np.float64),
             rtol=1e-9,
         )
+
+
+#: the fig10c join-strategy sweep: one spec per strategy, same engine
+#: shape (4 MS nodes) — only the join plan differs
+JOIN_SPECS = SHARD_JOIN_SPECS
+
+
+def test_fig10c_join_strategies_beat_broadcast():
+    """Co-partitioned and shuffled joins beat broadcast-gather on both
+    interconnect bytes and makespan (TPC-H Q12, orders ⋈ lineitem)."""
+    db = tpch_database(sf=1)
+    expected = db.connect("MS").execute(WORKLOAD["Q12"], name="Q12")
+    seconds, bytes_moved, traffic = {}, {}, {}
+    for name, spec in JOIN_SPECS:
+        con = db.connect(spec)
+        result = con.execute(WORKLOAD["Q12"], name="Q12")
+        query = con.interconnect.query
+        seconds[name] = result.elapsed
+        bytes_moved[name] = query.bytes_total
+        traffic[name] = {
+            "bytes_broadcast": query.bytes_broadcast,
+            "bytes_shuffled": query.bytes_shuffled,
+            "bytes_gathered": query.bytes_gathered,
+        }
+        # every strategy must still be *correct*
+        for column in expected.columns:
+            np.testing.assert_allclose(
+                result.columns[column].astype(np.float64),
+                expected.columns[column].astype(np.float64),
+                rtol=1e-6, err_msg=f"{name}: {column}",
+            )
+        con.close()
+    series = Series(
+        name="fig10c: TPC-H Q12 join strategies (4xMS nodes)",
+        x_label="strategy",
+        labels=("SHARD",),
+        points=[
+            Measurement(
+                x=name, millis={"SHARD": seconds[name] * 1e3},
+                extra={"bytes_total": bytes_moved[name],
+                       **traffic[name]},
+            )
+            for name, _spec in JOIN_SPECS
+        ],
+    )
+    emit(series)
+    # the acceptance bar: a co-partitioned join moves >= 5x fewer
+    # interconnect bytes than the broadcast baseline (it is orders of
+    # magnitude here — only the ngroups-wide merges remain) ...
+    assert bytes_moved["co-located"] * 5 <= bytes_moved["broadcast"]
+    # ... and the shuffle path beats broadcast whenever neither side is
+    # replicated (both Q12 sides are partitioned at sf=1)
+    assert bytes_moved["shuffle"] < bytes_moved["broadcast"]
+    assert traffic["shuffle"]["bytes_broadcast"] \
+        < traffic["broadcast"]["bytes_broadcast"]
+    # the byte savings shows up in the makespan, which is the point
+    assert seconds["co-located"] < seconds["broadcast"]
+    assert seconds["shuffle"] < seconds["broadcast"]
 
 
 def test_fig10b_composed_heterogeneous_nodes():

@@ -13,7 +13,12 @@ one level: the plan is also topology-oblivious.  This demo walks:
    bit (up to float summation order);
 3. **scaling** — per-shard work shrinks ~1/N while the driver merge
    stays ngroups-wide, so makespan falls as nodes are added;
-4. **DDL** — creating a table re-partitions and bumps every shard's
+4. **join strategies** — with shard keys declared, co-partitioned
+   joins run shard-local with zero driver traffic; without keys, a
+   hash shuffle moves only (key, oid) pairs; ``join=broadcast`` keeps
+   the gather-everything baseline, and ``Connection.interconnect``
+   shows the difference in bytes;
+5. **DDL** — creating a table re-partitions and bumps every shard's
    schema version, invalidating cached plans everywhere at once.
 
     python examples/sharding.py
@@ -61,6 +66,19 @@ def main() -> None:
     con.execute(WORKLOAD["Q6"], name="Q6")
     print(f"   re-running Q6 on SHARD:2xHET: hits {hits} -> "
           f"{db.plan_cache.stats.hits}")
+
+    print("\n== join strategies: broadcast vs shuffle vs co-located ==")
+    keyed = ("SHARD:4xMS,key=lineitem.l_orderkey,"
+             "key=orders.o_orderkey")
+    for label, spec in (("broadcast", "SHARD:4xMS,join=broadcast"),
+                        ("shuffle", "SHARD:4xMS"),
+                        ("co-located", keyed)):
+        with db.connect(spec) as shard_con:
+            result = shard_con.execute(WORKLOAD["Q12"], name="Q12")
+            traffic = shard_con.interconnect.query
+            print(f"   {label:>10}: {result.elapsed * 1e3:7.1f} ms   "
+                  f"interconnect {traffic.bytes_total / 1e6:8.3f} MB  "
+                  f"({traffic})")
 
     print("\n== DDL propagates to every shard ==")
     versions = [c.version for c in con.backend.partitioner.catalogs]

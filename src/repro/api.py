@@ -180,6 +180,21 @@ class Connection:
         )
         return entry.program.format()
 
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def interconnect(self):
+        """Interconnect-traffic counters of multi-node engines.
+
+        ``None`` on single-node engines.  On the sharded engine, a
+        :class:`~repro.shard.backend.ShardTraffic` whose ``query`` field
+        holds the last executed query's ``bytes_broadcast`` /
+        ``bytes_shuffled`` / ``bytes_gathered`` and whose ``total``
+        accumulates over the connection — so the join planner's traffic
+        win (co-located and shuffled joins vs. broadcast-gather) is
+        observable without instrumenting benchmark code."""
+        return self.backend.interconnect_traffic()
+
     # -- asynchronous sessions ------------------------------------------------
 
     @property
@@ -273,6 +288,21 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
+        self._after_ddl()
+
+    def declare_shard_key(self, table: str, column: str,
+                          domain: Optional[str] = None) -> None:
+        """Declare ``table.column`` as the table's shard key.
+
+        Sharded engines place the table's rows by key value; tables
+        keyed in one *domain* (defaulting to the column name sans its
+        table prefix, so ``lineitem.l_orderkey`` and
+        ``orders.o_orderkey`` meet in ``"orderkey"``) co-partition, and
+        equi-joins on their keys run shard-local with zero driver
+        traffic (:mod:`repro.shard`).  Counts as DDL: cached plans
+        invalidate and live sharded backends re-partition.
+        """
+        self.catalog.declare_shard_key(table, column, domain=domain)
         self._after_ddl()
 
     def _after_ddl(self) -> None:

@@ -122,3 +122,12 @@ CONFIGS: Mapping = _RegistryView()
 #: tuple so the reproduced tables keep the paper's shape
 ALL_LABELS = ("MS", "MP", "CPU", "GPU")
 HET_LABELS = ALL_LABELS + ("HET",)
+
+#: fig. 10c sweeps the sharded engine's join strategies on one engine
+#: shape — only the join plan differs between the three specs
+SHARD_JOIN_SPECS = (
+    ("broadcast", "SHARD:4xMS,join=broadcast"),
+    ("shuffle", "SHARD:4xMS"),
+    ("co-located",
+     "SHARD:4xMS,key=lineitem.l_orderkey,key=orders.o_orderkey"),
+)

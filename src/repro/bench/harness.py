@@ -30,6 +30,10 @@ class Measurement:
 
     x: object                      # sweep coordinate (MB, groups, SF, ...)
     millis: dict = field(default_factory=dict)   # label -> float | None
+    #: auxiliary per-point metrics beyond milliseconds (e.g. the shard
+    #: engine's interconnect bytes per strategy); carried into the
+    #: machine-readable benchmark report (``REPRO_BENCH_JSON``)
+    extra: dict = field(default_factory=dict)
 
     def __getitem__(self, label: str):
         return self.millis[label]

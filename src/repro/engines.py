@@ -10,6 +10,7 @@ spec** parsed by a small grammar::
     spec    :=  FAMILY [ ":" arg ("," arg)* ]
     arg     :=  COUNT "x" CHILD          (replication argument, e.g. 4xHET)
              |  WORD                     (family-defined flag, e.g. hash)
+             |  NAME "=" VALUE           (family-defined parameter)
 
 Examples::
 
@@ -17,6 +18,13 @@ Examples::
     "HET"             the heterogeneous CPU+GPU scheduler
     "SHARD:4xHET"     four simulated nodes, each running HET
     "shard:8xcpu"     case-insensitive; canonicalises to "SHARD:8xCPU"
+    "SHARD:2xMS,key=lineitem.l_orderkey"   declared shard key (repeatable)
+
+Flags are fixed words from the family's ``allowed_flags`` (e.g. the
+universal ``fusion=off`` switch); parameters are ``NAME=VALUE`` pairs
+whose NAME comes from the family's ``allowed_params`` and whose VALUE
+is free-form (validated by the family's ``configure``) — the sharded
+engine uses them for per-table shard-key declarations.
 
 Parsing yields an :class:`EngineSpec` — ``(family, params)`` plus the
 **canonical** spec string, which is what the plan cache, the serve layer
@@ -57,7 +65,14 @@ class EngineSpec:
     count: Optional[int] = None       # the COUNT of a "COUNTxCHILD" arg
     child: Optional[str] = None       # canonical child spec of that arg
     flags: tuple[str, ...] = ()       # family-defined words, lower-case
+    #: family-defined (name, value) parameters, lower-case, sorted;
+    #: a name may repeat (e.g. several ``key=...`` declarations)
+    params: tuple[tuple[str, str], ...] = ()
     canonical: str = ""               # e.g. "SHARD:4xHET"
+
+    def param_values(self, name: str) -> tuple[str, ...]:
+        """Every value given for parameter ``name``, in canonical order."""
+        return tuple(v for n, v in self.params if n == name)
 
     def __str__(self) -> str:
         return self.canonical
@@ -139,6 +154,9 @@ class EngineFamily:
     takes_child: bool = False
     #: flag words the family accepts (lower-case)
     allowed_flags: frozenset = frozenset()
+    #: parameter NAMEs the family accepts as ``NAME=VALUE`` args; the
+    #: VALUE side is free-form (the family's ``configure`` validates it)
+    allowed_params: frozenset = frozenset()
 
 
 class EngineRegistry:
@@ -192,6 +210,7 @@ class EngineRegistry:
         count: Optional[int] = None
         child: Optional[str] = None
         flags: list[str] = []
+        params: list[tuple[str, str]] = []
         if sep:
             if not rest.strip():
                 raise EngineSpecError(
@@ -232,32 +251,55 @@ class EngineRegistry:
                     child = self.parse(child_text).canonical
                     continue
                 word = arg.lower()
-                if word not in family.allowed_flags:
-                    raise EngineSpecError(
-                        f"engine spec {text!r}: unknown parameter {arg!r} "
-                        f"for family {name}"
-                        + (f" (allowed: "
-                           f"{', '.join(sorted(family.allowed_flags))})"
-                           if family.allowed_flags else "")
-                    )
-                if word in flags:
-                    raise EngineSpecError(
-                        f"engine spec {text!r}: duplicate parameter {arg!r}"
-                    )
-                flags.append(word)
+                if word in family.allowed_flags:
+                    if word in flags:
+                        raise EngineSpecError(
+                            f"engine spec {text!r}: duplicate parameter "
+                            f"{arg!r}"
+                        )
+                    flags.append(word)
+                    continue
+                # NAME=VALUE parameter (flags are matched exactly above,
+                # so a flag containing '=' — fusion=off — stays a flag)
+                pname, eq, pvalue = word.partition("=")
+                if eq and pname in family.allowed_params:
+                    if not pvalue:
+                        raise EngineSpecError(
+                            f"engine spec {text!r}: parameter {pname!r} "
+                            f"needs a value (got {arg!r})"
+                        )
+                    if (pname, pvalue) in params:
+                        raise EngineSpecError(
+                            f"engine spec {text!r}: duplicate parameter "
+                            f"{arg!r}"
+                        )
+                    params.append((pname, pvalue))
+                    continue
+                allowed = sorted(family.allowed_flags) + [
+                    f"{p}=<value>" for p in sorted(family.allowed_params)
+                ]
+                raise EngineSpecError(
+                    f"engine spec {text!r}: unknown parameter {arg!r} "
+                    f"for family {name}"
+                    + (f" (allowed: {', '.join(allowed)})" if allowed
+                       else "")
+                )
         if family.takes_child and sep and count is None:
             raise EngineSpecError(
                 f"engine spec {text!r}: family {name} requires an "
                 f"<N>x<CHILD> argument, e.g. {family.syntax}"
             )
-        # flags sort in the canonical form so "F:a,b" and "F:b,a" name
-        # one engine (one connection, one set of plan-cache entries)
+        # flags and parameters sort together in the canonical form so
+        # "F:a,b" and "F:b,a" name one engine (one connection, one set
+        # of plan-cache entries)
         flags.sort()
-        args = ([f"{count}x{child}"] if count is not None else []) + flags
+        params.sort()
+        words = sorted(flags + [f"{n}={v}" for n, v in params])
+        args = ([f"{count}x{child}"] if count is not None else []) + words
         canonical = name + (":" + ",".join(args) if args else "")
         return EngineSpec(
             family=name, count=count, child=child, flags=tuple(flags),
-            canonical=canonical,
+            params=tuple(params), canonical=canonical,
         )
 
     # -- resolution --------------------------------------------------------------

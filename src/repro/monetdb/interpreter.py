@@ -107,6 +107,17 @@ class Backend(abc.ABC):
     def elapsed(self) -> float:
         """Simulated seconds consumed since :meth:`begin`."""
 
+    def interconnect_traffic(self):
+        """Interconnect byte counters, for multi-node backends.
+
+        Single-node engines move nothing between nodes and return
+        ``None``; the sharded engine returns its
+        :class:`~repro.shard.backend.ShardTraffic` (per-query +
+        cumulative ``bytes_broadcast`` / ``bytes_shuffled`` /
+        ``bytes_gathered``), surfaced as ``Connection.interconnect``.
+        """
+        return None
+
     def query_overhead_s(self) -> float:
         """Fixed per-query framework cost charged by the *last* query.
 

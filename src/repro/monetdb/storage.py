@@ -58,6 +58,11 @@ class Catalog:
         #: layer's plan cache keys compiled plans by this version, so a
         #: schema change implicitly invalidates every cached plan.
         self.version = 0
+        #: declared shard keys: table -> (column, domain | None).  Pure
+        #: metadata at this layer — the sharded engine's partitioner
+        #: reads it to co-partition tables sharing a key domain (rows
+        #: placed by key value, equi-joins on the key run shard-local).
+        self.shard_keys: dict[str, tuple[str, "str | None"]] = {}
 
     # -- schema ------------------------------------------------------------
 
@@ -82,6 +87,32 @@ class Catalog:
     def drop_table(self, table: str) -> None:
         for bat in self._tables.pop(table).values():
             self._fire_delete(bat)
+        self.shard_keys.pop(table, None)
+        self.version += 1
+
+    def declare_shard_key(self, table: str, column: str,
+                          domain: "str | None" = None) -> None:
+        """Declare ``table.column`` as the table's shard key.
+
+        ``domain`` names the shared key space; tables declaring keys in
+        the same domain co-partition (``lineitem.l_orderkey`` and
+        ``orders.o_orderkey`` both default to domain ``"orderkey"`` —
+        see :meth:`repro.shard.partition.default_key_domain`).  This is
+        DDL: the version bump invalidates cached plans (whose join
+        strategies may depend on the old layout) and prompts live
+        sharded backends to re-partition.
+        """
+        self.bat(table, column)     # raises on unknown table/column
+        self.shard_keys[table] = (column, domain)
+        self.version += 1
+
+    def bump_version(self) -> None:
+        """Bump the DDL counter without a schema change.
+
+        For layout changes that invalidate cached plans the same way
+        DDL does — e.g. the sharded engine adopting an inferred shard
+        key, which re-partitions tables and stales any memoised join
+        strategy."""
         self.version += 1
 
     # -- lookup ----------------------------------------------------------------

@@ -19,10 +19,16 @@ front half of the query lifecycle is cacheable:
   bumped on every DDL statement, so a ``CREATE``/``DROP`` implicitly
   invalidates every plan compiled against the old schema.
 * **value** — the *rewritten* :class:`~repro.monetdb.mal.MALProgram`
-  (plans are immutable and re-runnable), plus the HET placer's recorded
-  decision sequence from the latest run (installed as a replay on the
-  next one, see
-  :meth:`repro.sched.backend.HeterogeneousBackend.install_replay`).
+  (plans are immutable and re-runnable), plus the backend's recorded
+  decision sequence from the latest run, installed as a replay on the
+  next one through the ``replays_placements`` protocol: the HET
+  placer's per-instruction placements
+  (:meth:`repro.sched.backend.HeterogeneousBackend.install_replay`)
+  or the sharded engine's per-join-site strategies
+  (co-located / shuffle / broadcast, see
+  :meth:`repro.shard.backend.ShardedBackend._plan_join`) — a repeat
+  query replays the chosen join strategy instead of re-planning, and a
+  DDL-bumped schema version invalidates trace and plan together.
 * **eviction** — least-recently-used beyond ``max_entries``; explicitly
   stale versions are purged (and counted) by :meth:`invalidate_schema`.
 

@@ -16,11 +16,25 @@ engine registry rather than special-casing anything:
   post-aggregation consumption points and broadcast joins / driver
   gathers where an operator needs global context.
 
+Since PR 5 the backend is **shard-key-aware**: tables can declare a
+shard key (catalog-level via ``Database.declare_shard_key``, spec-level
+via ``key=<table>.<column>`` parameters, or inferred from observed join
+columns under ``keys=infer``), rows are then placed by key value, and
+the join planner runs key-aligned equi-joins entirely shard-local —
+zero driver traffic — with a hash-shuffle re-partition
+(``shard.shuffle``) covering the unaligned cases and the PR-3
+broadcast-gather kept as the ``join=broadcast`` baseline.
+
 Registered as the ``SHARD`` engine family::
 
     con = db.connect("SHARD:4xHET")    # 4 nodes, each running HET
     con = db.connect("SHARD:8xCPU")    # 8 single-device nodes
     con = db.connect("SHARD:4xCPU,hash")   # round-robin row placement
+    con = db.connect(                  # co-partition on the order key
+        "SHARD:4xMS,key=lineitem.l_orderkey,key=orders.o_orderkey"
+    )
+    con = db.connect("SHARD:4xMS,keys=infer")     # adopt observed keys
+    con = db.connect("SHARD:4xMS,join=broadcast")  # PR-3 baseline
 
 The spec's child component is resolved through the same registry, so
 anything registered with :func:`repro.register_engine` — including
@@ -37,15 +51,46 @@ from ..engines import (
     EngineSpecError,
     register_engine,
 )
-from .backend import ShardedBackend, ShardedValue
-from .partition import DEFAULT_MIN_PARTITION_ROWS, ShardPartitioner
+from .backend import (
+    InterconnectTraffic,
+    ShardTraffic,
+    ShardedBackend,
+    ShardedValue,
+)
+from .partition import (
+    DEFAULT_MIN_PARTITION_ROWS,
+    ShardPartitioner,
+    default_key_domain,
+)
 
 __all__ = [
     "DEFAULT_MIN_PARTITION_ROWS",
+    "InterconnectTraffic",
     "ShardPartitioner",
+    "ShardTraffic",
     "ShardedBackend",
     "ShardedValue",
+    "default_key_domain",
 ]
+
+
+def _parse_spec_keys(spec: EngineSpec) -> "dict[str, str]":
+    """``key=<table>.<column>`` params -> {table: column}."""
+    shard_keys: dict[str, str] = {}
+    for value in spec.param_values("key"):
+        table, dot, column = value.partition(".")
+        if not dot or not table or not column:
+            raise EngineSpecError(
+                f"engine spec {spec.canonical!r}: key={value!r} must "
+                f"name a column as <table>.<column>"
+            )
+        if shard_keys.get(table, column) != column:
+            raise EngineSpecError(
+                f"engine spec {spec.canonical!r}: table {table!r} "
+                f"declares two shard keys"
+            )
+        shard_keys[table] = column
+    return shard_keys
 
 
 def _configure(spec: EngineSpec, registry) -> EngineConfig:
@@ -57,11 +102,48 @@ def _configure(spec: EngineSpec, registry) -> EngineConfig:
     child = registry.resolve(spec.child)
     mode = "hash" if "hash" in spec.flags else "range"
     n_shards = spec.count
+    shard_keys = _parse_spec_keys(spec)
+
+    def single_param(name: str, default: str) -> str:
+        values = spec.param_values(name)
+        if len(values) > 1:
+            raise EngineSpecError(
+                f"engine spec {spec.canonical!r}: conflicting "
+                f"{name}= values {', '.join(values)}"
+            )
+        return values[0] if values else default
+
+    keys_mode = single_param("keys", "declared")
+    if keys_mode not in ("declared", "infer", "off"):
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: keys= must be 'infer' or "
+            f"'off' (declared keys are honoured by default)"
+        )
+    if keys_mode == "off" and shard_keys:
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: keys=off contradicts "
+            f"the spec's key= declarations"
+        )
+    join = single_param("join", "auto")
+    if join not in ("auto", "broadcast"):
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: join= must be "
+            f"'broadcast' (the planner is the default)"
+        )
+    if join == "broadcast" and keys_mode == "infer":
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: keys=infer is pointless "
+            f"under join=broadcast (inferred keys could never be used)"
+        )
 
     def make(catalog, data_scale):
         return ShardedBackend(
             catalog, child, n_shards, data_scale=data_scale,
             mode=mode, label=spec.canonical,
+            shard_keys=shard_keys,
+            use_declared_keys=keys_mode != "off",
+            infer_keys=keys_mode == "infer",
+            join_strategy=join,
         )
 
     return EngineConfig(
@@ -82,13 +164,19 @@ register_engine(EngineFamily(
     configure=_configure,
     description=(
         "N-node sharded execution over any registered child engine: "
-        "tables partitioned per node, aggregate partials merged "
+        "tables partitioned per node (by declared/inferred shard keys "
+        "when given), key-aligned joins shard-local, hash-shuffle "
+        "re-partition otherwise, aggregate partials merged "
         "mat.pack-style on the driver"
     ),
-    syntax="SHARD:<N>x<CHILD>[,hash]",
+    syntax=(
+        "SHARD:<N>x<CHILD>[,hash][,key=<t>.<c>][,keys=infer|off]"
+        "[,join=broadcast]"
+    ),
     takes_child=True,
     # range partitioning is the default and deliberately NOT a flag:
     # "SHARD:2xCPU,range" aliasing "SHARD:2xCPU" would split the plan
     # cache and the connection cache over one identical engine
     allowed_flags=frozenset({"hash", FUSION_OFF}),
+    allowed_params=frozenset({"key", "keys", "join"}),
 ))

@@ -32,21 +32,47 @@ wrappers holding one part per shard plus merge provenance:
   post-aggregation tail of the query runs identically everywhere.
 
 Operators that fundamentally need global context — ``sort`` over a
-partitioned row space, a join whose *both* sides are partitioned —
-gather the needed side to the driver and broadcast it, trading
-interconnect bytes for correctness (the classic broadcast join).
-Gathers and merges charge simulated interconnect + driver time;
-``elapsed`` is the slowest shard's clock plus that merge time, which is
-what makes the fig. 10 makespan sweep meaningful.
+partitioned row space — gather the needed side to the driver and
+broadcast it.  A join whose *both* sides are partitioned goes through a
+**join planner** that picks the cheapest correct strategy:
+
+* **co-located** — both key columns are the declared (or inferred)
+  shard keys of their base tables in one key domain
+  (:class:`~repro.shard.partition.ShardPartitioner`), so every matching
+  pair already lives on one shard: the join fans out shard-local with
+  *zero* driver traffic;
+* **shuffle** — the ``shard.shuffle`` operator hash-re-partitions the
+  *smaller* side's (key, oid) pairs shard-to-shard (to the keyed side's
+  placement when one side is key-aligned, by value hash on both sides
+  otherwise); later projections through the shuffled side's positions
+  fetch only the rows a shard actually needs, instead of broadcasting
+  whole columns;
+* **broadcast** — the PR-3 fallback (and the ``join=broadcast``
+  baseline): gather the build side to the driver and re-broadcast it
+  to every shard.
+
+The chosen strategy per join site is recorded as a decision trace and
+memoised by the serve layer's plan cache (the same
+``replays_placements`` protocol the heterogeneous engine uses), so a
+repeat query replays its strategies instead of re-planning; DDL bumps
+the schema version and invalidates the trace with the plan.
+
+Gathers, shuffles and merges charge simulated interconnect + driver
+time and are counted per byte moved in :class:`InterconnectTraffic`
+(``Connection.interconnect``); ``elapsed`` is the slowest shard's clock
+plus that merge time, which is what makes the fig. 10 makespan and
+join-traffic sweeps meaningful.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..cl import GB
 from ..engines import EngineConfig
-from ..monetdb.bat import BAT, Role, make_bat
+from ..monetdb.bat import BAT, OID_DTYPE, Role, make_bat, oid_bat
 from ..monetdb.interpreter import Backend, UnsupportedOperator
 from ..monetdb.storage import Catalog
 from .partition import DEFAULT_MIN_PARTITION_ROWS, ShardPartitioner
@@ -55,6 +81,64 @@ from .partition import DEFAULT_MIN_PARTITION_ROWS, ShardPartitioner
 SHARD_NET_GBS = 8.0
 #: per-gather/merge round-trip latency
 SHARD_LATENCY_S = 40e-6
+
+#: join strategies the planner can pick (and the plan cache replays)
+JOIN_LOCAL = "local"                  # >=1 side replicated: plain fan-out
+JOIN_COLOCATED = "colocated"          # key-aligned sides: zero traffic
+JOIN_SHUFFLE_LEFT = "shuffle-left"    # re-partition left to right's keys
+JOIN_SHUFFLE_RIGHT = "shuffle-right"  # re-partition right to left's keys
+JOIN_SHUFFLE_BOTH = "shuffle-both"    # hash re-partition both sides
+JOIN_BROADCAST = "broadcast"          # gather + re-broadcast (PR-3 path)
+
+
+@dataclass
+class InterconnectTraffic:
+    """Simulated interconnect bytes moved, by transfer pattern.
+
+    Bytes are *nominal* (scaled by the dataset's ``data_scale``, like
+    the simulated clock), so counters line up with the makespan charges
+    and with the paper-scale data volumes."""
+
+    #: driver gather + re-broadcast to every shard (broadcast joins,
+    #: eager aggregate merges re-broadcast to the shards)
+    bytes_broadcast: int = 0
+    #: shard-to-shard hash re-partitions and targeted row fetches
+    bytes_shuffled: int = 0
+    #: driver-only gathers (result collection, grouped key merges)
+    bytes_gathered: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return (self.bytes_broadcast + self.bytes_shuffled
+                + self.bytes_gathered)
+
+    def add(self, kind: str, nbytes: int) -> None:
+        setattr(self, f"bytes_{kind}",
+                getattr(self, f"bytes_{kind}") + int(nbytes))
+
+    def reset(self) -> None:
+        self.bytes_broadcast = self.bytes_shuffled = 0
+        self.bytes_gathered = 0
+
+    def __str__(self) -> str:
+        return (
+            f"broadcast={self.bytes_broadcast} "
+            f"shuffled={self.bytes_shuffled} "
+            f"gathered={self.bytes_gathered}"
+        )
+
+
+@dataclass
+class ShardTraffic:
+    """Per-query and cumulative interconnect counters
+    (``Connection.interconnect``)."""
+
+    query: InterconnectTraffic = field(default_factory=InterconnectTraffic)
+    total: InterconnectTraffic = field(default_factory=InterconnectTraffic)
+
+    def __str__(self) -> str:
+        return f"query: {self.query}  total: {self.total}"
+
 
 _SCALAR_AGGS = frozenset({"sum", "min", "max", "count", "avg"})
 _GROUPED_AGGS = frozenset(
@@ -70,7 +154,8 @@ class ShardedValue:
     """One interpreter value, sharded: a part per shard + provenance."""
 
     __slots__ = ("parts", "partitioned", "merge", "group", "pair",
-                 "avg_dtype", "global_oids", "base_rows", "_gathered")
+                 "avg_dtype", "global_oids", "base_rows", "_gathered",
+                 "origin", "remote_oids", "repl_space")
 
     def __init__(self, parts, partitioned, merge=None, group=None,
                  pair=None, avg_dtype=None, global_oids=False):
@@ -91,6 +176,23 @@ class ShardedValue:
         #: positions into the gathered layout by these offsets
         self.base_rows: "tuple[int, ...] | None" = None
         self._gathered = None      # cached broadcast after an eager merge
+        #: (table, column) whose base values these are, tracked only
+        #: while every shard's part is still a subset of that shard's
+        #: *own* rows of the base table (bind, and projections through
+        #: shard-local positions, preserve it; gathers, shuffles and
+        #: computed values clear it).  The join planner's key-alignment
+        #: checks hang off this.
+        self.origin: "tuple[str, str] | None" = None
+        #: positions valued in the shard-order-concatenated layout of a
+        #: row space that *stays partitioned* (a shuffled join side):
+        #: projections through them fetch only the referenced rows from
+        #: their owner shards instead of gathering the whole column
+        self.remote_oids = False
+        #: positions into a row space that is identical on every shard
+        #: (a replicated table, a broadcast value): valid anywhere
+        #: without translation — gathers and remote fetches must not
+        #: apply per-shard offsets to them
+        self.repl_space = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "part" if self.partitioned else "repl"
@@ -187,6 +289,11 @@ def _fold_identity(op: str, dtype: np.dtype):
 class ShardedBackend(Backend):
     """MAL backend fanning every instruction across N shard backends."""
 
+    #: the join planner's strategy decisions are recorded per query and
+    #: replayed by the plan cache on repeat queries (same protocol as
+    #: the heterogeneous engine's placement traces)
+    replays_placements = True
+
     def __init__(
         self,
         catalog: Catalog,
@@ -196,6 +303,10 @@ class ShardedBackend(Backend):
         mode: str = "range",
         min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
         label: str = "SHARD",
+        shard_keys: "dict[str, str] | None" = None,
+        use_declared_keys: bool = True,
+        infer_keys: bool = False,
+        join_strategy: str = "auto",
     ):
         self.label = label
         self.child_config = child_config
@@ -203,12 +314,31 @@ class ShardedBackend(Backend):
         self.partitioner = ShardPartitioner(
             catalog, n_shards, mode=mode,
             min_partition_rows=min_partition_rows,
+            shard_keys=shard_keys,
+            use_declared_keys=use_declared_keys,
         )
         self.children: list[Backend] = [
             child_config.make(shard_catalog, data_scale)
             for shard_catalog in self.partitioner.catalogs
         ]
         self._merge_s = 0.0
+        #: interconnect byte counters (Connection.interconnect)
+        self.traffic = ShardTraffic()
+        #: ``keys=infer``: adopt observed join columns as shard keys
+        self.infer_keys = infer_keys
+        #: ``join=broadcast`` forces the PR-3 baseline for benchmarks
+        self.join_strategy = join_strategy
+        self._observed_joins: list[tuple] = []
+        self._inferred: set[tuple] = set()
+        #: join-site decisions of the current query, and the installed
+        #: replay (plan-cache hit) being consumed positionally
+        self._trace: list[tuple[str, str]] = []
+        self._replay: "list[tuple[str, str]] | None" = None
+        self._replay_pos = 0
+        self._armed_replay: "list[tuple[str, str]] | None" = None
+        #: driver-created helper values of the current query (shuffled
+        #: key columns) so their BATs recycle with the query
+        self._scratch: list[ShardedValue] = []
         super().__init__(catalog)
 
     @property
@@ -218,9 +348,14 @@ class ShardedBackend(Backend):
     # -- protocol: registration / resolution ---------------------------------
 
     def _register_ops(self) -> None:
-        """No own operators: every op fans out to the children."""
+        """Own operators (the children cover everything else): the hash
+        re-partition primitive backing the shuffle join."""
+        self.register("shard.shuffle", self._shuffle_op)
 
     def resolve(self, op: str):
+        own = self._registry.get(op)
+        if own is not None:
+            return own
         # existence check up front so unsupported ops fail like any
         # other backend's resolve (children share one operator set)
         self.children[0].resolve(op)
@@ -231,10 +366,11 @@ class ShardedBackend(Backend):
         return fan
 
     def supports(self, op: str) -> bool:
-        return self.children[0].supports(op)
+        return op in self._registry or self.children[0].supports(op)
 
     def supported_ops(self) -> list[str]:
-        return self.children[0].supported_ops()
+        return sorted(set(self.children[0].supported_ops())
+                      | set(self._registry))
 
     # -- protocol: timing ------------------------------------------------------
 
@@ -242,6 +378,26 @@ class ShardedBackend(Backend):
         for child in self.children:
             child.begin()
         self._merge_s = 0.0
+        # reset in place: references to con.interconnect.query held
+        # across queries keep reading the live per-query counters
+        self.traffic.query.reset()
+        self._trace = []
+        self._replay = self._armed_replay
+        self._armed_replay = None
+        self._replay_pos = 0
+        self._scratch = []
+
+    # -- protocol: strategy-trace replay (replays_placements) ------------------
+
+    def install_replay(self, placements) -> None:
+        """Arm the next query with a memoised join-strategy trace."""
+        self._armed_replay = placements or None
+
+    def take_trace(self) -> tuple[list, int]:
+        """Harvest the last query's join decisions; ``(trace,
+        replayed)`` where ``replayed`` counts decisions served from the
+        installed trace instead of planned fresh."""
+        return list(self._trace), self._replay_pos
 
     def elapsed(self) -> float:
         """Slowest shard + driver-side gather/merge time.
@@ -255,16 +411,31 @@ class ShardedBackend(Backend):
     def query_overhead_s(self) -> float:
         return max(child.query_overhead_s() for child in self.children)
 
-    def _charge_merge(self, nbytes: int) -> None:
+    def _charge_merge(self, nbytes: int, kind: str = "gathered") -> None:
         """Interconnect + driver cost of moving ``nbytes`` (actual array
-        bytes; scaled to nominal) through the merge point."""
-        nominal = nbytes * self.data_scale
+        bytes; scaled to nominal) through the merge point.  ``kind``
+        classifies the transfer pattern for the traffic counters:
+        ``"broadcast"`` (gather + re-broadcast), ``"shuffled"``
+        (shard-to-shard moves and targeted fetches) or ``"gathered"``
+        (driver-only)."""
+        nominal = int(nbytes * self.data_scale)
         self._merge_s += SHARD_LATENCY_S + nominal / (SHARD_NET_GBS * GB)
+        self.traffic.query.add(kind, nominal)
+        self.traffic.total.add(kind, nominal)
+
+    def interconnect_traffic(self) -> ShardTraffic:
+        """Per-query + cumulative interconnect byte counters."""
+        return self.traffic
 
     # -- protocol: lifecycle ------------------------------------------------------
 
     def schema_changed(self) -> None:
-        """Parent DDL: re-partition and bump every shard's catalog."""
+        """Parent DDL: re-partition and bump every shard's catalog.
+
+        The partitioner re-slices any table whose layout signature
+        changed (a declared key, moved domain bounds), so join planning
+        never sees shard slices laid out by a scheme the catalog no
+        longer declares."""
         self.partitioner.sync()
 
     def shutdown(self) -> None:
@@ -273,12 +444,48 @@ class ShardedBackend(Backend):
 
     def end_of_query(self, intermediates: list) -> None:
         per_child: list[list] = [[] for _ in self.children]
-        for value in intermediates:
+        for value in list(intermediates) + self._scratch:
             for sv in self._component_values(value):
                 for shard, part in enumerate(sv.parts):
                     per_child[shard].append(part)
+        self._scratch = []
         for child, leftovers in zip(self.children, per_child):
             child.end_of_query(leftovers)
+        if self.infer_keys:
+            self._adopt_inferred_keys()
+        self._observed_joins = []
+
+    def _adopt_inferred_keys(self) -> None:
+        """``keys=infer``: adopt observed join columns as shard keys.
+
+        A join the planner could not co-locate between two base columns
+        is the signal: both tables adopt those columns as keys in one
+        shared domain, the partitioner re-slices them, and the parent
+        schema version bumps so cached plans (whose memoised strategies
+        assumed the old layout) recompile.  Each table is adopted at
+        most once — the first observed join wins — so repeated queries
+        cannot thrash the layout."""
+        adopted = False
+        for (lt, lc), (rt, rc) in self._observed_joins:
+            if lt == rt:
+                continue                      # self-joins teach nothing
+            if self.partitioner.key_of(lt) or self.partitioner.key_of(rt):
+                continue                      # respect existing keys
+            if lt in self._inferred or rt in self._inferred:
+                continue
+            if not (self.partitioner.is_partitioned(lt)
+                    and self.partitioner.is_partitioned(rt)):
+                continue
+            domain = "~".join(sorted((f"{lt}.{lc}", f"{rt}.{rc}")))
+            self.partitioner.declare_key(lt, lc, domain=domain,
+                                         sync=False)
+            self.partitioner.declare_key(rt, rc, domain=domain,
+                                         sync=False)
+            self._inferred.update((lt, rt))
+            adopted = True
+        if adopted:
+            self.partitioner.sync()
+            self.catalog.bump_version()
 
     def _component_values(self, value):
         """A value's ShardedValues incl. avg pairs and cached gathers."""
@@ -357,7 +564,8 @@ class ShardedBackend(Backend):
         if value._gathered is None:
             if value.group is not None:
                 merged = self._fold_grouped(value)
-                self._charge_merge(int(merged.nbytes) * self.n_shards)
+                self._charge_merge(int(merged.nbytes) * self.n_shards,
+                                   kind="broadcast")
                 value._gathered = ShardedValue(
                     [make_bat(merged, tag="shard_merge")
                      for _ in range(self.n_shards)],
@@ -365,7 +573,7 @@ class ShardedBackend(Backend):
                 )
             else:
                 value._gathered = self._fold_scalar(value)
-                self._charge_merge(8 * self.n_shards)
+                self._charge_merge(8 * self.n_shards, kind="broadcast")
         return value._gathered
 
     # -- aggregates -----------------------------------------------------------------
@@ -512,27 +720,33 @@ class ShardedBackend(Backend):
                 self._host_values(shard, part)
                 for shard, part in enumerate(value.parts)
             ]
-            positions = any(
-                isinstance(p, BAT) and p.role is Role.OIDS
-                for p in value.parts
+            positions = (
+                value.base_rows is not None or value.remote_oids
+                or value.global_oids or value.repl_space
+                or any(isinstance(p, BAT) and p.role is Role.OIDS
+                       for p in value.parts)
             )
             if positions:
-                if value.base_rows is None:
+                if value.global_oids or value.remote_oids \
+                        or value.repl_space:
+                    # already valued in a global (or shard-agnostic)
+                    # layout — no per-shard offset translation to apply
+                    pass
+                elif value.base_rows is None:
                     raise UnsupportedOperator(
                         "cannot gather a sharded position column whose "
                         "row space is unknown (unsupported plan shape "
                         "for SHARD)"
                     )
-                offsets = np.concatenate(
-                    ([0], np.cumsum(value.base_rows[:-1]))
-                ).astype(np.int64)
-                arrays = [
-                    a.astype(np.int64) + offsets[s]
-                    for s, a in enumerate(arrays)
-                ]
+                else:
+                    offsets = np.concatenate(
+                        ([0], np.cumsum(value.base_rows[:-1]))
+                    ).astype(np.int64)
+                    arrays = [
+                        a.astype(np.int64) + offsets[s]
+                        for s, a in enumerate(arrays)
+                    ]
                 merged = np.concatenate(arrays)
-                from ..monetdb.bat import OID_DTYPE, oid_bat
-
                 bats = [
                     oid_bat(merged.astype(OID_DTYPE), tag="shard_gather")
                     for _ in range(self.n_shards)
@@ -543,7 +757,8 @@ class ShardedBackend(Backend):
                     make_bat(merged, tag="shard_gather")
                     for _ in range(self.n_shards)
                 ]
-            self._charge_merge(int(merged.nbytes) * (1 + self.n_shards))
+            self._charge_merge(int(merged.nbytes) * (1 + self.n_shards),
+                               kind="broadcast")
             gathered = ShardedValue(bats, partitioned=False)
             # offset-translated positions now live in the gathered
             # (global) layout — consumers must gather their sources too
@@ -562,19 +777,32 @@ class ShardedBackend(Backend):
             return None
         return tuple(int(p.count) for p in value.parts)
 
+    def _mark_space(self, pos, space) -> None:
+        """Annotate a position column with the row space it indexes:
+        per-shard counts when the space is partitioned (gathers and
+        remote fetches translate by them), or ``repl_space`` when the
+        space is identical on every shard (positions valid anywhere,
+        translation would corrupt them)."""
+        if not isinstance(pos, ShardedValue):
+            return
+        if self._needs_gather(space):
+            pos.base_rows = self._counts(space)
+        else:
+            pos.repl_space = True
+
     # -- special operators ------------------------------------------------------------
 
     def _op_bind(self, op: str, args):
         ref = args[0]
-        return self._fan(
-            op, args,
-            partitioned=self.partitioner.is_partitioned(ref.table),
-        )
+        partitioned = self.partitioner.is_partitioned(ref.table)
+        out = self._fan(op, args, partitioned=partitioned)
+        if partitioned and isinstance(out, ShardedValue):
+            out.origin = (ref.table, ref.column)
+        return out
 
     def _op_select(self, op: str, args):
         out = self._fan(op, args)
-        if isinstance(out, ShardedValue):
-            out.base_rows = self._counts(args[0])
+        self._mark_space(out, args[0])
         return out
 
     _op_thetaselect = _op_select
@@ -588,12 +816,16 @@ class ShardedBackend(Backend):
         per-shard row counts for a later gather."""
         out = self._fan(op, args)
         spec = args[0]
-        sharded = [a for a in args[1:] if isinstance(a, ShardedValue)]
-        rows = self._counts(sharded[0]) if sharded else None
+        space = next(
+            (a for a in args[1:] if self._needs_gather(a)),
+            next((a for a in args[1:] if isinstance(a, ShardedValue)),
+                 None),
+        )
         outputs = out if isinstance(out, tuple) else (out,)
         for value, fused_output in zip(outputs, spec.outputs):
-            if isinstance(value, ShardedValue) and fused_output.is_select:
-                value.base_rows = rows
+            if isinstance(value, ShardedValue) and fused_output.is_select \
+                    and space is not None:
+                self._mark_space(value, space)
         return out
 
     def _op_oidunion(self, op: str, args):
@@ -601,6 +833,7 @@ class ShardedBackend(Backend):
         if isinstance(out, ShardedValue) \
                 and isinstance(args[0], ShardedValue):
             out.base_rows = args[0].base_rows
+            out.repl_space = args[0].repl_space
         return out
 
     _op_oidintersect = _op_oidunion
@@ -653,7 +886,17 @@ class ShardedBackend(Backend):
 
     def _op_projection(self, op: str, args):
         oids, source = args[0], args[1]
-        if isinstance(oids, ShardedValue) and oids.global_oids \
+        source_gathered = False
+        if isinstance(oids, ShardedValue) and oids.remote_oids \
+                and self._needs_gather(source) \
+                and self._counts(source) is not None:
+            # positions refer to the concatenated layout of a row space
+            # that is still partitioned (a shuffled join side): fetch
+            # exactly the referenced rows from their owner shards
+            # instead of broadcasting the whole column
+            return self._remote_project(oids, source)
+        if isinstance(oids, ShardedValue) \
+                and (oids.global_oids or oids.remote_oids) \
                 and self._needs_gather(source):
             # positions refer to a gathered (global) row space: the
             # source column must be gathered the same way; whether the
@@ -661,6 +904,7 @@ class ShardedBackend(Backend):
             # (a per-shard pair list projected through a broadcast
             # column yields per-shard results)
             args = [oids, self._gather_rows(source)] + list(args[2:])
+            source_gathered = True
         out = self._fan(op, args)
         if isinstance(out, ShardedValue) and isinstance(source, ShardedValue):
             # a projection's output *values* are drawn from the source,
@@ -668,35 +912,341 @@ class ShardedBackend(Backend):
             # through shard-local or gathered spaces) carries over
             out.base_rows = source.base_rows
             out.global_oids = source.global_oids
+            out.remote_oids = source.remote_oids
+            out.repl_space = source.repl_space
+            if not source_gathered and isinstance(oids, ShardedValue) \
+                    and oids.partitioned and not oids.global_oids \
+                    and not oids.remote_oids:
+                # shard-local positions into a still-aligned source:
+                # the output rows remain each shard's own base rows
+                out.origin = source.origin
         return out
+
+    def _remote_project(self, oids: ShardedValue, source: ShardedValue):
+        """Targeted cross-shard fetch: project remote positions through
+        a partitioned source, moving only the referenced rows.
+
+        The source's per-shard parts concatenate (positions translating
+        by their space's offsets) into the layout the remote positions
+        are valued in; each shard then fetches its hit rows, and only
+        rows owned by *another* shard are charged to the interconnect —
+        the second half of the shuffle join's traffic win."""
+        counts = self._counts(source)
+        offsets = np.concatenate(
+            ([0], np.cumsum(counts[:-1]))
+        ).astype(np.int64)
+        arrays = [
+            np.asarray(self._host_values(shard, part))
+            for shard, part in enumerate(source.parts)
+        ]
+        # the source's *values* are positions into some other space when
+        # it carries that space's per-shard counts or one of the
+        # position-layout flags (role alone is not enough: a projected
+        # row map is a VALUES-role BAT of positions)
+        positions = (
+            source.base_rows is not None or source.remote_oids
+            or source.global_oids or source.repl_space
+            or any(isinstance(p, BAT) and p.role is Role.OIDS
+                   for p in source.parts)
+        )
+        if positions and not (source.global_oids or source.remote_oids
+                              or source.repl_space):
+            if source.base_rows is None:
+                raise UnsupportedOperator(
+                    "cannot re-partition a sharded position column "
+                    "whose row space is unknown (unsupported plan "
+                    "shape for SHARD)"
+                )
+            space = np.concatenate(
+                ([0], np.cumsum(source.base_rows[:-1]))
+            ).astype(np.int64)
+            arrays = [
+                a.astype(np.int64) + space[s]
+                for s, a in enumerate(arrays)
+            ]
+        concat = np.concatenate(arrays)
+        bounds = np.append(offsets, len(concat)).astype(np.int64)
+        parts, moved = [], 0
+        for shard in range(self.n_shards):
+            pos = np.asarray(
+                self._host_values(shard, oids.parts[shard])
+            ).astype(np.int64, copy=False)
+            values = concat[pos]
+            owner = np.searchsorted(bounds, pos, side="right") - 1
+            moved += int(values[owner != shard].nbytes)
+            if positions:
+                parts.append(oid_bat(values.astype(OID_DTYPE),
+                                     tag="shard_fetch"))
+            else:
+                parts.append(make_bat(values, tag="shard_fetch"))
+        self._charge_merge(moved, kind="shuffled")
+        out = ShardedValue(parts, partitioned=True)
+        if positions:
+            # fetched values are positions in the source space's own
+            # concatenated layout — still remote for the next hop (or
+            # global / shard-agnostic when the source's values already
+            # were)
+            out.global_oids = source.global_oids
+            out.repl_space = source.repl_space
+            out.remote_oids = not (source.global_oids
+                                   or source.repl_space)
+        return out
+
+    # -- the join planner --------------------------------------------------------
+
+    def _aligned_key(self, value) -> "tuple[str, str] | None":
+        """The value's ``(table, column)`` origin, when that column is
+        its table's shard key and the rows are still shard-aligned."""
+        if not isinstance(value, ShardedValue) or value.origin is None:
+            return None
+        if value.global_oids or value.remote_oids:
+            return None
+        table, column = value.origin
+        if self.partitioner.is_key_aligned(table, column):
+            return value.origin
+        return None
+
+    def _plan_join(self, op: str, left, right) -> str:
+        """Pick (or replay) the strategy for one equi-join site.
+
+        Every ``algebra.join`` call appends exactly one decision to the
+        query's trace, so a memoised trace replays positionally.  A
+        replayed decision is sanity-checked against the current layout
+        — a trace can only come from the same (SQL, engine spec, schema
+        version) plan-cache key, but the check keeps a stale trace from
+        ever producing a wrong join."""
+        if self._replay is not None \
+                and self._replay_pos < len(self._replay):
+            site, strategy = self._replay[self._replay_pos]
+            if site == op and self._join_valid(strategy, left, right):
+                self._replay_pos += 1
+                self._trace.append((op, strategy))
+                return strategy
+            self._replay = None     # out of step: plan fresh from here
+        strategy = self._decide_join(left, right)
+        self._trace.append((op, strategy))
+        return strategy
+
+    def _decide_join(self, left, right) -> str:
+        if not (self._needs_gather(left) and self._needs_gather(right)):
+            return JOIN_LOCAL
+        if self.join_strategy == "broadcast":
+            # the strict PR-3 baseline: every partitioned-both-sides
+            # join broadcasts, even on a key-partitioned layout
+            return JOIN_BROADCAST
+        lkey = self._aligned_key(left)
+        rkey = self._aligned_key(right)
+        if lkey and rkey and self.partitioner.co_located(lkey, rkey):
+            return JOIN_COLOCATED
+        if isinstance(left, ShardedValue) and left.origin \
+                and isinstance(right, ShardedValue) and right.origin:
+            # a broadcast/shuffle between two base columns is the
+            # signal the key-inference satellite adopts (keys=infer)
+            self._observed_joins.append((left.origin, right.origin))
+        lcounts, rcounts = self._counts(left), self._counts(right)
+        if lkey and rcounts is not None:
+            return JOIN_SHUFFLE_RIGHT
+        if rkey and lcounts is not None:
+            return JOIN_SHUFFLE_LEFT
+        if lcounts is not None and rcounts is not None \
+                and self._shuffleable(left) and self._shuffleable(right):
+            return JOIN_SHUFFLE_BOTH
+        return JOIN_BROADCAST
+
+    def _join_valid(self, strategy: str, left, right) -> bool:
+        if strategy == JOIN_LOCAL:
+            return not (self._needs_gather(left)
+                        and self._needs_gather(right))
+        if strategy == JOIN_BROADCAST:
+            return True     # correct in every layout, never optimal
+        if strategy == JOIN_COLOCATED:
+            lkey, rkey = self._aligned_key(left), self._aligned_key(right)
+            return bool(lkey and rkey
+                        and self.partitioner.co_located(lkey, rkey))
+        if strategy == JOIN_SHUFFLE_RIGHT:
+            return bool(self._aligned_key(left)
+                        and self._counts(right) is not None)
+        if strategy == JOIN_SHUFFLE_LEFT:
+            return bool(self._aligned_key(right)
+                        and self._counts(left) is not None)
+        if strategy == JOIN_SHUFFLE_BOTH:
+            return self._counts(left) is not None \
+                and self._counts(right) is not None \
+                and self._shuffleable(left) and self._shuffleable(right)
+        return False
+
+    @staticmethod
+    def _shuffleable(value) -> bool:
+        return all(
+            isinstance(p, BAT) and p.dtype.kind in "iuf"
+            for p in value.parts
+        )
 
     def _op_join(self, op: str, args):
         left, right = args[0], args[1]
+        strategy = self._plan_join(op, left, right)
+        if strategy == JOIN_COLOCATED:
+            # key-aligned sides: every matching pair is already on one
+            # shard — the join fans out with zero driver traffic
+            lpos, rpos = self._fan(op, args, partitioned=True)
+            self._mark_space(lpos, left)
+            self._mark_space(rpos, right)
+            return lpos, rpos
+        if strategy in (JOIN_SHUFFLE_LEFT, JOIN_SHUFFLE_RIGHT,
+                        JOIN_SHUFFLE_BOTH):
+            return self._shuffle_join(op, args, strategy)
+        return self._broadcast_join(op, args)
+
+    def _broadcast_join(self, op: str, args):
+        """The PR-3 fallback: gather the build side to every shard."""
+        left, right = args[0], args[1]
         gathered = False
         if self._needs_gather(left) and self._needs_gather(right):
-            # broadcast join: gather the build side to every shard
             args = [left, self._gather_rows(right)] + list(args[2:])
             gathered = True
         lpos, rpos = self._fan(
             op, args, partitioned=True if gathered else None
         )
-        lpos.base_rows = self._counts(left)
+        self._mark_space(lpos, left)
         if gathered:
             rpos.global_oids = True
         else:
-            rpos.base_rows = self._counts(right)
+            self._mark_space(rpos, right)
         return lpos, rpos
 
-    _op_thetajoin = _op_join
+    _op_thetajoin = _broadcast_join
+
+    def _shuffle_join(self, op: str, args, strategy: str):
+        """Hash-shuffle join: re-partition the unaligned side(s) by key
+        value so the join runs shard-local, moving only (key, oid)
+        pairs shard-to-shard.
+
+        With one side key-aligned the other side re-partitions to the
+        aligned table's placement function; with neither aligned both
+        sides re-partition by value hash.  A shuffled side's output
+        positions are valued in its original concatenated row space
+        (``remote_oids``), so later projections fetch only the rows
+        each shard holds pairs for."""
+        left, right = args[0], args[1]
+        if strategy == JOIN_SHUFFLE_RIGHT:
+            table, _column = self._aligned_key(left)
+            place = self.partitioner.key_placement(
+                self.partitioner.key_of(table)[1]
+            )
+        elif strategy == JOIN_SHUFFLE_LEFT:
+            table, _column = self._aligned_key(right)
+            place = self.partitioner.key_placement(
+                self.partitioner.key_of(table)[1]
+            )
+        else:
+            place = self.partitioner.default_placement
+        new_left, lmap = left, None
+        new_right, rmap = right, None
+        if strategy in (JOIN_SHUFFLE_LEFT, JOIN_SHUFFLE_BOTH):
+            new_left, lmap = self._shuffle(left, place)
+        if strategy in (JOIN_SHUFFLE_RIGHT, JOIN_SHUFFLE_BOTH):
+            new_right, rmap = self._shuffle(right, place)
+        lpos, rpos = self._fan(
+            op, [new_left, new_right] + list(args[2:]), partitioned=True
+        )
+        lpos = self._translate_pos(lpos, lmap, left)
+        rpos = self._translate_pos(rpos, rmap, right)
+        return lpos, rpos
+
+    def _translate_pos(self, pos: ShardedValue, mapping, side):
+        """Map positions out of a shuffled layout back into the side's
+        original (concatenated) row space via the shuffled oids."""
+        if mapping is None:
+            self._mark_space(pos, side)
+            return pos
+        parts = []
+        for shard in range(self.n_shards):
+            local = np.asarray(
+                self._host_values(shard, pos.parts[shard])
+            ).astype(np.int64, copy=False)
+            parts.append(oid_bat(mapping[shard][local].astype(OID_DTYPE),
+                                 tag="shard_unshuffle"))
+        out = ShardedValue(parts, partitioned=True)
+        out.remote_oids = True
+        return out
+
+    def _shuffle(self, value: ShardedValue, place):
+        """The ``shard.shuffle`` primitive: re-partition a key column by
+        key value.  Returns the shuffled column (a new ShardedValue) and
+        the per-shard global-oid arrays mapping shuffled rows back to
+        the value's original concatenated layout.  Only rows that change
+        shards are charged to the interconnect."""
+        counts = self._counts(value)
+        offsets = np.concatenate(
+            ([0], np.cumsum(counts[:-1]))
+        ).astype(np.int64)
+        dest_keys: list[list] = [[] for _ in range(self.n_shards)]
+        dest_oids: list[list] = [[] for _ in range(self.n_shards)]
+        moved = 0
+        dtype = None
+        for shard in range(self.n_shards):
+            keys = np.asarray(self._host_values(shard, value.parts[shard]))
+            dtype = keys.dtype if dtype is None else dtype
+            ids = place(keys)
+            goids = np.arange(keys.shape[0], dtype=np.int64) \
+                + offsets[shard]
+            for dest in range(self.n_shards):
+                mask = ids == dest
+                if not mask.any():
+                    continue
+                moved_keys = keys[mask]
+                moved_oids = goids[mask]
+                dest_keys[dest].append(moved_keys)
+                dest_oids[dest].append(moved_oids)
+                if dest != shard:
+                    moved += int(moved_keys.nbytes) \
+                        + int(moved_oids.nbytes)
+        self._charge_merge(moved, kind="shuffled")
+        parts, mapping = [], []
+        for dest in range(self.n_shards):
+            keys = (np.concatenate(dest_keys[dest]) if dest_keys[dest]
+                    else np.empty(0, dtype=dtype))
+            goids = (np.concatenate(dest_oids[dest]) if dest_oids[dest]
+                     else np.empty(0, dtype=np.int64))
+            parts.append(make_bat(keys, tag="shard_shuffle"))
+            mapping.append(goids)
+        out = ShardedValue(parts, partitioned=True)
+        self._scratch.append(out)
+        return out, mapping
+
+    def _shuffle_op(self, value):
+        """``shard.shuffle(column)``: hash re-partition a partitioned
+        column by value; returns the shuffled column and the positions
+        (in the input's concatenated layout) each shuffled row came
+        from."""
+        if not self._needs_gather(value) \
+                or self._counts(value) is None:
+            raise UnsupportedOperator(
+                "shard.shuffle needs a partitioned column of per-shard "
+                "BATs"
+            )
+        shuffled, mapping = self._shuffle(
+            value, self.partitioner.default_placement
+        )
+        oids = ShardedValue(
+            [oid_bat(m.astype(OID_DTYPE), tag="shard_shuffle_oids")
+             for m in mapping],
+            partitioned=True,
+        )
+        oids.remote_oids = True
+        return shuffled, oids
 
     def _op_semijoin(self, op: str, args):
         left, right = args[0], args[1]
-        if self._needs_gather(right):
+        lkey, rkey = self._aligned_key(left), self._aligned_key(right)
+        if self._needs_gather(right) and not (
+            lkey and rkey and self.partitioner.co_located(lkey, rkey)
+        ):
             # membership is against the *whole* right side; gather it
+            # (key-aligned sides skip this: every member is local)
             args = [left, self._gather_rows(right)] + list(args[2:])
         out = self._fan(op, args, partitioned=self._needs_gather(left))
-        if isinstance(out, ShardedValue):
-            out.base_rows = self._counts(left)
+        self._mark_space(out, left)
         return out
 
     _op_antijoin = _op_semijoin
@@ -717,6 +1267,8 @@ class ShardedBackend(Backend):
                 merged = self._fold_grouped(value)
                 self._charge_merge(int(merged.nbytes))
                 return merged
+            # each shard ships its scalar partial to the driver
+            self._charge_merge(8 * self.n_shards)
             return np.atleast_1d(np.asarray(self._fold_scalar(value)))
         if not value.partitioned:
             return self.children[0].collect(value.parts[0])

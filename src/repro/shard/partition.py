@@ -8,26 +8,40 @@ plain shard-local operations — exactly the model of a cluster of
 column-store nodes (Hespe et al.: partition the big table, replicate the
 small ones, keep the merge cheap).
 
-Two row-assignment schemes:
+Row assignment, in order of precedence:
 
-* ``range`` (default) — shard *s* holds the contiguous row range
+* **shard key** — a table with a declared shard key places each row by
+  its *key value*.  Keys live in named **domains** (``l_orderkey`` and
+  ``o_orderkey`` both default to domain ``"orderkey"``): every table
+  keyed in one domain uses the *same* value-to-shard function, so equal
+  keys land on equal shards across tables — the tables co-partition and
+  equi-joins on the key run entirely shard-local.  In ``hash`` mode the
+  function is a 64-bit mix of the key value modulo N; in ``range`` mode
+  it is N equal-width value bands over the domain's observed [min, max]
+  (the union across all member tables, so the bands agree).
+* ``range`` (default, no key) — shard *s* holds the contiguous row range
   ``[s*n/N, (s+1)*n/N)``.  Concatenating per-shard rows in shard order
   reproduces the global base order, so even order-sensitive results
   match single-node execution exactly.
-* ``hash`` — round-robin on the row id (row *i* lives on shard
-  ``i % N``), the classic hash-on-key placement degenerated to the row
-  id since the reproduction has no declared shard keys.  Row *sets* are
-  preserved but unordered result row *order* may differ from
-  single-node execution.
+* ``hash`` (no key) — round-robin on the row id (row *i* lives on shard
+  ``i % N``).  Row *sets* are preserved but unordered result row *order*
+  may differ from single-node execution (as it does for keyed tables).
 
 Tables with fewer than ``min_partition_rows`` rows are **replicated**
 to every shard: dimension tables must be joinable everywhere without a
 shuffle.  DDL on the parent database re-syncs every shard catalog
 (creating/dropping per-shard tables bumps each child's schema version,
-which is what invalidates per-shard cached state).
+which is what invalidates per-shard cached state).  Every table carries
+a **layout signature** (partitioned?, mode, key, domain bounds, N); when
+a re-sync observes a changed signature — a key was declared, a DDL
+widened a range domain — the table is dropped from every shard and
+re-partitioned, so a stale layout can never satisfy a co-partitioning
+check it no longer honours.
 """
 
 from __future__ import annotations
+
+import re
 
 import numpy as np
 
@@ -36,6 +50,52 @@ from ..monetdb.storage import Catalog
 #: below this row count a table is replicated to every shard rather
 #: than partitioned (dimension tables join locally without a shuffle)
 DEFAULT_MIN_PARTITION_ROWS = 256
+
+_PREFIX = re.compile(r"^[a-z0-9]+_")
+
+
+def default_key_domain(column: str) -> str:
+    """The default key domain: the column name sans table prefix.
+
+    TPC-H columns follow ``<prefix>_<name>`` (``l_orderkey``,
+    ``o_orderkey``), so foreign-key pairs fall into one domain without
+    any declaration beyond the per-table key itself."""
+    column = column.lower()
+    return _PREFIX.sub("", column) or column
+
+
+def hash_placement(values: np.ndarray, n_shards: int) -> np.ndarray:
+    """Value -> shard id by a 64-bit finalizer mix, modulo ``n_shards``.
+
+    Depends only on the value (not the table or the row position), so
+    any two columns placed through it co-partition.  Floats truncate to
+    int64 first — equal values still collide onto one shard, which is
+    all placement needs."""
+    v = np.asarray(values)
+    if v.dtype.kind not in "iuf":
+        raise ValueError(
+            f"shard keys must be numeric, got dtype {v.dtype}"
+        )
+    with np.errstate(over="ignore"):
+        h = v.astype(np.int64, copy=False).view(np.uint64)
+        h = (h ^ (h >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        h = (h ^ (h >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        h = h ^ (h >> np.uint64(31))
+        return (h % np.uint64(n_shards)).astype(np.int64)
+
+
+def range_placement(values: np.ndarray, n_shards: int,
+                    bounds: tuple[float, float]) -> np.ndarray:
+    """Value -> shard id by N equal-width bands over ``bounds``.
+
+    Values outside the bounds (a probe-side key missing from the domain
+    tables) clip into the edge bands — placement stays total, and a key
+    absent from the build side simply finds no match there."""
+    lo, hi = bounds
+    v = np.asarray(values).astype(np.float64, copy=False)
+    span = max(float(hi) - float(lo), 0.0) + 1.0
+    ids = np.floor((v - float(lo)) * n_shards / span).astype(np.int64)
+    return np.clip(ids, 0, n_shards - 1)
 
 
 class ShardPartitioner:
@@ -47,6 +107,8 @@ class ShardPartitioner:
         n_shards: int,
         mode: str = "range",
         min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+        shard_keys: "dict[str, str] | None" = None,
+        use_declared_keys: bool = True,
     ):
         if n_shards < 1:
             raise ValueError("need at least one shard")
@@ -56,15 +118,108 @@ class ShardPartitioner:
         self.n_shards = n_shards
         self.mode = mode
         self.min_partition_rows = max(int(min_partition_rows), n_shards)
+        #: honour keys declared on the parent catalog (the ``keys=off``
+        #: spec flag clears this: pure row-id placement, the PR-3 layout)
+        self.use_declared_keys = use_declared_keys
+        #: engine-local declarations (spec ``key=...`` params, inferred
+        #: keys) — these override catalog-level declarations
+        self._local_keys: dict[str, tuple[str, "str | None"]] = {
+            table: (column, None)
+            for table, column in (shard_keys or {}).items()
+        }
         self.catalogs = [Catalog() for _ in range(n_shards)]
         #: table -> True if partitioned, False if replicated
         self.partitioned: dict[str, bool] = {}
+        #: effective keys this sync: table -> (column, domain)
+        self.keys: dict[str, tuple[str, str]] = {}
+        #: domain -> (min, max) over every member table's key column
+        self.domains: dict[str, tuple[float, float]] = {}
+        #: table -> layout signature of the slices currently installed
+        self._signatures: dict[str, tuple] = {}
         self.sync()
 
     def is_partitioned(self, table: str) -> bool:
         return self.partitioned.get(table, False)
 
+    # -- shard keys ----------------------------------------------------------
+
+    def declare_key(self, table: str, column: str,
+                    domain: "str | None" = None,
+                    sync: bool = True) -> None:
+        """Declare a shard key locally (spec param / inferred key).
+
+        Takes effect on the next :meth:`sync` (immediately by default):
+        the table's layout signature changes, so its shard slices are
+        re-partitioned by key value."""
+        self._local_keys[table] = (column, domain)
+        if sync:
+            self.sync()
+
+    def key_of(self, table: str) -> "tuple[str, str] | None":
+        """``(column, domain)`` the table is currently partitioned by."""
+        if not self.partitioned.get(table, False):
+            return None
+        return self.keys.get(table)
+
+    def is_key_aligned(self, table: str, column: str) -> bool:
+        """Whether ``table`` is partitioned by exactly ``column``."""
+        key = self.key_of(table)
+        return key is not None and key[0] == column
+
+    def co_located(self, left: "tuple[str, str]",
+                   right: "tuple[str, str]") -> bool:
+        """Whether an equi-join on these ``(table, column)`` sides is
+        fully shard-local: both tables partitioned by exactly those
+        columns, in one shared key domain (same placement function)."""
+        lkey = self.key_of(left[0])
+        rkey = self.key_of(right[0])
+        return (
+            lkey is not None and rkey is not None
+            and lkey[0] == left[1] and rkey[0] == right[1]
+            and lkey[1] == rkey[1]
+        )
+
+    def key_placement(self, domain: str):
+        """The value-to-shard function of one key domain."""
+        if self.mode == "hash":
+            return lambda values: hash_placement(values, self.n_shards)
+        bounds = self.domains[domain]
+        return lambda values: range_placement(
+            values, self.n_shards, bounds
+        )
+
+    def default_placement(self, values: np.ndarray) -> np.ndarray:
+        """Domain-free placement for ad-hoc shuffles (both-side hash
+        re-partition of a join on undeclared columns)."""
+        return hash_placement(values, self.n_shards)
+
+    def _effective_keys(self, parent_tables) -> dict:
+        declared: dict[str, tuple[str, "str | None"]] = {}
+        if self.use_declared_keys:
+            declared.update(self.parent.shard_keys)
+        declared.update(self._local_keys)
+        keys: dict[str, tuple[str, str]] = {}
+        for table, (column, domain) in declared.items():
+            if table not in parent_tables:
+                continue
+            if column not in self.parent.columns(table):
+                raise ValueError(
+                    f"shard key {table}.{column}: no such column"
+                )
+            keys[table] = (column, domain or default_key_domain(column))
+        return keys
+
     # -- row assignment ------------------------------------------------------
+
+    def _slice_masks(self, name: str) -> "list | None":
+        """Per-shard row masks for a keyed table (None = unkeyed)."""
+        key = self.keys.get(name)
+        if key is None:
+            return None
+        column, domain = key
+        values = self.parent.bat(name, column).values
+        ids = self.key_placement(domain)(values)
+        return [ids == shard for shard in range(self.n_shards)]
 
     def _slice(self, values: np.ndarray, shard: int) -> np.ndarray:
         n = values.shape[0]
@@ -74,6 +229,11 @@ class ShardPartitioner:
         hi = (shard + 1) * n // self.n_shards
         return values[lo:hi]
 
+    def _signature(self, name: str, partition: bool) -> tuple:
+        key = self.keys.get(name)
+        bounds = self.domains.get(key[1]) if key else None
+        return (partition, self.mode, key, bounds, self.n_shards)
+
     # -- synchronisation -----------------------------------------------------
 
     def sync(self) -> None:
@@ -82,30 +242,63 @@ class ShardPartitioner:
         New parent tables are partitioned or replicated per the size
         policy; dropped parent tables are dropped from every shard
         (firing the per-shard delete callbacks, so shard-local device
-        caches release their buffers).  Both directions bump each child
-        catalog's schema version.
+        caches release their buffers).  A table whose layout signature
+        changed — key declared, domain bounds moved, partition policy
+        flipped — is dropped and re-partitioned, so shard slices always
+        reflect the placement function the co-partitioning checks
+        assume.  Both directions bump each child catalog's schema
+        version.
         """
         parent_tables = set(self.parent.tables())
-        for shard, catalog in enumerate(self.catalogs):
+        for catalog in self.catalogs:
             for stale in set(catalog.tables()) - parent_tables:
                 catalog.drop_table(stale)
         for name in list(self.partitioned):
             if name not in parent_tables:
                 del self.partitioned[name]
+                self._signatures.pop(name, None)
+
+        self.keys = self._effective_keys(parent_tables)
+        for name in list(self.keys):
+            rows = self.parent.row_count(name)
+            if rows < self.min_partition_rows:
+                del self.keys[name]     # replicated: key is irrelevant
+        self.domains = {}
+        for name, (column, domain) in self.keys.items():
+            values = self.parent.bat(name, column).values
+            if values.dtype.kind not in "iuf":
+                raise ValueError(
+                    f"shard key {name}.{column} must be numeric, "
+                    f"got dtype {values.dtype}"
+                )
+            lo = float(values.min()) if values.size else 0.0
+            hi = float(values.max()) if values.size else 0.0
+            have = self.domains.get(domain)
+            if have is not None:
+                lo, hi = min(lo, have[0]), max(hi, have[1])
+            self.domains[domain] = (lo, hi)
+
         for name in self.parent.tables():
             rows = self.parent.row_count(name)
             partition = rows >= self.min_partition_rows
             self.partitioned[name] = partition
+            signature = self._signature(name, partition)
+            if self._signatures.get(name) != signature:
+                for catalog in self.catalogs:
+                    if catalog.has_table(name):
+                        catalog.drop_table(name)
+            self._signatures[name] = signature
+            masks = self._slice_masks(name) if partition else None
             for shard, catalog in enumerate(self.catalogs):
                 if catalog.has_table(name):
                     continue
-                columns = {
-                    column: (
-                        self._slice(self.parent.bat(name, column).values,
-                                    shard)
-                        if partition
-                        else self.parent.bat(name, column).values
-                    )
-                    for column in self.parent.columns(name)
-                }
+                columns = {}
+                for column in self.parent.columns(name):
+                    values = self.parent.bat(name, column).values
+                    if not partition:
+                        columns[column] = values
+                    elif masks is not None:
+                        columns[column] = values[masks[shard]]
+                    else:
+                        columns[column] = self._slice(values, shard)
                 catalog.create_table(name, columns)

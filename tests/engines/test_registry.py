@@ -61,6 +61,75 @@ class TestSpecGrammar:
         with pytest.raises(EngineSpecError, match="registered engines"):
             default_registry.parse("TPU")
 
+
+class TestSpecParams:
+    """NAME=VALUE parameters (PR 5): shard keys through the grammar."""
+
+    def test_key_params_parse_and_canonicalise(self):
+        spec = default_registry.parse(
+            "shard:2xms,KEY=Orders.O_ORDERKEY,key=lineitem.l_orderkey"
+        )
+        assert spec.params == (
+            ("key", "lineitem.l_orderkey"), ("key", "orders.o_orderkey"),
+        )
+        assert spec.canonical == (
+            "SHARD:2xMS,key=lineitem.l_orderkey,key=orders.o_orderkey"
+        )
+
+    def test_param_order_does_not_split_the_engine(self):
+        a = default_registry.parse(
+            "SHARD:2xMS,key=orders.o_orderkey,key=lineitem.l_orderkey"
+        )
+        b = default_registry.parse(
+            "SHARD:2xMS,key=lineitem.l_orderkey,key=orders.o_orderkey"
+        )
+        assert a.canonical == b.canonical
+
+    def test_params_sort_with_flags(self):
+        a = default_registry.parse("SHARD:2xMS,keys=infer,hash")
+        b = default_registry.parse("SHARD:2xMS,hash,keys=infer")
+        assert a.canonical == b.canonical == "SHARD:2xMS,hash,keys=infer"
+
+    def test_param_values_accessor(self):
+        spec = default_registry.parse(
+            "SHARD:2xMS,key=a.x,key=b.y,join=broadcast"
+        )
+        assert spec.param_values("key") == ("a.x", "b.y")
+        assert spec.param_values("join") == ("broadcast",)
+        assert spec.param_values("nope") == ()
+
+    def test_fusion_off_stays_a_flag(self):
+        spec = default_registry.parse("SHARD:2xMS,fusion=off")
+        assert "fusion=off" in spec.flags
+        assert spec.params == ()
+
+    @pytest.mark.parametrize("bad", [
+        "SHARD:2xMS,key=",                # empty value
+        "SHARD:2xMS,key=a.x,key=a.x",     # duplicate param
+        "SHARD:2xMS,nope=1",              # unknown param name
+        "CPU:key=a.x",                    # family without params
+        "SHARD:2xMS,key=lineitem",        # not <table>.<column>
+        "SHARD:2xMS,key=a.x,key=a.y",     # two keys for one table
+        "SHARD:2xMS,keys=sideways",       # bad keys mode
+        "SHARD:2xMS,keys=off,key=a.x",    # contradiction
+        "SHARD:2xMS,join=zigzag",         # bad join strategy
+    ])
+    def test_bad_params_rejected(self, bad):
+        with pytest.raises(EngineSpecError):
+            default_registry.resolve(bad)
+
+    def test_unknown_param_error_names_the_allowed_set(self):
+        with pytest.raises(EngineSpecError, match="key=<value>"):
+            default_registry.parse("SHARD:2xMS,nope=1")
+
+    def test_conflicting_single_valued_params_rejected(self):
+        for bad in ("SHARD:2xMS,keys=off,keys=infer",
+                    "SHARD:2xMS,keys=infer,keys=off",
+                    "SHARD:2xMS,join=auto,join=broadcast",
+                    "SHARD:2xMS,join=broadcast,keys=infer"):
+            with pytest.raises(EngineSpecError):
+                default_registry.resolve(bad)
+
     def test_non_string_rejected(self):
         with pytest.raises(EngineSpecError):
             default_registry.parse(None)

@@ -1,0 +1,525 @@
+"""Shard-key-aware partitioning and the join planner (PR 5).
+
+Covers the key-placement schemes (hash mix / range bands over shared
+domains), the partitioner edge cases (skew, the replication threshold
+boundary, DDL re-sync under a declared key), the join strategies
+(co-located / shuffle / broadcast) with their interconnect-traffic
+counters, runtime key inference, and plan-cache strategy replay.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.shard import ShardPartitioner, default_key_domain
+from repro.shard.backend import (
+    JOIN_BROADCAST,
+    JOIN_COLOCATED,
+    JOIN_SHUFFLE_BOTH,
+)
+from repro.shard.partition import hash_placement, range_placement
+
+
+def assert_results_equal(expected, got, rtol=1e-6):
+    assert set(expected.columns) == set(got.columns)
+    for column in expected.columns:
+        a = expected.columns[column].astype(np.float64)
+        b = got.columns[column].astype(np.float64)
+        assert a.shape == b.shape, column
+        np.testing.assert_allclose(b, a, rtol=rtol, atol=1e-9,
+                                   err_msg=column)
+
+
+def make_db(n_fact=3000, n_dim=600, seed=11):
+    """Two co-partitionable tables: fact.f_key references dim.d_key."""
+    rng = np.random.default_rng(seed)
+    db = repro.Database()
+    db.create_table("fact", {
+        "f_key": rng.integers(0, n_dim, n_fact).astype(np.int32),
+        "v": rng.random(n_fact).astype(np.float32),
+        "g": rng.integers(0, 6, n_fact).astype(np.int32),
+    })
+    db.create_table("dim", {
+        "d_key": np.arange(n_dim, dtype=np.int32),
+        "w": rng.random(n_dim).astype(np.float32),
+        "pad": np.zeros(n_dim, dtype=np.int32),
+    })
+    return db
+
+
+JOIN_SQL = ("SELECT g, sum(v * w) AS s FROM fact "
+            "JOIN dim ON f_key = d_key GROUP BY g ORDER BY g")
+
+
+class TestPlacementFunctions:
+    def test_hash_placement_depends_only_on_the_value(self):
+        a = np.array([3, 17, 3, 99], dtype=np.int32)
+        b = np.array([99, 3], dtype=np.int64)
+        pa = hash_placement(a, 4)
+        pb = hash_placement(b, 4)
+        assert pa[0] == pa[2] == pb[1]
+        assert pa[3] == pb[0]
+        assert set(hash_placement(np.arange(1000), 4)) == {0, 1, 2, 3}
+
+    def test_range_placement_bands_and_clipping(self):
+        v = np.array([0, 249, 250, 999, -5, 2000])
+        ids = range_placement(v, 4, (0, 999))
+        assert list(ids) == [0, 0, 1, 3, 0, 3]
+
+    def test_non_numeric_keys_rejected(self):
+        with pytest.raises(ValueError):
+            hash_placement(np.array(["a", "b"]), 2)
+
+    def test_default_key_domain_strips_table_prefix(self):
+        assert default_key_domain("l_orderkey") == "orderkey"
+        assert default_key_domain("o_orderkey") == "orderkey"
+        assert default_key_domain("custkey") == "custkey"
+
+
+class TestKeyedPartitioner:
+    @pytest.mark.parametrize("mode", ["range", "hash"])
+    def test_declared_keys_co_partition(self, mode):
+        db = make_db()
+        part = ShardPartitioner(
+            db.catalog, 3, mode=mode,
+            shard_keys={"fact": "f_key", "dim": "d_key"},
+        )
+        assert part.co_located(("fact", "f_key"), ("dim", "d_key"))
+        # every fact row's key must live with the matching dim row
+        for shard, catalog in enumerate(part.catalogs):
+            fact_keys = set(catalog.bat("fact", "f_key").values.tolist())
+            dim_keys = set(catalog.bat("dim", "d_key").values.tolist())
+            assert fact_keys <= dim_keys
+        total = sum(c.row_count("fact") for c in part.catalogs)
+        assert total == 3000
+
+    def test_rows_keep_their_columns_together(self):
+        db = make_db()
+        part = ShardPartitioner(
+            db.catalog, 3, mode="hash", shard_keys={"fact": "f_key"},
+        )
+        merged = np.concatenate(
+            [c.bat("fact", "v").values for c in part.catalogs]
+        )
+        np.testing.assert_array_equal(
+            np.sort(merged), np.sort(db.catalog.bat("fact", "v").values)
+        )
+
+    def test_keys_in_different_domains_do_not_co_locate(self):
+        db = make_db()
+        part = ShardPartitioner(
+            db.catalog, 2, shard_keys={"fact": "f_key", "dim": "pad"},
+        )
+        assert not part.co_located(("fact", "f_key"), ("dim", "pad"))
+        assert part.is_key_aligned("fact", "f_key")
+        assert not part.is_key_aligned("fact", "v")
+
+    def test_hash_skew_all_rows_one_key(self):
+        """Every row carries one key value: keyed hash placement puts
+        the whole table on a single shard, and queries stay correct
+        through the empty-shard fold paths."""
+        db = repro.Database()
+        db.create_table("skew", {
+            "k": np.full(1000, 7, dtype=np.int32),
+            "v": np.arange(1000, dtype=np.int32),
+        })
+        part = ShardPartitioner(
+            db.catalog, 3, mode="hash", shard_keys={"skew": "k"},
+        )
+        counts = sorted(c.row_count("skew") for c in part.catalogs)
+        assert counts[:2] == [0, 0] and counts[2] == 1000
+        con = db.connect("SHARD:3xMS,hash,key=skew.k")
+        expected = db.connect("MS").execute(
+            "SELECT k, sum(v) AS s, count(*) AS n FROM skew GROUP BY k"
+        )
+        got = con.execute(
+            "SELECT k, sum(v) AS s, count(*) AS n FROM skew GROUP BY k"
+        )
+        assert_results_equal(expected, got, rtol=0)
+
+    def test_replication_threshold_boundary(self):
+        """255 rows replicate, 256 partition (the documented policy
+        boundary), and a declared key on a replicated table is moot."""
+        db = repro.Database()
+        db.create_table("just_under", {
+            "k": np.arange(255, dtype=np.int32),
+        })
+        db.create_table("just_at", {
+            "k": np.arange(256, dtype=np.int32),
+        })
+        part = ShardPartitioner(
+            db.catalog, 2,
+            shard_keys={"just_under": "k", "just_at": "k"},
+        )
+        assert not part.is_partitioned("just_under")
+        assert part.is_partitioned("just_at")
+        for catalog in part.catalogs:
+            assert catalog.row_count("just_under") == 255
+        assert part.key_of("just_under") is None
+        assert part.key_of("just_at") == ("k", "k")
+
+    def test_ddl_resync_repartitions_under_declared_key(self):
+        """Declaring a key on a live partitioner re-slices the already
+        installed tables (the layout signature changed); without the
+        re-partition, stale row-id slices would satisfy co-location
+        checks they no longer honour."""
+        db = make_db()
+        part = ShardPartitioner(db.catalog, 2, mode="hash")
+        before = [c.bat("fact", "f_key").values.copy()
+                  for c in part.catalogs]
+        versions = [c.version for c in part.catalogs]
+        part.declare_key("fact", "f_key")
+        part.declare_key("dim", "d_key")
+        assert part.co_located(("fact", "f_key"), ("dim", "d_key"))
+        after = [c.bat("fact", "f_key").values for c in part.catalogs]
+        assert any(
+            a.shape != b.shape or not np.array_equal(a, b)
+            for a, b in zip(before, after)
+        )
+        for catalog, version in zip(part.catalogs, versions):
+            assert catalog.version > version
+        ids = hash_placement(after[0], 2) if len(after[0]) else []
+        assert all(i == 0 for i in ids)
+
+    def test_range_domain_bounds_are_shared(self):
+        """Range-mode bands come from the union of every member table's
+        key range, so the tables agree even when one side's keys span a
+        subset of the other's."""
+        rng = np.random.default_rng(5)
+        db = repro.Database()
+        db.create_table("wide", {
+            "k": np.arange(1000, dtype=np.int32),
+        })
+        db.create_table("narrow", {
+            "k": rng.integers(400, 600, 500).astype(np.int32),
+        })
+        part = ShardPartitioner(
+            db.catalog, 4, mode="range",
+            shard_keys={"wide": "k", "narrow": "k"},
+        )
+        assert part.domains["k"] == (0.0, 999.0)
+        for catalog in part.catalogs:
+            w = set(catalog.bat("wide", "k").values.tolist())
+            n = set(catalog.bat("narrow", "k").values.tolist())
+            assert n <= w
+
+    def test_catalog_declaration_validates_the_column(self):
+        db = make_db()
+        with pytest.raises(KeyError):
+            db.declare_shard_key("fact", "nope")
+        with pytest.raises(KeyError):
+            db.declare_shard_key("ghost", "k")
+
+    def test_unknown_key_column_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError, match="no such column"):
+            ShardPartitioner(db.catalog, 2, shard_keys={"fact": "zz"})
+
+
+class TestJoinStrategies:
+    def test_colocated_join_moves_zero_join_bytes(self):
+        db = make_db()
+        expected = db.connect("MS").execute(JOIN_SQL)
+        con = db.connect("SHARD:3xMS,key=fact.f_key,key=dim.d_key")
+        got = con.execute(JOIN_SQL)
+        assert_results_equal(expected, got, rtol=1e-5)
+        assert con.backend._trace == [("algebra.join", JOIN_COLOCATED)]
+        traffic = con.interconnect.query
+        assert traffic.bytes_shuffled == 0
+        # only the ngroups-wide grouped-aggregate merge remains
+        assert traffic.bytes_broadcast < 10_000
+
+    def test_shuffle_beats_broadcast_on_bytes(self):
+        # a selective filter on the probe side, as in the TPC-H join
+        # workload — the shuffle then moves a few hundred (key, oid)
+        # pairs where the broadcast re-distributes whole columns
+        sql = ("SELECT g, sum(v * w) AS s FROM fact "
+               "JOIN dim ON f_key = d_key WHERE v < 0.2 "
+               "GROUP BY g ORDER BY g")
+        db = make_db()
+        expected = db.connect("MS").execute(sql)
+        broadcast = db.connect("SHARD:3xMS,join=broadcast")
+        rb = broadcast.execute(sql)
+        shuffle = db.connect("SHARD:3xMS")
+        rs = shuffle.execute(sql)
+        assert_results_equal(expected, rb, rtol=1e-5)
+        assert_results_equal(expected, rs, rtol=1e-5)
+        assert broadcast.backend._trace == [
+            ("algebra.join", JOIN_BROADCAST)
+        ]
+        assert shuffle.backend._trace == [
+            ("algebra.join", JOIN_SHUFFLE_BOTH)
+        ]
+        tb = broadcast.interconnect.query
+        ts = shuffle.interconnect.query
+        assert ts.bytes_total < tb.bytes_total
+        assert ts.bytes_broadcast < tb.bytes_broadcast
+        assert ts.bytes_shuffled > 0 and tb.bytes_shuffled == 0
+
+    def test_one_aligned_side_shuffles_only_the_other(self):
+        db = make_db()
+        expected = db.connect("MS").execute(JOIN_SQL)
+        con = db.connect("SHARD:3xMS,key=fact.f_key")
+        got = con.execute(JOIN_SQL)
+        assert_results_equal(expected, got, rtol=1e-5)
+        assert con.backend._trace == [
+            ("algebra.join", "shuffle-right")
+        ]
+
+    def test_traffic_counters_accumulate_and_reset(self):
+        db = make_db()
+        con = db.connect("SHARD:2xMS,join=broadcast")
+        con.execute(JOIN_SQL)
+        first = con.interconnect.query.bytes_total
+        total1 = con.interconnect.total.bytes_total
+        assert first > 0 and total1 >= first
+        con.execute("SELECT sum(v) AS s FROM fact")
+        assert con.interconnect.query.bytes_broadcast == 0
+        assert con.interconnect.total.bytes_total > total1
+
+    def test_single_node_engines_report_no_traffic(self):
+        db = make_db()
+        assert db.connect("MS").interconnect is None
+
+    def test_shard_shuffle_operator(self):
+        """``shard.shuffle`` is a first-class backend operator: it
+        re-partitions a column by value and returns the origin
+        positions of every shuffled row."""
+        db = make_db()
+        con = db.connect("SHARD:3xMS")
+        backend = con.backend
+        backend.begin()
+        bind = backend.resolve("sql.bind")
+        from repro.monetdb.mal import ColumnRef
+
+        column = bind(ColumnRef("fact", "f_key"))
+        shuffled, oids = backend.resolve("shard.shuffle")(column)
+        assert shuffled.partitioned and oids.remote_oids
+        assert backend.supports("shard.shuffle")
+        # shard-to-shard moves were charged
+        assert backend.traffic.query.bytes_shuffled > 0
+        parent = db.catalog.bat("fact", "f_key").values
+        merged = np.concatenate([
+            np.asarray(backend._host_values(s, p))
+            for s, p in enumerate(shuffled.parts)
+        ])
+        np.testing.assert_array_equal(np.sort(merged), np.sort(parent))
+        # the oids map every shuffled row back to its source position
+        concat = np.concatenate([
+            np.asarray(backend._host_values(s, p))
+            for s, p in enumerate(column.parts)
+        ])
+        goids = np.concatenate([
+            np.asarray(backend._host_values(s, p))
+            for s, p in enumerate(oids.parts)
+        ]).astype(np.int64)
+        np.testing.assert_array_equal(concat[goids], merged)
+
+    def test_thetajoin_still_broadcasts(self):
+        db = make_db()
+        sql = ("SELECT count(*) AS n FROM fact JOIN dim ON f_key = d_key "
+               "WHERE v < w")
+        expected = db.connect("MS").execute(sql)
+        con = db.connect("SHARD:2xMS,key=fact.f_key,key=dim.d_key")
+        got = con.execute(sql)
+        assert_results_equal(expected, got, rtol=0)
+
+
+class TestKeyInference:
+    def test_infer_adopts_keys_and_second_run_colocates(self):
+        db = make_db()
+        expected = db.connect("MS").execute(JOIN_SQL)
+        con = db.connect("SHARD:3xMS,keys=infer")
+        first = con.execute(JOIN_SQL)
+        assert_results_equal(expected, first, rtol=1e-5)
+        assert con.backend._trace[0][1] != JOIN_COLOCATED
+        assert con.backend.partitioner.co_located(
+            ("fact", "f_key"), ("dim", "d_key")
+        )
+        second = con.execute(JOIN_SQL)
+        assert_results_equal(expected, second, rtol=1e-5)
+        assert con.backend._trace == [("algebra.join", JOIN_COLOCATED)]
+        assert con.interconnect.query.bytes_shuffled == 0
+
+    def test_adoption_bumps_schema_version_and_recompiles(self):
+        db = make_db()
+        con = db.connect("SHARD:2xMS,keys=infer")
+        version = db.catalog.version
+        misses = con.plan_cache.stats.misses
+        con.execute(JOIN_SQL)
+        assert db.catalog.version > version
+        con.execute(JOIN_SQL)       # old plan invalidated: a fresh miss
+        assert con.plan_cache.stats.misses == misses + 2
+
+    def test_adoption_happens_once(self):
+        db = make_db()
+        con = db.connect("SHARD:2xMS,keys=infer")
+        con.execute(JOIN_SQL)
+        version = db.catalog.version
+        con.execute(JOIN_SQL)
+        con.execute(JOIN_SQL)
+        assert db.catalog.version == version
+
+    def test_keys_off_ignores_declarations(self):
+        db = make_db()
+        db.declare_shard_key("fact", "f_key")
+        db.declare_shard_key("dim", "d_key")
+        expected = db.connect("MS").execute(JOIN_SQL)
+        con = db.connect("SHARD:2xMS,keys=off")
+        got = con.execute(JOIN_SQL)
+        assert_results_equal(expected, got, rtol=1e-5)
+        assert con.backend._trace[0][1] != JOIN_COLOCATED
+        assert con.backend.partitioner.key_of("fact") is None
+
+
+class TestStrategyReplay:
+    def test_repeat_query_replays_the_strategy(self):
+        db = make_db()
+        con = db.connect("SHARD:2xMS,key=fact.f_key,key=dim.d_key")
+        con.execute(JOIN_SQL)
+        reuses = con.plan_cache.stats.placement_reuses
+        con.execute(JOIN_SQL)
+        assert con.plan_cache.stats.placement_reuses == reuses + 1
+        assert con.backend._trace == [("algebra.join", JOIN_COLOCATED)]
+
+    def test_ddl_invalidates_the_memoised_strategy(self):
+        db = make_db()
+        con = db.connect("SHARD:2xMS,key=fact.f_key,key=dim.d_key")
+        con.execute(JOIN_SQL)
+        misses = con.plan_cache.stats.misses
+        db.create_table("other", {"z": np.arange(4, dtype=np.int32)})
+        con.execute(JOIN_SQL)       # recompiled, strategy re-planned
+        assert con.plan_cache.stats.misses == misses + 1
+        reuses = con.plan_cache.stats.placement_reuses
+        con.execute(JOIN_SQL)       # and memoised again
+        assert con.plan_cache.stats.placement_reuses == reuses + 1
+
+    def test_stale_trace_is_sanity_checked(self):
+        """A replayed decision that no longer matches the layout plans
+        fresh instead of mis-executing (belt and braces: the plan-cache
+        key already prevents this via the schema version)."""
+        db = make_db()
+        con = db.connect("SHARD:2xMS,key=fact.f_key,key=dim.d_key")
+        con.execute(JOIN_SQL)
+        backend = con.backend
+        backend.install_replay([("algebra.join", "shuffle-right"),
+                                ("algebra.join", JOIN_COLOCATED)])
+        expected = db.connect("MS").execute(JOIN_SQL)
+        got = con.execute(JOIN_SQL)
+        assert_results_equal(expected, got, rtol=1e-5)
+
+
+class TestStaleLayoutRegression:
+    """Satellite: no cached layout or broadcast may survive DDL.
+
+    ``ShardedValue._gathered`` broadcasts are per-value and die with
+    the query run, so they cannot leak across queries; the *real*
+    cross-DDL hazard was the partitioner's sync skipping tables it had
+    already installed — a key declared after first contact would leave
+    row-id slices behind while ``co_located`` started saying yes.
+    These tests pin the fixed behaviour end to end."""
+
+    def test_key_declared_on_live_connection_repartitions(self):
+        db = make_db()
+        con = db.connect("SHARD:2xMS")
+        expected = db.connect("MS").execute(JOIN_SQL)
+        assert_results_equal(expected, con.execute(JOIN_SQL), rtol=1e-5)
+        # DDL while the sharded backend is live and warm
+        db.declare_shard_key("fact", "f_key")
+        db.declare_shard_key("dim", "d_key")
+        got = con.execute(JOIN_SQL)
+        assert_results_equal(expected, got, rtol=1e-5)
+        assert con.backend._trace == [("algebra.join", JOIN_COLOCATED)]
+        # the shard slices really are keyed now, not stale row-id runs
+        part = con.backend.partitioner
+        for catalog in part.catalogs:
+            fact_keys = set(catalog.bat("fact", "f_key").values.tolist())
+            dim_keys = set(catalog.bat("dim", "d_key").values.tolist())
+            assert fact_keys <= dim_keys
+
+    def test_drop_and_recreate_does_not_reuse_old_broadcast(self):
+        db = make_db(n_dim=600)
+        con = db.connect("SHARD:2xMS,join=broadcast")
+        first = con.execute(JOIN_SQL)
+        rng = np.random.default_rng(99)
+        db.drop_table("dim")
+        db.create_table("dim", {
+            "d_key": np.arange(600, dtype=np.int32),
+            "w": rng.random(600).astype(np.float32),
+            "pad": np.zeros(600, dtype=np.int32),
+        })
+        expected = db.connect("MS").execute(JOIN_SQL)
+        got = con.execute(JOIN_SQL)
+        assert_results_equal(expected, got, rtol=1e-5)
+        assert not np.allclose(
+            got.column("s"), first.column("s"), rtol=1e-5
+        )
+
+    def test_domain_widening_ddl_repartitions_members(self):
+        """Range mode: a new table joining a key domain widens its
+        bounds; existing member tables must re-slice to the new bands
+        or co-location would silently mis-join."""
+        db = make_db()
+        db.declare_shard_key("fact", "f_key")
+        db.declare_shard_key("dim", "d_key")
+        con = db.connect("SHARD:2xMS")
+        expected = db.connect("MS").execute(JOIN_SQL)
+        assert_results_equal(expected, con.execute(JOIN_SQL), rtol=1e-5)
+        # a third table in the same domain, with a far wider key range
+        db.create_table("extra", {
+            "xk": np.arange(0, 60_000, 10, dtype=np.int32),
+        })
+        db.declare_shard_key("extra", "xk", domain="d_key")
+        part = con.backend.partitioner
+        assert part.domains["d_key"] == (0.0, 59_990.0)
+        got = con.execute(JOIN_SQL)
+        assert_results_equal(expected, got, rtol=1e-5)
+        assert con.backend._trace == [("algebra.join", JOIN_COLOCATED)]
+
+
+class TestTPCHKeyModes:
+    """The acceptance matrix: every TPC-H query matches single-node
+    results with shard keys declared, inferred, and absent, on range
+    and hash partitioning."""
+
+    FAST = ("Q3", "Q12")
+
+    @pytest.fixture(scope="class")
+    def tpch(self):
+        return repro.tpch_database(sf=1)
+
+    SPECS = (
+        "SHARD:2xMS,join=broadcast",
+        "SHARD:2xMS",
+        "SHARD:2xMS,hash",
+        "SHARD:2xMS,key=lineitem.l_orderkey,key=orders.o_orderkey",
+        "SHARD:2xMS,hash,key=lineitem.l_orderkey,key=orders.o_orderkey",
+        "SHARD:2xMS,keys=infer",
+    )
+
+    def _check(self, tpch, spec, query):
+        from repro.tpch import WORKLOAD
+
+        expected = tpch.connect("MS").execute(WORKLOAD[query], name=query)
+        got = tpch.connect(spec).execute(WORKLOAD[query], name=query)
+        assert set(expected.columns) == set(got.columns)
+        for column in expected.columns:
+            np.testing.assert_allclose(
+                got.columns[column].astype(np.float64),
+                expected.columns[column].astype(np.float64),
+                rtol=1e-5, atol=1e-8, err_msg=f"{spec} {query} {column}",
+            )
+
+    @pytest.mark.parametrize("spec", SPECS)
+    @pytest.mark.parametrize("query", FAST)
+    def test_join_queries_fast(self, tpch, spec, query):
+        self._check(tpch, spec, query)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("spec", SPECS)
+    @pytest.mark.parametrize("query", [
+        "Q1", "Q4", "Q5", "Q6", "Q7", "Q8", "Q10", "Q11", "Q15",
+        "Q17", "Q19", "Q21",
+    ])
+    def test_whole_workload(self, tpch, spec, query):
+        self._check(tpch, spec, query)
