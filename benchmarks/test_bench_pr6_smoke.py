@@ -1,0 +1,68 @@
+"""PR 6 perf smoke: morsel-driven vs whole-column execution, fast.
+
+Not a paper figure and *not* marked slow: this module runs in the fast
+tier-1 loop so every push records the morsel trade-off — simulated Q1
+milliseconds plus the peak nominal intermediate bytes on the CPU device
+— into the machine-readable benchmark report (``REPRO_BENCH_JSON``,
+archived by CI as ``BENCH_PR6.json``).
+
+The interesting series is the memory one: streaming 4096-row morsels
+through Q1's pipeline must peak at least 3x below the whole-column run
+(the PR's acceptance bar).  Simulated *time* is allowed to pay for the
+extra kernel launches — at mini-scale a cache-sized morsel is a large
+fraction of the whole table, so the launch overhead is proportionally
+exaggerated — but stays within a small constant factor.
+"""
+
+import pytest
+
+import repro
+from conftest import emit
+from repro.bench.harness import Measurement, Series
+from repro.tpch import WORKLOAD
+
+MORSEL_SIZE = 4096
+SF = 0.5
+
+
+@pytest.fixture(autouse=True)
+def _morsel_default(monkeypatch):
+    """The A/B below sets the switch per spec; neutralise the CI job's
+    global REPRO_MORSEL so both sides mean what their spec says."""
+    monkeypatch.delenv("REPRO_MORSEL", raising=False)
+
+
+def _measure(spec: str):
+    db = repro.tpch_database(sf=SF)
+    con = db.connect(spec)
+    con.execute(WORKLOAD["Q1"], name="Q1")     # warm device + plan caches
+    result = con.execute(WORKLOAD["Q1"], name="Q1")
+    peak = con.backend.engine.memory.stats.intermediate_bytes_peak
+    db.close()
+    return result.elapsed * 1e3, peak
+
+
+def test_q1_morsel_smoke():
+    off_ms, off_peak = _measure("CPU:morsel=off")
+    on_ms, on_peak = _measure(f"CPU:morsel={MORSEL_SIZE}")
+    series = Series(
+        name=f"pr6 smoke: Q1 on CPU, sf={SF}",
+        x_label="mode",
+        labels=("whole-column", "morsel"),
+        points=[
+            Measurement(
+                x="whole-column", millis={"whole-column": off_ms},
+                extra={"peak_intermediate_bytes": off_peak},
+            ),
+            Measurement(
+                x=f"morsel={MORSEL_SIZE}", millis={"morsel": on_ms},
+                extra={"peak_intermediate_bytes": on_peak},
+            ),
+        ],
+    )
+    emit(series)
+    # the acceptance bar: peak intermediate footprint drops >= 3x
+    assert on_peak > 0
+    assert off_peak / on_peak >= 3.0
+    # time pays launch overhead at mini-scale, but boundedly so
+    assert on_ms < 5.0 * off_ms

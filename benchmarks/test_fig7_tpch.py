@@ -25,6 +25,20 @@ pytestmark = pytest.mark.slow
 HASH_HEAVY = ("Q10", "Q11", "Q17", "Q21")
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _whole_column_engines():
+    """The figures reproduce the paper's 2013 engines, which executed
+    whole-column: pin the morsel pass off so the asserted shapes stay
+    the paper's (at mini-scale a fixed morsel grid crosses the
+    one-morsel boundary between scale factors, bending fig. 7d's
+    linearity).  The morsel trade-off is measured separately by
+    ``test_bench_pr6_smoke.py`` and the ``tests/morsel`` suite."""
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv("REPRO_MORSEL", "off")
+    yield
+    patcher.undo()
+
+
 @pytest.fixture(scope="module")
 def sf1():
     return tpch_queries(sf=1, runs=2)

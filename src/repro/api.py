@@ -159,22 +159,29 @@ class Connection:
         return run_program(plan, self.backend)
 
     def explain(self, sql: str, name: str = "query",
-                no_fuse: bool = False) -> str:
+                no_fuse: bool = False, no_morsel: bool = False) -> str:
         """The optimized MAL plan this connection would execute.
 
         Served through the plan cache — explaining a statement and then
         executing it compiles once, and ``explain`` after ``execute`` is
         a cache hit showing exactly the cached plan.  Fused regions
         render as ``fuse.pipe`` (``ocelot.pipe`` after the rewriter)
-        with their expression trees inlined; pass ``no_fuse=True`` for
-        the comparison plan compiled with the fusion pass disabled
-        (cached separately, so the two plans coexist)."""
+        with their expression trees inlined, and morsel regions as
+        ``morsel.run`` with the region boundary (driving table, morsel
+        size, member chain, escaping outputs) inlined.  Pass
+        ``no_fuse=True`` / ``no_morsel=True`` for the comparison plans
+        compiled with the respective pass disabled (cached separately,
+        so the plans coexist)."""
         self._check_open()
         config = self.config
-        if no_fuse and config.fusion:
+        if (no_fuse and config.fusion) or (no_morsel and config.morsel):
             from dataclasses import replace
 
-            config = replace(config, fusion=False)
+            config = replace(
+                config,
+                fusion=config.fusion and not no_fuse,
+                morsel=config.morsel and not no_morsel,
+            )
         entry = self.plan_cache.lookup(
             sql, config, self.database.schema, name=name
         )

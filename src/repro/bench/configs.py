@@ -21,10 +21,12 @@ from collections.abc import Mapping
 
 from ..engines import (
     FUSION_OFF,
+    MORSEL_PARAM,
     EngineConfig,
     EngineFamily,
     EngineSpec,
     default_registry,
+    parse_morsel_setting,
     register_engine,
 )
 from ..monetdb.backends import MonetDBParallel, MonetDBSequential
@@ -45,9 +47,12 @@ def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
 
     Every family accepts the ``fusion=off`` flag (e.g.
     ``"CPU:fusion=off"``) for A/B comparison against the operator-fusion
-    pass; see :mod:`repro.fuse`."""
+    pass (see :mod:`repro.fuse`) and the ``morsel=off`` /
+    ``morsel=<rows>`` parameter controlling morsel-driven execution
+    (see :mod:`repro.morsel`)."""
 
     def configure(spec: EngineSpec, registry) -> EngineConfig:
+        morsel, morsel_size = parse_morsel_setting(spec)
         return EngineConfig(
             label=name,
             make=make,
@@ -55,12 +60,15 @@ def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
             description=description,
             pipelines_sessions=pipelines_sessions,
             fusion=FUSION_OFF not in spec.flags,
+            morsel=morsel,
+            morsel_size=morsel_size,
             spec=spec.canonical,
         )
 
     return EngineFamily(name=name, configure=configure,
                         description=description, syntax=name,
-                        allowed_flags=frozenset({FUSION_OFF}))
+                        allowed_flags=frozenset({FUSION_OFF}),
+                        allowed_params=frozenset({MORSEL_PARAM}))
 
 
 register_engine(_simple_family(

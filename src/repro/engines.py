@@ -56,6 +56,43 @@ class EngineSpecError(ValueError):
 #: one engine instance (A/B comparison), e.g. ``"CPU:fusion=off"``
 FUSION_OFF = "fusion=off"
 
+#: the spec parameter every family accepts to control morsel-driven
+#: execution: ``morsel=off`` restores the whole-column path for one
+#: engine instance, ``morsel=<rows>`` tunes the morsel size, e.g.
+#: ``"CPU:morsel=off"`` or ``"HET:morsel=4096"``.  The ``REPRO_MORSEL``
+#: environment variable additionally gates/tunes it globally.
+MORSEL_PARAM = "morsel"
+
+_MORSEL_OFF_WORDS = ("off", "0", "false", "no")
+
+
+def parse_morsel_setting(spec: EngineSpec) -> tuple[bool, int]:
+    """``(enabled, size)`` from a spec's ``morsel=`` parameters.
+
+    ``size == 0`` means "the default" (:data:`repro.morsel.passes
+    .DEFAULT_MORSEL_SIZE`, unless ``REPRO_MORSEL`` overrides it).
+    Raises :class:`EngineSpecError` for malformed or conflicting values.
+    """
+    values = spec.param_values(MORSEL_PARAM)
+    if not values:
+        return True, 0
+    if len(values) > 1:
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: conflicting morsel= values "
+            f"{values!r}"
+        )
+    value = values[0]
+    if value in _MORSEL_OFF_WORDS:
+        return False, 0
+    if value == "on":
+        return True, 0
+    if value.isdigit() and int(value) > 0:
+        return True, int(value)
+    raise EngineSpecError(
+        f"engine spec {spec.canonical!r}: morsel= takes 'off', 'on' or a "
+        f"positive row count, got {value!r}"
+    )
+
 
 @dataclass(frozen=True)
 class EngineSpec:
@@ -103,6 +140,13 @@ class EngineConfig:
     #: (the ``fusion=off`` spec flag clears it; the ``REPRO_FUSION``
     #: environment variable additionally gates it globally)
     fusion: bool = True
+    #: whether the morsel pass runs for this engine instance (the
+    #: ``morsel=off`` spec parameter clears it; the ``REPRO_MORSEL``
+    #: environment variable additionally gates it globally)
+    morsel: bool = True
+    #: morsel size from the ``morsel=<rows>`` spec parameter; 0 means
+    #: the default (``REPRO_MORSEL=<rows>`` overrides either)
+    morsel_size: int = 0
     #: canonical engine spec; defaults to ``label`` for parameterless
     #: families (set via ``__post_init__`` to keep the dataclass frozen)
     spec: str = ""
@@ -118,16 +162,34 @@ class EngineConfig:
 
         return self.fusion and fusion_enabled()
 
+    @property
+    def morsels(self) -> bool:
+        """Whether :meth:`plan` will run the morsel pass."""
+        from .morsel import morsel_enabled
+
+        return self.morsel and morsel_enabled()
+
+    def effective_morsel_size(self) -> int:
+        """Rows per morsel: ``REPRO_MORSEL=<rows>`` > spec > default."""
+        from .morsel import DEFAULT_MORSEL_SIZE, env_morsel_size
+
+        return (env_morsel_size()
+                or self.morsel_size
+                or DEFAULT_MORSEL_SIZE)
+
     def plan(self, program: MALProgram) -> MALProgram:
         """Optimizer pipeline for this configuration.
 
         Runs the operator-fusion pass (unless disabled for this engine
         or globally), then — for Ocelot engines — the Ocelot rewriter,
         which reroutes ``fuse.pipe`` to ``ocelot.pipe`` alongside the
-        ordinary module swaps.  Deterministic per (program, engine,
-        fusion switch) — the serve layer's plan cache memoises its
-        output keyed by SQL text, canonical engine spec, schema version
-        and the effective fusion switch (see
+        ordinary module swaps, and finally the morsel pass, which
+        collapses pipelined regions (in whichever operator vocabulary
+        the earlier passes left behind) into ``morsel.run``
+        instructions.  Deterministic per (program, engine, fusion
+        switch, morsel switch) — the serve layer's plan cache memoises
+        its output keyed by SQL text, canonical engine spec, schema
+        version and both effective switches (see
         :mod:`repro.serve.plancache`).
         """
         if self.fuses:
@@ -137,7 +199,13 @@ class EngineConfig:
         if self.is_ocelot:
             from .ocelot.rewriter import rewrite_for_ocelot
 
-            return rewrite_for_ocelot(program)
+            program = rewrite_for_ocelot(program)
+        if self.morsels:
+            from .morsel import morselize_program
+
+            program = morselize_program(
+                program, size=self.effective_morsel_size()
+            )
         return program
 
 
@@ -336,10 +404,17 @@ def engines() -> list[EngineFamily]:
 
 def engine_table_markdown() -> str:
     """The README's engine table, generated from registry descriptions."""
-    rows = ["| Engine | What it is |", "|--------|------------|"]
+    rows = [
+        "| Engine | What it is | Options |",
+        "|--------|------------|---------|",
+    ]
     for family in engines():
         syntax = family.syntax or family.name
-        rows.append(f"| `{syntax}` | {family.description} |")
+        options = sorted(family.allowed_flags) + [
+            f"{name}=…" for name in sorted(family.allowed_params)
+        ]
+        cell = ", ".join(f"`{o}`" for o in options) or "—"
+        rows.append(f"| `{syntax}` | {family.description} | {cell} |")
     return "\n".join(rows)
 
 

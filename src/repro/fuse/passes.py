@@ -312,5 +312,16 @@ def _build_pipe(members, total_uses, result_vars):
 
 
 def count_pipes(program: MALProgram) -> int:
-    """Number of fused instructions in a plan (test helper)."""
-    return sum(1 for i in program.instructions if i.op == "fuse.pipe")
+    """Number of fused instructions in a plan (test helper).
+
+    Counts top-level ``fuse.pipe`` instructions plus any absorbed into
+    ``morsel.run`` regions by the later morsel pass (a pipe inside a
+    region is still one fused kernel launch per morsel)."""
+    count = sum(1 for i in program.instructions if i.op == "fuse.pipe")
+    for instruction in program.instructions:
+        if instruction.op == "morsel.run":
+            spec = instruction.args[0]
+            count += sum(
+                1 for member in spec.members if member.op == "fuse.pipe"
+            )
+    return count

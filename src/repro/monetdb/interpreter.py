@@ -14,12 +14,13 @@ blocks at ``sync`` points, §3.4).
 from __future__ import annotations
 
 import abc
+import contextlib
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-from .bat import BAT
+from .bat import BAT, Role
 from .mal import MALProgram, Var
 from .storage import Catalog
 
@@ -136,9 +137,71 @@ class Backend(abc.ABC):
         the default drops non-base BATs through the catalog's recycle
         callbacks (which the Ocelot Memory Managers subscribe to).
         """
-        for value in intermediates:
+        self.release_intermediates(intermediates)
+
+    def release_intermediates(self, values) -> None:
+        """Recycle values whose last consumer has run.
+
+        The interpreter's liveness pass and the morsel executor call
+        this as soon as a variable goes dead — mid-query — instead of
+        waiting for :meth:`end_of_query`.  The default mirrors the
+        end-of-query recycling (non-base BATs through the catalog's
+        recycle callbacks, which is idempotent); backends whose values
+        are consumed lazily after their last static use (the sharded
+        engine's grouped partials) override this with a no-op.
+        """
+        for value in values:
             if isinstance(value, BAT) and not value.is_base:
                 self.catalog.notify_recycled(value)
+
+    # -- morsel-driven execution -------------------------------------------------
+
+    def morsel_runner(self, spec, inputs):
+        """Build the executor for one ``morsel.run`` instruction.
+
+        The default streams oid-range slices through the region (see
+        :class:`repro.morsel.run.MorselRun`); backends whose values are
+        not plain host BATs run the region whole-column instead."""
+        from ..morsel.run import MorselRun
+
+        return MorselRun(self, spec, inputs)
+
+    def morsel_scope(self):
+        """Context manager entered around each morsel of a region.
+
+        The heterogeneous scheduler pins every dispatch inside the scope
+        to the least-loaded device, making the morsel its work-stealing
+        unit; plain backends need no scoping."""
+        return contextlib.nullcontext()
+
+    def slice_base(self, bat: BAT, lo: int, hi: int) -> BAT:
+        """Cached view of rows ``[lo, hi)`` of a host-resident BAT.
+
+        Mirrors the heterogeneous pool's ``slice_bat`` (which the HET
+        backend delegates to, sharing its device-placement cache): the
+        full range returns the BAT itself, and a slice of a persistent
+        column counts as base storage like the column."""
+        if lo == 0 and hi == bat.count:
+            return bat
+        cache = getattr(self, "_slice_cache", None)
+        if cache is None:
+            cache = self._slice_cache = {}
+        key = (bat.bat_id, lo, hi)
+        sliced = cache.get(key)
+        if sliced is None:
+            values = bat.peek_values()
+            if values is None:
+                raise ValueError(f"cannot slice device-only BAT {bat.tag!r}")
+            sliced = BAT(
+                values[lo:hi],
+                Role.VALUES,
+                key=bat.key,
+                sorted_=bat.sorted,
+                tag=f"{bat.tag}[{lo}:{hi}]",
+            )
+            sliced.is_base = bat.is_base
+            cache[key] = sliced
+        return sliced
 
     # -- optional feature: placement replay (replays_placements) -----------------
 
@@ -182,6 +245,9 @@ class Backend(abc.ABC):
         Stateless backends need nothing (they read the catalog on every
         bind); backends holding derived schema state — e.g. the sharded
         engine's per-shard catalogs — resynchronise here."""
+        cache = getattr(self, "_slice_cache", None)
+        if cache:
+            cache.clear()
 
     def shutdown(self) -> None:
         """Hook: the owning connection closed; release device state."""
@@ -248,6 +314,16 @@ class ProgramRun:
         self.backend = backend
         self.env: dict[str, object] = {}
         self._pc = 0
+        self._morsel_run = None
+        # liveness: a variable dies after its last static use; result
+        # columns stay live until collection
+        result_vars = {var.name for _, var in program.result_columns}
+        self._dies_at: dict[str, int] = {}
+        for index, instruction in enumerate(program.instructions):
+            for arg in instruction.var_args():
+                if arg.name not in result_vars:
+                    self._dies_at[arg.name] = index
+        self._released: set[str] = set()
 
     @property
     def done(self) -> bool:
@@ -272,13 +348,25 @@ class ProgramRun:
         return arg
 
     def step(self) -> bool:
-        """Execute the next instruction; returns False when exhausted."""
+        """Execute the next unit of work; returns False when exhausted.
+
+        One unit is one instruction — except for ``morsel.run``, where
+        each step advances the region by a single morsel, so pipelined
+        schedulers interleave queries at morsel granularity."""
         if self.done:
             return False
         instruction = self.program.instructions[self._pc]
+        if instruction.op == "morsel.run":
+            return self._step_morsel(instruction)
         fn = self.backend.resolve(instruction.op)
         args = [self.resolve_arg(a) for a in instruction.args]
         out = fn(*args)
+        self._assign(instruction, out)
+        self._release_dead(self._pc)
+        self._pc += 1
+        return not self.done
+
+    def _assign(self, instruction, out) -> None:
         results = instruction.results
         if len(results) == 1:
             self.env[results[0].name] = out
@@ -290,8 +378,51 @@ class ProgramRun:
                 )
             for var, value in zip(results, out):
                 self.env[var.name] = value
+
+    def _step_morsel(self, instruction) -> bool:
+        """Advance an in-flight morsel region by one morsel."""
+        if self._morsel_run is None:
+            spec = instruction.args[0]
+            inputs = [self.resolve_arg(a) for a in instruction.args[1:]]
+            self._morsel_run = self.backend.morsel_runner(spec, inputs)
+        if self._morsel_run.step():
+            return True
+        outputs = self._morsel_run.outputs
+        self._morsel_run = None
+        self._assign(
+            instruction,
+            outputs if len(instruction.results) != 1 else outputs[0],
+        )
+        self._release_dead(self._pc)
         self._pc += 1
         return not self.done
+
+    def _release_dead(self, index: int) -> None:
+        """Recycle every variable whose last static use just ran."""
+        dying = [
+            name for name, death in self._dies_at.items()
+            if death == index and name not in self._released
+            and name in self.env
+        ]
+        if not dying:
+            return
+        self._released.update(dying)
+        live = [
+            value for name, value in self.env.items()
+            if name not in self._released
+        ]
+        dead = []
+        for name in dying:
+            # dead names leave the environment so end-of-query recycling
+            # never re-notifies what was already released here
+            value = self.env.pop(name)
+            # an alias may still be live under another name (``sync``
+            # returns its argument): never release a live object
+            if any(value is alive for alive in live):
+                continue
+            dead.append(value)
+        if dead:
+            self.backend.release_intermediates(dead)
 
     def run(self) -> None:
         while self.step():

@@ -67,6 +67,8 @@ class CacheEntry:
     bat_id: int | None = None             # for BASE entries
     bat: BAT | None = None                # the BAT carrying ``device_ref``
     free_pending: bool = False            # released while pinned elsewhere
+    intermediate: bool = False            # counted in intermediates stats
+    counted_nbytes: int = 0               # nominal bytes counted as such
 
     @property
     def resident(self) -> bool:
@@ -90,9 +92,16 @@ class MemoryManagerStats:
     #: the per-operator materialisation traffic that operator fusion
     #: (repro.fuse) eliminates; base-column uploads are not counted
     intermediates_allocated: int = 0
-    #: of those, buffers already freed before their operator's scope
-    #: closed (pure scratch: histograms, partial tables, staging)
+    #: intermediate buffers freed again — anywhere between allocation
+    #: and connection shutdown; the morsel executor's last-use release
+    #: (repro.morsel) shows up here, as does within-scope scratch
     intermediates_freed: int = 0
+    #: nominal bytes currently held by intermediate buffers, and the
+    #: high-water mark — the "peak intermediate footprint" that
+    #: morsel-driven execution keeps morsel-sized instead of
+    #: column-sized
+    intermediate_bytes: int = 0
+    intermediate_bytes_peak: int = 0
 
 
 class MemoryManager:
@@ -252,8 +261,16 @@ class MemoryManager:
         if self._scope_allocs and kind is not BufferKind.BASE:
             # an operator allocated working storage: this is exactly the
             # per-operator materialisation traffic fusion eliminates
+            # (and morsel-driven execution keeps morsel-sized)
             self.stats.intermediates_allocated += 1
             self._scope_allocs[-1].add(entry.entry_id)
+            entry.intermediate = True
+            entry.counted_nbytes = buffer.nominal_nbytes
+            self.stats.intermediate_bytes += entry.counted_nbytes
+            if self.stats.intermediate_bytes > self.stats.intermediate_bytes_peak:
+                self.stats.intermediate_bytes_peak = (
+                    self.stats.intermediate_bytes
+                )
         self._scope_pin(buffer)
         return buffer
 
@@ -307,11 +324,16 @@ class MemoryManager:
 
     def _free_entry(self, entry: CacheEntry) -> None:
         """Unconditionally drop an entry and its device storage."""
+        if entry.intermediate:
+            # counted at allocation; the free may happen inside the
+            # allocating scope (scratch), at a later last use (liveness
+            # release, morsel streaming) or at end of query
+            entry.intermediate = False
+            self.stats.intermediates_freed += 1
+            self.stats.intermediate_bytes -= entry.counted_nbytes
         for frame in self._scope_allocs:
             if entry.entry_id in frame:
-                # allocated and freed within one operator scope: scratch
                 frame.discard(entry.entry_id)
-                self.stats.intermediates_freed += 1
                 break
         buffer = entry.buffer
         self._entries.pop(entry.entry_id, None)
@@ -448,6 +470,17 @@ class MemoryManager:
         new_entry.host_copy = None
         if entry.bat_id is not None:
             self._bat_entries[entry.bat_id] = new_entry.entry_id
+        if entry.intermediate:
+            # the restored content is the *same* intermediate, not a new
+            # one: hand the accounting to the fresh entry instead of
+            # counting it twice (allocate() above may have re-counted it
+            # when the restore ran inside an operator scope)
+            entry.intermediate = False
+            if new_entry.intermediate:
+                self.stats.intermediates_allocated -= 1
+                self.stats.intermediate_bytes -= new_entry.counted_nbytes
+            new_entry.intermediate = True
+            new_entry.counted_nbytes = entry.counted_nbytes
         self._entries.pop(entry.entry_id, None)
         # linked (non-BASE) BATs carried a direct device_ref before the
         # offload; re-attach it.  BASE copies never hold one — a cached
@@ -516,15 +549,21 @@ class MemoryManager:
         """
         entry_id = self._bat_entries.pop(bat.bat_id, None)
         if entry_id is not None:
-            entry = self._entries.pop(entry_id, None)
-            if entry is not None and entry.resident:
-                self._buffer_entries.pop(entry.buffer.buffer_id, None)
-                entry.buffer.release()
+            entry = self._entries.get(entry_id)
+            if entry is not None:
+                # through _free_entry so intermediate accounting (bytes,
+                # freed counter) is settled — this is the path every
+                # catalog-recycle release takes
+                self._free_entry(entry)
         ref = bat.device_ref
         if ref is not None and not ref.released \
                 and ref.context is self.context:
-            self._buffer_entries.pop(ref.buffer_id, None)
-            ref.release()
+            entry = self._entry_for_buffer(ref)
+            if entry is not None:
+                self._free_entry(entry)
+            else:
+                self._buffer_entries.pop(ref.buffer_id, None)
+                ref.release()
             bat.device_ref = None
         # Operator-attached auxiliaries (e.g. a bitmap's materialised
         # oids) owned here; a foreign aux stays for its own manager.

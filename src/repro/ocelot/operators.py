@@ -523,30 +523,35 @@ def _sorted_group_ids(engine: OcelotEngine, b: BAT, n: int):
     return gids, ngroups
 
 
-def op_group(engine: OcelotEngine, b: BAT):
-    n = _count_of(b)
+def _group_id_buffer(engine: OcelotEngine, b: BAT, n: int):
+    """Dense group ids for one column, as a bare device buffer."""
     if b.sorted:
         # algorithm variant: boundary detection beats hashing on sorted
         # inputs (ascending order also matches the dense-id convention)
-        gids, ngroups = _sorted_group_ids(engine, b, n)
-    else:
-        ukeys = _encode_keys(engine, b, n, b.dtype)
-        gids, ngroups = _dense_ids(engine, ukeys, n)
-        engine.release(ukeys)
+        return _sorted_group_ids(engine, b, n)
+    ukeys = _encode_keys(engine, b, n, b.dtype)
+    gids, ngroups = _dense_ids(engine, ukeys, n)
+    engine.release(ukeys)
+    return gids, ngroups
+
+
+def op_group(engine: OcelotEngine, b: BAT):
+    n = _count_of(b)
+    gids, ngroups = _group_id_buffer(engine, b, n)
     return engine.device_bat(gids, Role.VALUES, count=n), ngroups
 
 
 def op_subgroup(engine: OcelotEngine, b: BAT, gids: BAT, ngroups):
     """Multi-column grouping: recursively group the combined ids."""
     n = _count_of(b)
-    inner_bat, n_inner = op_group(engine, b)
+    inner, n_inner = _group_id_buffer(engine, b, n)
     combined = engine.temp(max(n, 1), np.uint32, tag="comb_ids")
     engine.launch(
         "combine_ids", combined, engine.buffer_of(gids),
-        engine.buffer_of(inner_bat), n, max(n_inner, 1),
+        inner, n, max(n_inner, 1),
     )
     out, n_out = _dense_ids(engine, combined, n)
-    engine.release(combined)
+    engine.release(combined, inner)
     return engine.device_bat(out, Role.VALUES, count=n), n_out
 
 

@@ -110,6 +110,9 @@ class HeterogeneousBackend(Backend):
         self._session_states: dict[str, _QueryState] = {}
         self.current_session: str | None = None
         self._pending_replay: list[tuple[str, Placement]] | None = None
+        #: device every dispatch is pinned to while a morsel is in
+        #: flight (``morsel_scope``); None = normal cost placement
+        self._pinned_device: int | None = None
         super().__init__(catalog)
 
     # -- per-query state ------------------------------------------------------
@@ -223,6 +226,16 @@ class HeterogeneousBackend(Backend):
             decision = self.placer.choose(
                 function, args, charged=frozenset(state.overhead_charged)
             )
+        if self._pinned_device is not None:
+            # a morsel is in flight: the whole morsel runs on the device
+            # chosen at scope entry (the morsel, not the operator, is
+            # the stealing unit) — the replay slot above is still
+            # consumed so recorded traces stay aligned
+            decision = Placement(
+                device=self._pinned_device,
+                predicted_s=(decision.predicted_s
+                             if decision.split is None else 0.0),
+            )
         state.trace.append((function, decision))
         if decision.split is not None:
             state.decision_log.append((function, "split"))
@@ -243,6 +256,39 @@ class HeterogeneousBackend(Backend):
         if function in SELECT_FUNCTIONS:
             self._observe_selection(function, args, out)
         return out
+
+    # -- morsel-driven execution --------------------------------------------------
+
+    def morsel_scope(self):
+        """Pin one morsel's dispatches to the least-loaded device.
+
+        Entered by the morsel executor around each oid-range batch: the
+        device whose queue frontier is earliest takes the whole morsel,
+        so a slow device simply claims fewer morsels — work stealing at
+        morsel granularity, replacing per-operator fan-out splits inside
+        pipelined regions (the region's intermediates then stay resident
+        on the executing device)."""
+        import contextlib
+
+        @contextlib.contextmanager
+        def scope():
+            previous = self._pinned_device
+            clocks = [
+                engine.queue.makespan() for engine in self.pool.engines
+            ]
+            self._pinned_device = clocks.index(min(clocks))
+            try:
+                yield self._pinned_device
+            finally:
+                self._pinned_device = previous
+
+        return scope()
+
+    def slice_base(self, bat: BAT, lo: int, hi: int) -> BAT:
+        """Morsel slices share the pool's partition-slice cache, so a
+        slice already resident on a device is recognised by placement
+        and costs no re-upload."""
+        return self.pool.slice_bat(bat, lo, hi)
 
     def _observe_selection(self, function: str, args, result) -> None:
         """Feed the observed selectivity back to the placer's stats.

@@ -9,12 +9,14 @@ device characteristics and the (immutable) base data.  So the whole
 front half of the query lifecycle is cacheable:
 
 * **key** — ``(SQL text, canonical engine spec, program name, schema
-  version, fusion switch)``.  The engine component is :attr:`repro
-  .engines.EngineConfig.spec` — e.g. ``"CPU"`` or ``"SHARD:4xHET"`` —
-  so differently-parameterized instances of one family never share
-  plans; the fusion switch keeps plans compiled with the operator-
-  fusion pass (:mod:`repro.fuse`) apart from ``fusion=off`` /
-  ``REPRO_FUSION=off`` compilations of the same statement.
+  version, fusion switch, morsel switch, morsel size)``.  The engine
+  component is :attr:`repro.engines.EngineConfig.spec` — e.g. ``"CPU"``
+  or ``"SHARD:4xHET"`` — so differently-parameterized instances of one
+  family never share plans; the fusion switch keeps plans compiled with
+  the operator-fusion pass (:mod:`repro.fuse`) apart from
+  ``fusion=off`` / ``REPRO_FUSION=off`` compilations of the same
+  statement, and the morsel components do the same for the morsel pass
+  (:mod:`repro.morsel`, ``morsel=off`` / ``REPRO_MORSEL``).
   The schema version is :attr:`repro.monetdb.storage.Catalog.version`,
   bumped on every DDL statement, so a ``CREATE``/``DROP`` implicitly
   invalidates every plan compiled against the old schema.
@@ -88,14 +90,24 @@ class PlanCache:
         return len(self._entries)
 
     def _key(self, sql: str, config, name: str) -> tuple:
-        # the effective fusion switch (engine flag AND the REPRO_FUSION
-        # environment gate) is part of the identity: a fused and an
-        # unfused compilation of one statement are different plans, and
-        # flipping the environment variable mid-process must not serve
-        # plans compiled under the other setting
+        # the effective fusion and morsel switches (engine settings AND
+        # the REPRO_FUSION / REPRO_MORSEL environment gates) are part of
+        # the identity: a fused and an unfused — or a morselized and a
+        # whole-column — compilation of one statement are different
+        # plans, and flipping an environment variable mid-process must
+        # not serve plans compiled under the other setting.  The morsel
+        # component carries the effective size too, so retuning
+        # ``REPRO_MORSEL=<rows>`` recompiles instead of reusing regions
+        # cut at the old size.
         fused = bool(getattr(config, "fuses", False))
+        morsels = bool(getattr(config, "morsels", False))
+        morsel_size = (
+            config.effective_morsel_size()
+            if morsels and hasattr(config, "effective_morsel_size")
+            else 0
+        )
         return (sql_cache_key(sql), config.spec, name,
-                self.catalog.version, fused)
+                self.catalog.version, fused, morsels, morsel_size)
 
     def lookup(self, sql: str, config, schema, name: str = "query"
                ) -> CachedPlan:

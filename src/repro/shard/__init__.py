@@ -45,10 +45,12 @@ from __future__ import annotations
 
 from ..engines import (
     FUSION_OFF,
+    MORSEL_PARAM,
     EngineConfig,
     EngineFamily,
     EngineSpec,
     EngineSpecError,
+    parse_morsel_setting,
     register_engine,
 )
 from .backend import (
@@ -146,6 +148,7 @@ def _configure(spec: EngineSpec, registry) -> EngineConfig:
             join_strategy=join,
         )
 
+    morsel, morsel_size = parse_morsel_setting(spec)
     return EngineConfig(
         label=spec.canonical,
         make=make,
@@ -154,7 +157,10 @@ def _configure(spec: EngineSpec, registry) -> EngineConfig:
             f"{n_shards} simulated nodes each running {child.label}, "
             f"tables {mode}-partitioned, mat.pack-style merges"
         ),
+        pipelines_sessions=True,
         fusion=FUSION_OFF not in spec.flags,
+        morsel=morsel,
+        morsel_size=morsel_size,
         spec=spec.canonical,
     )
 
@@ -178,5 +184,5 @@ register_engine(EngineFamily(
     # "SHARD:2xCPU,range" aliasing "SHARD:2xCPU" would split the plan
     # cache and the connection cache over one identical engine
     allowed_flags=frozenset({"hash", FUSION_OFF}),
-    allowed_params=frozenset({"key", "keys", "join"}),
+    allowed_params=frozenset({"key", "keys", "join", MORSEL_PARAM}),
 ))

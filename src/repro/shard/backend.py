@@ -286,6 +286,71 @@ def _fold_identity(op: str, dtype: np.dtype):
     return info.max if op == "min" else info.min
 
 
+@dataclass
+class _ShardQueryCtx:
+    """Per-query bookkeeping, one per in-flight session query.
+
+    Mirrors the heterogeneous engine's ``_QueryState``: everything the
+    backend used to keep as per-query instance attributes now lives
+    here, so the serve layer can interleave N queries on one sharded
+    backend without them corrupting each other's traces, merge clocks
+    or scratch lists."""
+
+    #: serial driver-side merge/gather seconds of this query
+    merge_s: float = 0.0
+    #: join-site decisions, harvested by the plan cache
+    trace: list = field(default_factory=list)
+    #: installed decision trace being consumed positionally
+    replay: "list | None" = None
+    replay_pos: int = 0
+    #: driver-created helper values (shuffled key columns) recycled
+    #: with the query
+    scratch: list = field(default_factory=list)
+
+
+class _ShardTimelines:
+    """Simulated per-shard clocks + the driver's merge clock.
+
+    The sharded analogue of the heterogeneous pool's device queues,
+    with exactly the surface the serve layer's session scheduler needs
+    (``makespan``/``open_session``/``close_session``).  Each session
+    turn charges its measured per-shard work and driver merge time
+    here: work on one shard serialises on that shard's clock, but one
+    query's driver merge overlaps with another query's shard scans —
+    which is what makes concurrent ``submit()`` batches finish in less
+    simulated makespan than the serial sum (fig. 9, across shards)."""
+
+    def __init__(self, n_shards: int):
+        #: one clock per shard plus the driver's merge clock (last)
+        self.clocks = [0.0] * (n_shards + 1)
+        #: per-session frontier: nothing of the session may start earlier
+        self.frontiers: dict[str, float] = {}
+
+    def makespan(self) -> float:
+        return max(self.clocks)
+
+    def open_session(self, session: str) -> float:
+        epoch = self.makespan()
+        self.frontiers[session] = epoch
+        return epoch
+
+    def charge(self, session: str, shard_deltas, merge_delta: float) -> None:
+        frontier = self.frontiers.get(session, 0.0)
+        reached = frontier
+        for shard, delta in enumerate(shard_deltas):
+            if delta <= 0.0:
+                continue
+            self.clocks[shard] = max(self.clocks[shard], frontier) + delta
+            reached = max(reached, self.clocks[shard])
+        if merge_delta > 0.0:
+            self.clocks[-1] = max(self.clocks[-1], reached) + merge_delta
+            reached = self.clocks[-1]
+        self.frontiers[session] = reached
+
+    def close_session(self, session: str) -> float:
+        return self.frontiers.pop(session, self.makespan())
+
+
 class ShardedBackend(Backend):
     """MAL backend fanning every instruction across N shard backends."""
 
@@ -293,6 +358,10 @@ class ShardedBackend(Backend):
     #: replayed by the plan cache on repeat queries (same protocol as
     #: the heterogeneous engine's placement traces)
     replays_placements = True
+    #: the serve layer may interleave in-flight queries: shards are
+    #: independent nodes with their own clocks, so one query's driver
+    #: merges overlap with another query's shard scans
+    pipelines_sessions = True
 
     def __init__(
         self,
@@ -321,7 +390,6 @@ class ShardedBackend(Backend):
             child_config.make(shard_catalog, data_scale)
             for shard_catalog in self.partitioner.catalogs
         ]
-        self._merge_s = 0.0
         #: interconnect byte counters (Connection.interconnect)
         self.traffic = ShardTraffic()
         #: ``keys=infer``: adopt observed join columns as shard keys
@@ -330,20 +398,76 @@ class ShardedBackend(Backend):
         self.join_strategy = join_strategy
         self._observed_joins: list[tuple] = []
         self._inferred: set[tuple] = set()
-        #: join-site decisions of the current query, and the installed
-        #: replay (plan-cache hit) being consumed positionally
-        self._trace: list[tuple[str, str]] = []
-        self._replay: "list[tuple[str, str]] | None" = None
-        self._replay_pos = 0
         self._armed_replay: "list[tuple[str, str]] | None" = None
-        #: driver-created helper values of the current query (shuffled
-        #: key columns) so their BATs recycle with the query
-        self._scratch: list[ShardedValue] = []
+        #: per-query bookkeeping: the plain-execution context plus one
+        #: context per in-flight serve-layer session
+        self._default_ctx = _ShardQueryCtx()
+        self._session_ctxs: dict[str, _ShardQueryCtx] = {}
+        self.current_session: "str | None" = None
+        #: (per-child elapsed, merge_s) snapshot at session activation,
+        #: consumed when the session deactivates to charge the turn
+        self._turn_baseline: "tuple[list[float], float] | None" = None
+        #: per-shard + driver clocks for pipelined sessions (the serve
+        #: scheduler reads ``pool.makespan()``)
+        self.pool = _ShardTimelines(n_shards)
         super().__init__(catalog)
 
     @property
     def n_shards(self) -> int:
         return len(self.children)
+
+    # -- per-query context (plain or session-scoped) ---------------------------
+
+    def _ctx(self) -> _ShardQueryCtx:
+        session = self.current_session
+        if session is not None:
+            ctx = self._session_ctxs.get(session)
+            if ctx is not None:
+                return ctx
+        return self._default_ctx
+
+    # the pre-session code (and its tests) addresses the per-query state
+    # as flat attributes; keep that surface as properties over the
+    # active context so both execution paths share one implementation
+    @property
+    def _merge_s(self) -> float:
+        return self._ctx().merge_s
+
+    @_merge_s.setter
+    def _merge_s(self, value: float) -> None:
+        self._ctx().merge_s = value
+
+    @property
+    def _trace(self):
+        return self._ctx().trace
+
+    @_trace.setter
+    def _trace(self, value) -> None:
+        self._ctx().trace = value
+
+    @property
+    def _replay(self):
+        return self._ctx().replay
+
+    @_replay.setter
+    def _replay(self, value) -> None:
+        self._ctx().replay = value
+
+    @property
+    def _replay_pos(self) -> int:
+        return self._ctx().replay_pos
+
+    @_replay_pos.setter
+    def _replay_pos(self, value: int) -> None:
+        self._ctx().replay_pos = value
+
+    @property
+    def _scratch(self):
+        return self._ctx().scratch
+
+    @_scratch.setter
+    def _scratch(self, value) -> None:
+        self._ctx().scratch = value
 
     # -- protocol: registration / resolution ---------------------------------
 
@@ -377,15 +501,92 @@ class ShardedBackend(Backend):
     def begin(self) -> None:
         for child in self.children:
             child.begin()
-        self._merge_s = 0.0
         # reset in place: references to con.interconnect.query held
         # across queries keep reading the live per-query counters
         self.traffic.query.reset()
-        self._trace = []
-        self._replay = self._armed_replay
+        self._default_ctx = _ShardQueryCtx()
+        self._default_ctx.replay = self._armed_replay
         self._armed_replay = None
-        self._replay_pos = 0
-        self._scratch = []
+
+    # -- protocol: per-session timelines (pipelines_sessions) ------------------
+
+    def open_session(self, session: str, replay=None) -> float:
+        """Register one in-flight query; returns its submit epoch."""
+        ctx = _ShardQueryCtx()
+        ctx.replay = replay or None
+        self._session_ctxs[session] = ctx
+        return self.pool.open_session(session)
+
+    def activate_session(self, session: "str | None") -> None:
+        """Attribute subsequent work (child clock advances, driver
+        merges) to ``session`` — ``None`` restores plain execution and
+        charges the just-finished turn to the session's timeline."""
+        previous = self.current_session
+        if previous is not None and self._turn_baseline is not None:
+            self._charge_turn(previous)
+        self.current_session = session
+        if session is not None:
+            if session not in self._session_ctxs:
+                self._session_ctxs[session] = _ShardQueryCtx()
+            self._turn_baseline = (
+                [child.elapsed() for child in self.children],
+                self._session_ctxs[session].merge_s,
+            )
+        else:
+            self._turn_baseline = None
+
+    def _charge_turn(self, session: str) -> None:
+        """Charge one scheduler turn's measured work to the timelines.
+
+        Children are shared across sessions, but the scheduler is
+        single-threaded: everything their clocks advanced since this
+        session was activated is this session's work."""
+        baseline, merge_base = self._turn_baseline
+        self._turn_baseline = None
+        deltas = [
+            max(0.0, child.elapsed() - before)
+            for child, before in zip(self.children, baseline)
+        ]
+        ctx = self._session_ctxs.get(session)
+        merge_delta = max(
+            0.0, (ctx.merge_s if ctx is not None else 0.0) - merge_base
+        )
+        if merge_delta > 0.0 or any(d > 0.0 for d in deltas):
+            self.pool.charge(session, deltas, merge_delta)
+
+    def close_session(self, session: str) -> float:
+        """Drop a finished query's context; returns its completion
+        epoch.  The context's scratch moves to the plain context so the
+        subsequent ``end_of_query`` (which runs session-less) still
+        recycles the query's driver-created helpers."""
+        ctx = self._session_ctxs.pop(session, None)
+        if ctx is not None:
+            self._default_ctx.scratch.extend(ctx.scratch)
+        if self.current_session == session:
+            self.current_session = None
+            self._turn_baseline = None
+        return self.pool.close_session(session)
+
+    # -- morsel-driven execution -----------------------------------------------
+
+    def morsel_runner(self, spec, inputs):
+        """Morsel regions run whole-column on the sharded engine: its
+        values are distributed :class:`ShardedValue` fans whose rows
+        already live morsel-like on N nodes, and the fan/merge machinery
+        (traces, traffic, metadata propagation) must see exactly the
+        member instructions it would otherwise.  The region still steps
+        one member per scheduler turn, so in-flight queries interleave
+        at sub-query granularity."""
+        from ..morsel.run import MorselRun
+
+        return MorselRun(self, spec, inputs, whole=True)
+
+    def release_intermediates(self, values) -> None:
+        """No-op: sharded values are consumed lazily after their last
+        static use (grouped partials re-read key columns at merge time,
+        ``avg`` pairs fold at collection), so early release would free
+        parts a later merge still needs.  ``end_of_query`` remains the
+        recycle point."""
 
     # -- protocol: strategy-trace replay (replays_placements) ------------------
 
@@ -439,6 +640,8 @@ class ShardedBackend(Backend):
         self.partitioner.sync()
 
     def shutdown(self) -> None:
+        self._session_ctxs.clear()
+        self.current_session = None
         for child in self.children:
             child.shutdown()
 

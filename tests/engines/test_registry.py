@@ -211,3 +211,17 @@ class TestGeneratedDocs:
         readme = Path(__file__).resolve().parents[2] / "README.md"
         content = readme.read_text()
         assert engine_table_markdown() in content
+        # the flag column advertises the morsel= parameter everywhere
+        assert "`morsel=…`" in engine_table_markdown()
+
+    def test_readme_references_resolve(self):
+        """The README points at ARCHITECTURE.md sections by name; the
+        sections must exist (and vice versa for the morsel switch)."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        architecture = (root / "ARCHITECTURE.md").read_text()
+        assert "Morsel-driven execution" in architecture
+        readme = (root / "README.md").read_text()
+        assert "Morsel-driven" in readme
+        assert "REPRO_MORSEL" in readme

@@ -1,0 +1,253 @@
+"""The morsel pass: region finding, safety rules, idempotence, gating,
+explain rendering and plan-cache separation."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engines import EngineSpecError
+from repro.fuse import fuse_program
+from repro.monetdb.mal import MALBuilder
+from repro.morsel import (
+    DEFAULT_MORSEL_SIZE,
+    MorselRegion,
+    count_regions,
+    morselize_program,
+)
+from repro.tpch import WORKLOAD, compile_query
+
+
+def _q6_like_program():
+    """bind -> thetaselect -> projection -> aggr.sum: one pipeline."""
+    b = MALBuilder("q6like")
+    qty = b.bind("lineitem", "l_quantity")
+    price = b.bind("lineitem", "l_extendedprice")
+    kept = b.emit("algebra", "thetaselect", (qty, None, 24, "<"))
+    picked = b.emit("algebra", "projection", (kept, price))
+    total = b.emit("aggr", "sum", (picked,))
+    return b.returns([("revenue", total)])
+
+
+class TestRegionFinding:
+    def test_pipeline_collapses_to_one_region(self):
+        out = morselize_program(_q6_like_program(), size=1024)
+        assert count_regions(out) == 1
+        run = next(i for i in out.instructions if i.op == "morsel.run")
+        spec = run.args[0]
+        assert isinstance(spec, MorselRegion)
+        assert spec.table == "lineitem"
+        assert spec.size == 1024
+        assert len(spec.members) == 3
+        # the only escaping definition is the scalar aggregate
+        assert [o.kind for o in spec.outputs] == ["scalar"]
+        assert spec.outputs[0].fn == "sum"
+
+    def test_escaping_positions_stay_in_drive_space(self):
+        b = MALBuilder("escape")
+        qty = b.bind("lineitem", "l_quantity")
+        kept = b.emit("algebra", "thetaselect", (qty, None, 24, "<"))
+        program = b.returns([("pos", kept)])
+        out = morselize_program(program, size=1024, min_region=1)
+        assert count_regions(out) == 1
+        spec = next(
+            i for i in out.instructions if i.op == "morsel.run"
+        ).args[0]
+        assert spec.outputs[0].kind == "positions"
+        assert spec.outputs[0].name in spec.drive_positions
+
+    def test_small_components_stay_in_place(self):
+        b = MALBuilder("tiny")
+        qty = b.bind("lineitem", "l_quantity")
+        kept = b.emit("algebra", "thetaselect", (qty, None, 24, "<"))
+        program = b.returns([("pos", kept)])
+        out = morselize_program(program, size=1024)   # MIN_REGION = 2
+        assert count_regions(out) == 0
+        assert out.format() == program.format()
+
+    def test_two_table_pipelines_get_separate_regions(self):
+        b = MALBuilder("two")
+        qty = b.bind("lineitem", "l_quantity")
+        k1 = b.emit("algebra", "thetaselect", (qty, None, 24, "<"))
+        p1 = b.emit("algebra", "projection", (k1, qty))
+        s1 = b.emit("aggr", "sum", (p1,))
+        size = b.bind("part", "p_size")
+        k2 = b.emit("algebra", "thetaselect", (size, None, 10, ">"))
+        p2 = b.emit("algebra", "projection", (k2, size))
+        s2 = b.emit("aggr", "sum", (p2,))
+        program = b.returns([("a", s1), ("b", s2)])
+        out = morselize_program(program, size=1024)
+        assert count_regions(out) == 2
+        tables = {
+            i.args[0].table
+            for i in out.instructions if i.op == "morsel.run"
+        }
+        assert tables == {"lineitem", "part"}
+
+    def test_group_and_grouped_aggregates_join_the_region(self):
+        """Q1's whole pre-sort pipeline — select, projections, group,
+        subgroup, grouped aggregates — must become one region (the
+        in-region-grouping path: gids never materialise)."""
+        plan = morselize_program(
+            fuse_program(compile_query("Q1")), size=4096
+        )
+        assert count_regions(plan) >= 1
+        specs = [
+            i.args[0] for i in plan.instructions if i.op == "morsel.run"
+        ]
+        big = max(specs, key=lambda s: len(s.members))
+        fns = {m.function for m in big.members}
+        assert {"group", "subgroup", "subsum", "subavg"} <= fns
+        # every escaping def of that region is a grouped-aggregate fold
+        assert {o.kind for o in big.outputs} == {"gagg"}
+
+    def test_tpch_morselizes_somewhere(self):
+        total = sum(
+            count_regions(
+                morselize_program(fuse_program(compile_query(q)))
+            )
+            for q in WORKLOAD
+        )
+        assert total >= len(WORKLOAD)   # at least one region per query
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize("query_id", list(WORKLOAD))
+    def test_pass_is_idempotent_on_tpch(self, query_id):
+        once = morselize_program(fuse_program(compile_query(query_id)))
+        twice = morselize_program(once)
+        assert twice.format() == once.format()
+
+
+class TestGating:
+    @pytest.fixture(autouse=True)
+    def _morsel_on(self, monkeypatch):
+        """Pin the global gate on (and unsized): the flag/explain tests
+        compare a morselized engine against a whole-column one and stay
+        meaningful under the CI job's REPRO_MORSEL=off run."""
+        monkeypatch.delenv("REPRO_MORSEL", raising=False)
+
+    @pytest.fixture
+    def db(self):
+        rng = np.random.default_rng(7)
+        database = repro.Database()
+        database.create_table("t", {
+            "a": rng.random(256).astype(np.float32),
+            "b": rng.random(256).astype(np.float32),
+        })
+        return database
+
+    SQL = "SELECT sum(a * (1 - b)) AS s FROM t WHERE a > 0.25"
+
+    def test_morsel_off_spec_flag(self, db):
+        on = db.connect("CPU:morsel=64").explain(self.SQL)
+        off = db.connect("CPU:morsel=off").explain(self.SQL)
+        assert "morsel.run" in on
+        assert "morsel.run" not in off
+        a = db.connect("CPU:morsel=64").execute(self.SQL)
+        b = db.connect("CPU:morsel=off").execute(self.SQL)
+        np.testing.assert_allclose(
+            a.column("s"), b.column("s"), rtol=1e-6
+        )
+
+    def test_explain_renders_region_boundaries(self, db):
+        text = db.connect("CPU:morsel=64").explain(self.SQL)
+        # the region spec renders inline: drive, size, member chain
+        assert "region<t, 64 rows/morsel" in text
+        assert "out:" in text
+
+    def test_explain_no_morsel_comparison_path(self, db):
+        con = db.connect("CPU:morsel=64")
+        on = con.explain(self.SQL)
+        off = con.explain(self.SQL, no_morsel=True)
+        assert "morsel.run" in on and "morsel.run" not in off
+        assert on != off
+        # both plans stay cached side by side
+        assert con.explain(self.SQL) == on
+        assert con.explain(self.SQL, no_morsel=True) == off
+
+    def test_env_variable_disables_morsels(self, db, monkeypatch):
+        con = db.connect("CPU:morsel=64")
+        on = con.explain(self.SQL)
+        monkeypatch.setenv("REPRO_MORSEL", "off")
+        off = con.explain(self.SQL)
+        assert "morsel.run" in on and "morsel.run" not in off
+        result = con.execute(self.SQL)
+        monkeypatch.delenv("REPRO_MORSEL")
+        np.testing.assert_allclose(
+            result.column("s"),
+            con.execute(self.SQL).column("s"),
+            rtol=1e-6,
+        )
+
+    def test_env_variable_overrides_the_size(self, db, monkeypatch):
+        con = db.connect("CPU:morsel=64")
+        assert "64 rows/morsel" in con.explain(self.SQL)
+        monkeypatch.setenv("REPRO_MORSEL", "32")
+        assert "32 rows/morsel" in con.explain(self.SQL)
+
+    def test_default_size_without_parameters(self, db):
+        text = db.connect("CPU").explain(
+            "SELECT sum(a) AS s FROM t WHERE b > 0.5"
+        )
+        assert f"{DEFAULT_MORSEL_SIZE} rows/morsel" in text
+
+    def test_morsel_param_canonicalises_into_the_spec(self, db):
+        con = db.connect("cpu:MORSEL=OFF")
+        assert con.engine == "CPU:morsel=off"
+        assert db.connect("CPU:morsel=off") is con
+        assert db.connect("cpu:morsel=128").engine == "CPU:morsel=128"
+
+    def test_malformed_morsel_value_is_rejected(self, db):
+        with pytest.raises(EngineSpecError):
+            db.connect("CPU:morsel=sideways")
+        with pytest.raises(EngineSpecError):
+            db.connect("CPU:morsel=0,morsel=64")
+
+
+class TestPlanCacheSeparation:
+    """A plan compiled under one morsel setting is never served under
+    another: the cache key carries the effective switch and size."""
+
+    @pytest.fixture
+    def db(self):
+        rng = np.random.default_rng(11)
+        database = repro.Database()
+        database.create_table("t", {
+            "a": rng.random(128).astype(np.float32),
+        })
+        return database
+
+    SQL = "SELECT sum(a) AS s FROM t WHERE a > 0.5"
+
+    def test_env_flip_is_a_miss_not_a_hit(self, db, monkeypatch):
+        monkeypatch.delenv("REPRO_MORSEL", raising=False)
+        con = db.connect("CPU:morsel=64")
+        con.execute(self.SQL)
+        misses = con.plan_cache.stats.misses
+        con.execute(self.SQL)
+        assert con.plan_cache.stats.misses == misses   # repeat: a hit
+        monkeypatch.setenv("REPRO_MORSEL", "off")
+        assert "morsel.run" not in con.explain(self.SQL)
+        assert con.plan_cache.stats.misses == misses + 1
+
+    def test_size_retune_recompiles(self, db, monkeypatch):
+        monkeypatch.delenv("REPRO_MORSEL", raising=False)
+        con = db.connect("CPU:morsel=64")
+        con.execute(self.SQL)
+        misses = con.plan_cache.stats.misses
+        monkeypatch.setenv("REPRO_MORSEL", "32")
+        assert "32 rows/morsel" in con.explain(self.SQL)
+        assert con.plan_cache.stats.misses == misses + 1
+
+    def test_spec_instances_never_share_plans(self, db, monkeypatch):
+        monkeypatch.delenv("REPRO_MORSEL", raising=False)
+        on = db.connect("CPU:morsel=64")
+        off = db.connect("CPU:morsel=off")
+        assert on is not off
+        a = on.execute(self.SQL)
+        b = off.execute(self.SQL)
+        np.testing.assert_allclose(
+            a.column("s"), b.column("s"), rtol=1e-6
+        )
+        assert "morsel.run" in on.explain(self.SQL)
+        assert "morsel.run" not in off.explain(self.SQL)
