@@ -129,28 +129,51 @@ class Connection:
     def execute(self, sql: str, name: str = "query") -> QueryResult:
         """Parse, lower, optimize and run one SQL statement.
 
-        Compilation is served from the plan cache when this SQL text ran
-        before on this engine under the current schema version; engines
-        declaring the ``replays_placements`` capability additionally
-        replay the cached placement trace, skipping per-instruction
-        scoring on repeat queries.
+        Statements are auto-parameterised: literals are normalised into
+        bind parameters before the plan-cache lookup, so every literal
+        variation of one query shape is a cache hit against a single
+        template plan (values are substituted into a bound copy at
+        execute time).  Engines declaring the ``replays_placements``
+        capability additionally replay the cached placement trace,
+        skipping per-instruction scoring on repeat queries.
         """
         self._check_open()
-        entry = self.plan_cache.lookup(
+        entry, program = self.plan_cache.prepare(
             sql, self.config, self.database.schema, name=name
         )
-        return self._run_cached(entry)
+        return self._run_cached(entry, program)
 
-    def _run_cached(self, entry) -> QueryResult:
+    #: bounded node-failure retries per statement on the synchronous path
+    MAX_TRANSIENT_RETRIES = 8
+
+    def _run_cached(self, entry, program=None) -> QueryResult:
+        from .serve.faults import TransientFault
+
         backend = self.backend
-        if backend.replays_placements:
-            backend.install_replay(entry.placements)
-        result = run_program(entry.program, backend)
-        if backend.replays_placements:
-            trace, replayed = backend.take_trace()
-            entry.placements = trace
-            self.plan_cache.stats.placement_reuses += replayed
-        return result
+        if program is None:
+            program = entry.program
+        for attempt in range(self.MAX_TRANSIENT_RETRIES + 1):
+            backend.query_boundary()
+            backend.check_admission()
+            if backend.replays_placements:
+                backend.install_replay(entry.placements)
+            try:
+                result = run_program(program, backend)
+            except TransientFault as fault:
+                # a node-level failure: consult the breaker board; a
+                # tripped breaker reroutes reads around the sick node
+                # (the placement trace is stale either way)
+                entry.placements = None
+                action = backend.note_node_failure(fault)
+                if action == "fail" or attempt >= self.MAX_TRANSIENT_RETRIES:
+                    raise
+                continue
+            if backend.replays_placements:
+                trace, replayed = backend.take_trace()
+                entry.placements = trace
+                self.plan_cache.stats.placement_reuses += replayed
+            backend.note_query_success()
+            return result
 
     def run_plan(self, program: MALProgram) -> QueryResult:
         """Run an already-compiled MAL program (uncached path)."""
@@ -182,10 +205,10 @@ class Connection:
                 fusion=config.fusion and not no_fuse,
                 morsel=config.morsel and not no_morsel,
             )
-        entry = self.plan_cache.lookup(
+        entry, program = self.plan_cache.prepare(
             sql, config, self.database.schema, name=name
         )
-        return entry.program.format()
+        return program.format()
 
     # -- statistics --------------------------------------------------------------
 
@@ -211,7 +234,8 @@ class Connection:
             self._scheduler = SessionScheduler(self)
         return self._scheduler
 
-    def submit(self, sql: str, name: str = "query") -> QueryFuture:
+    def submit(self, sql: str, name: str = "query",
+               timeout: Optional[float] = None) -> QueryFuture:
         """Admit one statement for pipelined execution; returns a future.
 
         In-flight queries advance one instruction per turn, round-robin.
@@ -220,12 +244,23 @@ class Connection:
         different devices run concurrently); single-timeline engines
         execute FIFO.  Drive the scheduler with :meth:`drain` or by
         awaiting any future's ``result()``.
+
+        ``timeout`` is a deadline in simulated seconds: a query still
+        running past it fails with
+        :class:`~repro.serve.session.QueryTimeout` (checked
+        cooperatively at turn granularity).  Defaults to the engine
+        spec's ``timeout=`` parameter (0 = none).
         """
         self._check_open()
-        entry = self.plan_cache.lookup(
+        entry, program = self.plan_cache.prepare(
             sql, self.config, self.database.schema, name=name
         )
-        return self.scheduler.submit(entry, name=name)
+        if timeout is None:
+            spec_timeout = getattr(self.config, "timeout_s", 0.0)
+            timeout = spec_timeout if spec_timeout > 0 else None
+        return self.scheduler.submit(
+            entry, name=name, timeout=timeout, program=program
+        )
 
     def drain(self) -> None:
         """Run every submitted query to completion."""

@@ -20,13 +20,17 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from ..engines import (
+    ADMISSION_PARAM,
     FUSION_OFF,
     MORSEL_PARAM,
+    TIMEOUT_PARAM,
     EngineConfig,
     EngineFamily,
     EngineSpec,
     default_registry,
+    parse_admission_setting,
     parse_morsel_setting,
+    parse_timeout_setting,
     register_engine,
 )
 from ..monetdb.backends import MonetDBParallel, MonetDBSequential
@@ -47,9 +51,10 @@ def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
 
     Every family accepts the ``fusion=off`` flag (e.g.
     ``"CPU:fusion=off"``) for A/B comparison against the operator-fusion
-    pass (see :mod:`repro.fuse`) and the ``morsel=off`` /
-    ``morsel=<rows>`` parameter controlling morsel-driven execution
-    (see :mod:`repro.morsel`)."""
+    pass (see :mod:`repro.fuse`), the ``morsel=off`` / ``morsel=<rows>``
+    parameter controlling morsel-driven execution (see
+    :mod:`repro.morsel`), and the serving-tier ``timeout=<s>`` /
+    ``admission=<n>`` parameters (see :mod:`repro.serve`)."""
 
     def configure(spec: EngineSpec, registry) -> EngineConfig:
         morsel, morsel_size = parse_morsel_setting(spec)
@@ -62,13 +67,17 @@ def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
             fusion=FUSION_OFF not in spec.flags,
             morsel=morsel,
             morsel_size=morsel_size,
+            timeout_s=parse_timeout_setting(spec),
+            admission=parse_admission_setting(spec),
             spec=spec.canonical,
         )
 
     return EngineFamily(name=name, configure=configure,
                         description=description, syntax=name,
                         allowed_flags=frozenset({FUSION_OFF}),
-                        allowed_params=frozenset({MORSEL_PARAM}))
+                        allowed_params=frozenset({
+                            ADMISSION_PARAM, MORSEL_PARAM, TIMEOUT_PARAM,
+                        }))
 
 
 register_engine(_simple_family(

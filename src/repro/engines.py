@@ -65,6 +65,19 @@ MORSEL_PARAM = "morsel"
 
 _MORSEL_OFF_WORDS = ("off", "0", "false", "no")
 
+#: the spec parameter every family accepts to set a default query
+#: deadline (simulated seconds) for queries submitted through the
+#: session scheduler, e.g. ``"MS:timeout=2.5"``; ``timeout=off`` (the
+#: default) means no deadline.  ``Connection.submit(timeout=...)``
+#: overrides it per query.
+TIMEOUT_PARAM = "timeout"
+
+#: the spec parameter every family accepts to cap how many queries the
+#: session scheduler admits concurrently, e.g. ``"MS:admission=4"``;
+#: ``admission=off`` (the default) means unlimited.  Queries beyond the
+#: cap queue at the front door and admit as slots free up.
+ADMISSION_PARAM = "admission"
+
 
 def parse_morsel_setting(spec: EngineSpec) -> tuple[bool, int]:
     """``(enabled, size)`` from a spec's ``morsel=`` parameters.
@@ -91,6 +104,58 @@ def parse_morsel_setting(spec: EngineSpec) -> tuple[bool, int]:
     raise EngineSpecError(
         f"engine spec {spec.canonical!r}: morsel= takes 'off', 'on' or a "
         f"positive row count, got {value!r}"
+    )
+
+
+def parse_timeout_setting(spec: EngineSpec) -> float:
+    """Default deadline in simulated seconds from ``timeout=``; 0.0 = off.
+
+    Raises :class:`EngineSpecError` for malformed or conflicting values.
+    """
+    values = spec.param_values(TIMEOUT_PARAM)
+    if not values:
+        return 0.0
+    if len(values) > 1:
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: conflicting timeout= values "
+            f"{values!r}"
+        )
+    value = values[0]
+    if value in _MORSEL_OFF_WORDS:
+        return 0.0
+    try:
+        seconds = float(value)
+    except ValueError:
+        seconds = -1.0
+    if seconds > 0.0:
+        return seconds
+    raise EngineSpecError(
+        f"engine spec {spec.canonical!r}: timeout= takes 'off' or a "
+        f"positive number of seconds, got {value!r}"
+    )
+
+
+def parse_admission_setting(spec: EngineSpec) -> int:
+    """Concurrent-admission cap from ``admission=``; 0 = unlimited.
+
+    Raises :class:`EngineSpecError` for malformed or conflicting values.
+    """
+    values = spec.param_values(ADMISSION_PARAM)
+    if not values:
+        return 0
+    if len(values) > 1:
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: conflicting admission= "
+            f"values {values!r}"
+        )
+    value = values[0]
+    if value in _MORSEL_OFF_WORDS:
+        return 0
+    if value.isdigit() and int(value) > 0:
+        return int(value)
+    raise EngineSpecError(
+        f"engine spec {spec.canonical!r}: admission= takes 'off' or a "
+        f"positive query count, got {value!r}"
     )
 
 
@@ -147,6 +212,12 @@ class EngineConfig:
     #: morsel size from the ``morsel=<rows>`` spec parameter; 0 means
     #: the default (``REPRO_MORSEL=<rows>`` overrides either)
     morsel_size: int = 0
+    #: default deadline (simulated seconds) for queries submitted via
+    #: the session scheduler, from ``timeout=<s>``; 0.0 means none
+    timeout_s: float = 0.0
+    #: concurrent-admission cap for the session scheduler, from
+    #: ``admission=<n>``; 0 means unlimited
+    admission: int = 0
     #: canonical engine spec; defaults to ``label`` for parameterless
     #: families (set via ``__post_init__`` to keep the dataclass frozen)
     spec: str = ""

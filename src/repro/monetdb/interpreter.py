@@ -129,6 +129,76 @@ class Backend(abc.ABC):
         """
         return 0.0
 
+    # -- resilience (circuit breakers) ---------------------------------------
+
+    def breakers(self):
+        """The backend's circuit-breaker board (created on first use).
+
+        Single-node backends keep one breaker under the key ``"self"``;
+        tiered backends (shards, devices) keep one per node.  See
+        :mod:`repro.serve.resilience`.
+        """
+        board = getattr(self, "_breaker_board", None)
+        if board is None:
+            from ..serve.resilience import BreakerBoard
+
+            board = self._breaker_board = BreakerBoard()
+        return board
+
+    def query_boundary(self) -> None:
+        """Hook: called by the serving layer between queries.
+
+        Advances the breaker clock (cooldowns are measured in query
+        boundaries, not wall time) and lets the backend re-admit nodes
+        whose breakers allow a probe again.  Topology changes — a
+        sharded backend excluding or re-including a shard — happen only
+        here, never mid-query.
+        """
+        board = getattr(self, "_breaker_board", None)
+        if board is not None:
+            board.tick()
+            self._recover_nodes()
+
+    def _recover_nodes(self) -> None:
+        """Hook for tiered backends: re-admit half-open nodes."""
+
+    def check_admission(self) -> None:
+        """Raise :class:`~repro.serve.resilience.CircuitOpen` when the
+        backend as a whole refuses work (its own breaker is open)."""
+        board = getattr(self, "_breaker_board", None)
+        if board is None:
+            return
+        breaker = board.breaker("self")
+        if not breaker.allow():
+            from ..serve.resilience import CircuitOpen
+
+            raise CircuitOpen(
+                f"backend {self.label!r} circuit breaker is open "
+                f"(trips={breaker.trips})"
+            )
+
+    def note_node_failure(self, error) -> str:
+        """Record a transient failure against the responsible breaker.
+
+        Returns the serving layer's next move: ``"retry"`` (same
+        topology), ``"rerouted"`` (the node was taken out of service —
+        placement traces are stale, re-plan), or ``"fail"`` (no healthy
+        topology remains; surface the error).  The single-node default
+        charges the backend's own breaker: while it stays closed the
+        query may retry, once it trips there is nowhere to route.
+        """
+        breaker = self.breakers().breaker("self")
+        breaker.record_failure()
+        if not breaker.allow():
+            return "fail"
+        return "retry"
+
+    def note_query_success(self) -> None:
+        """A query completed cleanly: credit the serving breakers."""
+        board = getattr(self, "_breaker_board", None)
+        if board is not None:
+            board.record_success()
+
     def end_of_query(self, intermediates: list) -> None:
         """Hook: a finished query's leftover values go out of scope.
 

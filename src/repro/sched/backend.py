@@ -222,6 +222,14 @@ class HeterogeneousBackend(Backend):
                 return self._foreign(f"algebra.{function}")(*args)
         state = self._state
         decision = state.next_replayed(function, args)
+        if decision is not None and self.placer.banned and (
+                decision.device in self.placer.banned
+                or (decision.split is not None
+                    and any(d in self.placer.banned
+                            for d, _lo, _hi in decision.split))):
+            # the trace predates a breaker trip: score fresh from here
+            state.replay = None
+            decision = None
         if decision is None:
             decision = self.placer.choose(
                 function, args, charged=frozenset(state.overhead_charged)
@@ -273,10 +281,14 @@ class HeterogeneousBackend(Backend):
         @contextlib.contextmanager
         def scope():
             previous = self._pinned_device
-            clocks = [
-                engine.queue.makespan() for engine in self.pool.engines
-            ]
-            self._pinned_device = clocks.index(min(clocks))
+            candidates = [
+                idx for idx in range(len(self.pool.engines))
+                if idx not in self.placer.banned
+            ] or list(range(len(self.pool.engines)))
+            self._pinned_device = min(
+                candidates,
+                key=lambda idx: self.pool.engines[idx].queue.makespan(),
+            )
             try:
                 yield self._pinned_device
             finally:
@@ -352,6 +364,38 @@ class HeterogeneousBackend(Backend):
             # by exactly its amount, so query_overhead_s — the sum — is
             # exactly what operator-timing benchmarks must subtract
             self.pool.charge_host(overhead)
+
+    # -- circuit breakers: route work around a sick device ---------------------
+
+    def note_node_failure(self, error) -> str:
+        """Charge the failed device's breaker; ban it from placement on
+        trip.  A ban is a placer-level exclusion (infinite score, zero
+        fan-out share), so retried queries route onto the healthy
+        devices; the last healthy device is never banned.  Faults
+        without a device id fall back to the backend-wide breaker."""
+        device = getattr(error, "node", None)
+        if device is None or not 0 <= device < len(self.pool.engines):
+            return super().note_node_failure(error)
+        breaker = self.breakers().breaker(("device", device))
+        tripped = breaker.record_failure()
+        if tripped or not breaker.allow():
+            banned = self.placer.banned
+            if device not in banned \
+                    and len(self.pool.engines) - len(banned) <= 1:
+                return "fail"
+            banned.add(device)
+            return "rerouted"
+        return "retry"
+
+    def _recover_nodes(self) -> None:
+        """Between queries: unban devices whose breakers cooled down
+        (the next failure re-trips with doubled backoff)."""
+        board = getattr(self, "_breaker_board", None)
+        if board is None:
+            return
+        for device in sorted(self.placer.banned):
+            if board.breaker(("device", device)).allow():
+                self.placer.banned.discard(device)
 
     # -- timing --------------------------------------------------------------------
 

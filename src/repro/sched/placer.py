@@ -82,6 +82,10 @@ class CostPlacer:
                  stats: SelectivityStats | None = None):
         self.pool = pool
         self.stats = stats if stats is not None else SelectivityStats()
+        #: devices routed around by a tripped circuit breaker (the
+        #: backend's ``note_node_failure``): scored infinite, excluded
+        #: from fan-out plans, unbanned when the breaker cools down
+        self.banned: set[int] = set()
         #: (function, column tag, n) -> last chosen fan-out boundaries
         self._split_memo: dict[tuple, list] = {}
 
@@ -121,6 +125,8 @@ class CostPlacer:
         return chars.transfer_seconds(nbytes)
 
     def score_single(self, function: str, args, device: int) -> float:
+        if device in self.banned:
+            return float("inf")
         pool = self.pool
         engine = pool.engines[device]
         chars = pool.characteristics[device]
@@ -152,7 +158,7 @@ class CostPlacer:
                 return False
         elif function not in PARTITIONABLE_FUNCTIONS:
             return False
-        if len(self.pool) < 2:
+        if len(self.pool) - len(self.banned) < 2:
             return False
         if function in SELECT_FUNCTIONS and len(args) > 1 \
                 and args[1] is not None:
@@ -223,7 +229,9 @@ class CostPlacer:
                 0.0 if idx in charged
                 else engine.device.profile.framework_overhead_s
             )
-            if chars.global_mem_bytes:
+            if idx in self.banned:
+                caps.append(0)
+            elif chars.global_mem_bytes:
                 caps.append(int(
                     MEMORY_FRACTION * chars.global_mem_bytes / bytes_per_row
                 ))

@@ -17,19 +17,45 @@ in ARCHITECTURE.md:
   session-scoped, so independent queries overlap on the DevicePool's
   per-device timelines (``benchmarks/test_fig9_concurrency.py``).
 
+Since PR 7 the package is a full *front door* (ARCHITECTURE.md "Front
+door"): statements are auto-parameterised before the cache lookup
+(:mod:`repro.sql.params` — one template plan per query shape, values
+bound at execute), the scheduler runs admission control with bounded
+OOM re-parks and deadlines/cancellation, and per-node circuit breakers
+(:mod:`repro.serve.resilience`) trip on repeated transient failures
+and route reads around the sick shard or device — fault-injected
+end-to-end by :mod:`repro.serve.faults` in ``tests/faults/``.
+
 Neither piece changes query *results* — only when work is (re)done and
 how simulated timelines interleave; both are property-tested against
 fresh serial execution.
 """
 
+from .faults import FaultyBackend, NodeFault, TransientFault
 from .plancache import CachedPlan, CacheStats, PlanCache, sql_cache_key
-from .session import QueryFuture, SessionScheduler
+from .resilience import BreakerBoard, CircuitBreaker, CircuitOpen
+from .session import (
+    MAX_PARKS,
+    QueryCancelled,
+    QueryFuture,
+    QueryTimeout,
+    SessionScheduler,
+)
 
 __all__ = [
+    "BreakerBoard",
     "CachedPlan",
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "FaultyBackend",
+    "MAX_PARKS",
+    "NodeFault",
     "PlanCache",
+    "QueryCancelled",
     "QueryFuture",
+    "QueryTimeout",
     "SessionScheduler",
+    "TransientFault",
     "sql_cache_key",
 ]

@@ -1,0 +1,100 @@
+"""Fault injection for the serving tier's resilience tests.
+
+:class:`FaultyBackend` wraps any Backend and injects scheduled
+exceptions at operator granularity: the wrapper counts every operator
+execution and raises the scheduled error when the count matches.  The
+``tests/faults/`` harness uses it to script OOMs, timeouts, and
+node failures deterministically, and the differential suite asserts
+query results are identical with and without the schedule.
+
+:class:`TransientFault` is the retry-eligible error class the serving
+layer understands: the scheduler and the synchronous execute path
+consult the backend's circuit breakers (``note_node_failure``) and
+retry or re-route instead of failing the query outright.
+:class:`NodeFault` carries the identity of the failed node (a shard
+index, a device index) so tiered backends can charge the right
+breaker.
+"""
+
+from __future__ import annotations
+
+
+class TransientFault(RuntimeError):
+    """A retry-eligible failure (network blip, node hiccup)."""
+
+
+class NodeFault(TransientFault):
+    """A transient failure attributed to one node."""
+
+    def __init__(self, message: str, node=None):
+        super().__init__(message)
+        self.node = node
+
+
+class FaultyBackend:
+    """A Backend proxy that injects scheduled failures.
+
+    ``schedule`` maps a 1-based operator-execution count to the
+    exception to raise (or a zero-argument factory producing one) when
+    that many operators have run.  All other attribute access delegates
+    to the wrapped backend, so the proxy is drop-in anywhere a Backend
+    is expected::
+
+        con.backend = FaultyBackend(con.backend, {5: OcelotOOM("boom")})
+        con._scheduler = None          # rebuild over the new backend
+
+    With ``node`` set, injected :class:`TransientFault` instances that
+    do not already carry a node are re-raised as :class:`NodeFault`
+    attributed to it (used when wrapping one shard's child backend).
+    """
+
+    def __init__(self, inner, schedule: dict | None = None, node=None):
+        self.inner = inner
+        self.schedule = dict(schedule or {})
+        self.node = node
+        self.ops_seen = 0
+        #: [(count, op, error), ...] for every fault actually raised
+        self.injected: list = []
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def _raise_scheduled(self, op: str) -> None:
+        self.ops_seen += 1
+        error = self.schedule.get(self.ops_seen)
+        if error is None:
+            return
+        if callable(error):
+            error = error()
+        if (self.node is not None and isinstance(error, TransientFault)
+                and getattr(error, "node", None) is None):
+            error = NodeFault(str(error), node=self.node)
+        self.injected.append((self.ops_seen, op, error))
+        raise error
+
+    def resolve(self, op: str):
+        fn = self.inner.resolve(op)
+
+        def guarded(*args, **kwargs):
+            self._raise_scheduled(op)
+            return fn(*args, **kwargs)
+
+        return guarded
+
+
+def wrap_shard_child(backend, shard: int,
+                     schedule: dict | None = None) -> FaultyBackend:
+    """Wrap one child of a :class:`~repro.shard.backend.ShardedBackend`
+    in a :class:`FaultyBackend` attributed to that shard, in place.
+
+    Replaces the child in both the physical roster (``all_children``)
+    and the active set (``children``), so injected faults carry the
+    shard id and the breaker board can route around it.
+    """
+    child = backend.all_children[shard]
+    faulty = FaultyBackend(child, schedule, node=shard)
+    backend.all_children[shard] = faulty
+    for index, active in enumerate(backend.children):
+        if active is child:
+            backend.children[index] = faulty
+    return faulty

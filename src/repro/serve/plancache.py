@@ -41,9 +41,14 @@ Counters live in :class:`CacheStats`, surfaced as
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..sql.lower import sql_cache_key
+
+#: bound (value-substituted) programs kept per parameterised entry, so
+#: repeat executions with the same argument values reuse the identical
+#: program object instead of re-substituting
+BOUND_PLANS_PER_ENTRY = 16
 
 
 @dataclass
@@ -75,6 +80,9 @@ class CachedPlan:
     #: on the heterogeneous engine
     placements: list | None = None
     hits: int = 0
+    #: bound-program LRU for parameterised plans: values tuple -> the
+    #: executable program with those values substituted
+    binds: OrderedDict = field(default_factory=OrderedDict)
 
 
 class PlanCache:
@@ -84,6 +92,10 @@ class PlanCache:
         self.catalog = catalog
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple, CachedPlan] = OrderedDict()
+        #: (template, schema version) pairs whose parameterised form
+        #: cannot compile (the plan needs the concrete value); those
+        #: statements fall back to literal-text compilation
+        self._no_param: set = set()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -130,6 +142,46 @@ class PlanCache:
             self._entries.popitem(last=False)
         return entry
 
+    def prepare(self, sql: str, config, schema, name: str = "query"
+                ) -> "tuple[CachedPlan, object]":
+        """Parameterised lookup: ``(entry, executable program)``.
+
+        Literals in ``sql`` are normalised into bind parameters first,
+        so every literal variation of one query shape shares a single
+        cached template plan; the concrete values are substituted into
+        a bound copy here (memoised per values tuple).  Statements
+        whose template cannot compile — the plan genuinely depends on
+        a literal's value — are negative-cached and served through the
+        legacy literal-text path.
+        """
+        from ..sql.params import ParamBindError, bind_program, parameterise
+
+        template, values = parameterise(sql)
+        if not values:
+            # zero-parameter statements still benefit: the template is
+            # whitespace/comment-normalised, and the entry's program is
+            # the executable program
+            entry = self.lookup(template, config, schema, name=name)
+            return entry, entry.program
+        if (template, self.catalog.version) in self._no_param:
+            entry = self.lookup(sql, config, schema, name=name)
+            return entry, entry.program
+        try:
+            entry = self.lookup(template, config, schema, name=name)
+        except ParamBindError:
+            self._no_param.add((template, self.catalog.version))
+            entry = self.lookup(sql, config, schema, name=name)
+            return entry, entry.program
+        bound = entry.binds.get(values)
+        if bound is None:
+            bound = bind_program(entry.program, values, schema)
+            entry.binds[values] = bound
+            while len(entry.binds) > BOUND_PLANS_PER_ENTRY:
+                entry.binds.popitem(last=False)
+        else:
+            entry.binds.move_to_end(values)
+        return entry, bound
+
     def invalidate_schema(self) -> int:
         """Purge entries compiled against a stale schema version.
 
@@ -145,3 +197,4 @@ class PlanCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._no_param.clear()

@@ -44,13 +44,17 @@ other composites-to-be — can serve as the per-node engine.
 from __future__ import annotations
 
 from ..engines import (
+    ADMISSION_PARAM,
     FUSION_OFF,
     MORSEL_PARAM,
+    TIMEOUT_PARAM,
     EngineConfig,
     EngineFamily,
     EngineSpec,
     EngineSpecError,
+    parse_admission_setting,
     parse_morsel_setting,
+    parse_timeout_setting,
     register_engine,
 )
 from .backend import (
@@ -161,6 +165,8 @@ def _configure(spec: EngineSpec, registry) -> EngineConfig:
         fusion=FUSION_OFF not in spec.flags,
         morsel=morsel,
         morsel_size=morsel_size,
+        timeout_s=parse_timeout_setting(spec),
+        admission=parse_admission_setting(spec),
         spec=spec.canonical,
     )
 
@@ -184,5 +190,8 @@ register_engine(EngineFamily(
     # "SHARD:2xCPU,range" aliasing "SHARD:2xCPU" would split the plan
     # cache and the connection cache over one identical engine
     allowed_flags=frozenset({"hash", FUSION_OFF}),
-    allowed_params=frozenset({"key", "keys", "join", MORSEL_PARAM}),
+    allowed_params=frozenset({
+        "key", "keys", "join",
+        ADMISSION_PARAM, MORSEL_PARAM, TIMEOUT_PARAM,
+    }),
 ))

@@ -386,10 +386,18 @@ class ShardedBackend(Backend):
             shard_keys=shard_keys,
             use_declared_keys=use_declared_keys,
         )
-        self.children: list[Backend] = [
+        #: the full physical roster, one child per shard catalog; the
+        #: fault harness wraps entries here (``wrap_shard_child``)
+        self.all_children: list[Backend] = [
             child_config.make(shard_catalog, data_scale)
             for shard_catalog in self.partitioner.catalogs
         ]
+        #: the *active* children every fan-out/merge loop runs over —
+        #: shrinks when a shard's circuit breaker trips (route-around)
+        self.children: list[Backend] = list(self.all_children)
+        #: physical shard ids currently routed around (open breakers)
+        self._excluded: set[int] = set()
+        self._topology_stale = False
         #: interconnect byte counters (Connection.interconnect)
         self.traffic = ShardTraffic()
         #: ``keys=infer``: adopt observed join columns as shard keys
@@ -529,6 +537,7 @@ class ShardedBackend(Backend):
             if session not in self._session_ctxs:
                 self._session_ctxs[session] = _ShardQueryCtx()
             self._turn_baseline = (
+                self.partitioner.active,
                 [child.elapsed() for child in self.children],
                 self._session_ctxs[session].merge_s,
             )
@@ -540,13 +549,15 @@ class ShardedBackend(Backend):
 
         Children are shared across sessions, but the scheduler is
         single-threaded: everything their clocks advanced since this
-        session was activated is this session's work."""
-        baseline, merge_base = self._turn_baseline
+        session was activated is this session's work.  The timeline
+        pool is *physical*-sized (a routed-around shard keeps its
+        clock), so active (logical) deltas scatter to their physical
+        slots."""
+        active, baseline, merge_base = self._turn_baseline
         self._turn_baseline = None
-        deltas = [
-            max(0.0, child.elapsed() - before)
-            for child, before in zip(self.children, baseline)
-        ]
+        deltas = [0.0] * len(self.all_children)
+        for phys, child, before in zip(active, self.children, baseline):
+            deltas[phys] = max(0.0, child.elapsed() - before)
         ctx = self._session_ctxs.get(session)
         merge_delta = max(
             0.0, (ctx.merge_s if ctx is not None else 0.0) - merge_base
@@ -639,10 +650,66 @@ class ShardedBackend(Backend):
         longer declares."""
         self.partitioner.sync()
 
+    # -- circuit breakers: route reads around a sick shard ---------------------
+
+    def note_node_failure(self, error) -> str:
+        """Charge the failed shard's breaker; route around it on trip.
+
+        A :class:`~repro.serve.faults.NodeFault` carrying a shard id
+        charges that shard's breaker; trips (or an already-open
+        breaker) mark the topology stale — the shard is *excluded* and
+        every table re-partitions over the healthy remainder at the
+        next query boundary, never mid-query.  Faults without a node
+        fall back to the backend-wide breaker.  The last healthy shard
+        is never excluded: with nowhere left to route, the query
+        fails."""
+        node = getattr(error, "node", None)
+        if node is None or not 0 <= node < len(self.all_children):
+            return super().note_node_failure(error)
+        breaker = self.breakers().breaker(("shard", node))
+        tripped = breaker.record_failure()
+        if tripped or not breaker.allow():
+            healthy = len(self.all_children) - len(self._excluded)
+            if node not in self._excluded and healthy <= 1:
+                return "fail"
+            if node not in self._excluded:
+                self._excluded.add(node)
+                self._topology_stale = True
+            return "rerouted"
+        return "retry"
+
+    def _recover_nodes(self) -> None:
+        """Between queries: re-include shards whose breakers cooled
+        down (half-open probes re-trip with doubled backoff on the next
+        failure), then apply any pending topology change."""
+        board = getattr(self, "_breaker_board", None)
+        if board is not None:
+            for node in sorted(self._excluded):
+                if board.breaker(("shard", node)).allow():
+                    self._excluded.discard(node)
+                    self._topology_stale = True
+        if self._topology_stale:
+            self._apply_topology()
+
+    def _apply_topology(self) -> None:
+        """Re-route over the healthy shards: re-partition every table
+        across them and swap the active child roster.  Only ever called
+        from a query boundary — in-flight values hold parts fanned over
+        the *old* roster."""
+        self._topology_stale = False
+        healthy = [
+            phys for phys in range(len(self.all_children))
+            if phys not in self._excluded
+        ]
+        self.partitioner.set_active(healthy)
+        self.children = [self.all_children[phys] for phys in healthy]
+        # memoised join traces assumed the old fan-out width
+        self.catalog.bump_version()
+
     def shutdown(self) -> None:
         self._session_ctxs.clear()
         self.current_session = None
-        for child in self.children:
+        for child in self.all_children:
             child.shutdown()
 
     def end_of_query(self, intermediates: list) -> None:

@@ -128,6 +128,10 @@ class ShardPartitioner:
             for table, column in (shard_keys or {}).items()
         }
         self.catalogs = [Catalog() for _ in range(n_shards)]
+        #: physical shard ids currently holding data, in logical order;
+        #: the circuit-breaker board shrinks this to route around a sick
+        #: node (:meth:`set_active`) and restores it on recovery
+        self.active: tuple = tuple(range(n_shards))
         #: table -> True if partitioned, False if replicated
         self.partitioned: dict[str, bool] = {}
         #: effective keys this sync: table -> (column, domain)
@@ -140,6 +144,29 @@ class ShardPartitioner:
 
     def is_partitioned(self, table: str) -> bool:
         return self.partitioned.get(table, False)
+
+    @property
+    def n_active(self) -> int:
+        """How many shards currently hold data (placement fan-out)."""
+        return len(self.active)
+
+    def set_active(self, active) -> None:
+        """Re-partition every table over the given physical shards.
+
+        ``active`` is the physical shard ids (in logical order) that
+        should hold data; excluded shards are emptied.  Changing the
+        active set changes every table's layout signature, so the next
+        :meth:`sync` (run immediately) drops and re-slices everything —
+        route-around is a full re-partition, exactly what a real
+        cluster would pay to shed a dead node."""
+        active = tuple(active)
+        if not active:
+            raise ValueError("need at least one active shard")
+        if sorted(set(active)) != sorted(active) or not all(
+                0 <= p < self.n_shards for p in active):
+            raise ValueError(f"bad active shard set {active!r}")
+        self.active = active
+        self.sync()
 
     # -- shard keys ----------------------------------------------------------
 
@@ -182,16 +209,16 @@ class ShardPartitioner:
     def key_placement(self, domain: str):
         """The value-to-shard function of one key domain."""
         if self.mode == "hash":
-            return lambda values: hash_placement(values, self.n_shards)
+            return lambda values: hash_placement(values, self.n_active)
         bounds = self.domains[domain]
         return lambda values: range_placement(
-            values, self.n_shards, bounds
+            values, self.n_active, bounds
         )
 
     def default_placement(self, values: np.ndarray) -> np.ndarray:
         """Domain-free placement for ad-hoc shuffles (both-side hash
         re-partition of a join on undeclared columns)."""
-        return hash_placement(values, self.n_shards)
+        return hash_placement(values, self.n_active)
 
     def _effective_keys(self, parent_tables) -> dict:
         declared: dict[str, tuple[str, "str | None"]] = {}
@@ -219,20 +246,20 @@ class ShardPartitioner:
         column, domain = key
         values = self.parent.bat(name, column).values
         ids = self.key_placement(domain)(values)
-        return [ids == shard for shard in range(self.n_shards)]
+        return [ids == shard for shard in range(self.n_active)]
 
     def _slice(self, values: np.ndarray, shard: int) -> np.ndarray:
         n = values.shape[0]
         if self.mode == "hash":
-            return values[shard::self.n_shards]
-        lo = shard * n // self.n_shards
-        hi = (shard + 1) * n // self.n_shards
+            return values[shard::self.n_active]
+        lo = shard * n // self.n_active
+        hi = (shard + 1) * n // self.n_active
         return values[lo:hi]
 
     def _signature(self, name: str, partition: bool) -> tuple:
         key = self.keys.get(name)
         bounds = self.domains.get(key[1]) if key else None
-        return (partition, self.mode, key, bounds, self.n_shards)
+        return (partition, self.mode, key, bounds, self.active)
 
     # -- synchronisation -----------------------------------------------------
 
@@ -288,8 +315,12 @@ class ShardPartitioner:
                     if catalog.has_table(name):
                         catalog.drop_table(name)
             self._signatures[name] = signature
+            for phys in set(range(self.n_shards)) - set(self.active):
+                if self.catalogs[phys].has_table(name):
+                    self.catalogs[phys].drop_table(name)
             masks = self._slice_masks(name) if partition else None
-            for shard, catalog in enumerate(self.catalogs):
+            for shard, phys in enumerate(self.active):
+                catalog = self.catalogs[phys]
                 if catalog.has_table(name):
                     continue
                 columns = {}

@@ -28,6 +28,21 @@ class DateLiteral:
 
 
 @dataclass(frozen=True)
+class Param:
+    """Bind parameter ``?<index><kind>`` standing in for a literal.
+
+    Produced by :func:`repro.sql.params.parameterise`; ``kind`` mirrors
+    the literal it replaced: ``i`` int, ``f`` float, ``s`` string,
+    ``d`` date (already folded to a YYYYMMDD int).  Identical literals
+    share one index, so frozen-AST equality between occurrences — which
+    the binder relies on for group keys and ORDER BY — is preserved.
+    """
+
+    index: int
+    kind: str
+
+
+@dataclass(frozen=True)
 class Column:
     qualifier: Optional[str]
     name: str
@@ -92,8 +107,8 @@ class ScalarSubquery:
 
 
 Expr = Union[
-    Literal, DateLiteral, Column, BinOp, Neg, Not, Between, InList, Case,
-    Agg, ExtractYear, ScalarSubquery,
+    Literal, DateLiteral, Param, Column, BinOp, Neg, Not, Between, InList,
+    Case, Agg, ExtractYear, ScalarSubquery,
 ]
 
 

@@ -36,6 +36,7 @@ from typing import Optional, Protocol
 from ..monetdb.mal import MALBuilder, MALProgram, Var
 from . import ast
 from .lexer import SQLSyntaxError
+from .params import ParamRef
 
 
 class BindError(ValueError):
@@ -53,6 +54,10 @@ class SchemaProvider(Protocol):
 
     def dictionary_code(self, dictionary: str, literal: str) -> int: ...
 
+
+#: AST nodes the binder treats as constants; Param compiles to a
+#: ParamRef placeholder bound to a concrete value at execute time
+_LITERAL_NODES = (ast.Literal, ast.DateLiteral, ast.Param)
 
 _CMP_OPS = {"eq", "ne", "lt", "le", "gt", "ge"}
 _CMP_TO_THETA = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=",
@@ -194,6 +199,21 @@ class Compiler:
     # -- literals against dictionary columns --------------------------------------
 
     def _literal_for(self, bound: Bound, column: str, literal) -> object:
+        if isinstance(literal, ast.Param):
+            if literal.kind != "s":
+                return ParamRef(literal.index)
+            # resolve the dictionary at plan time, the code at bind time
+            if not bound.is_base:
+                raise BindError(
+                    f"string literal compared with non-base "
+                    f"column {column!r}"
+                )
+            dictionary = self.schema.dictionary(bound.table, column)
+            if dictionary is None:
+                raise BindError(
+                    f"{bound.table}.{column} is not a string column"
+                )
+            return ParamRef(literal.index, (("dict", dictionary),))
         if isinstance(literal, ast.Literal):
             value = literal.value
         elif isinstance(literal, ast.DateLiteral):
@@ -283,16 +303,16 @@ class Compiler:
             if expr.op in _CMP_OPS:
                 return (
                     isinstance(expr.left, ast.Column)
-                    and isinstance(expr.right, (ast.Literal, ast.DateLiteral))
+                    and isinstance(expr.right, _LITERAL_NODES)
                 ) or (
                     isinstance(expr.right, ast.Column)
-                    and isinstance(expr.left, (ast.Literal, ast.DateLiteral))
+                    and isinstance(expr.left, _LITERAL_NODES)
                 )
             return False
         if isinstance(expr, ast.Between):
             return isinstance(expr.operand, ast.Column) and isinstance(
-                expr.low, (ast.Literal, ast.DateLiteral)
-            ) and isinstance(expr.high, (ast.Literal, ast.DateLiteral))
+                expr.low, _LITERAL_NODES
+            ) and isinstance(expr.high, _LITERAL_NODES)
         if isinstance(expr, ast.InList):
             return isinstance(expr.operand, ast.Column)
         if isinstance(expr, ast.Not):
@@ -481,6 +501,10 @@ class Compiler:
             return expr.value
         if isinstance(expr, ast.DateLiteral):
             return expr.value
+        if isinstance(expr, ast.Param):
+            if expr.kind == "s":
+                raise BindError("string literal outside a comparison")
+            return ParamRef(expr.index)
         if isinstance(expr, ast.Column):
             return pipeline.value_of_column(expr)
         if isinstance(expr, ast.Neg):
@@ -490,6 +514,8 @@ class Compiler:
             return b.emit("batcalc", "sub", (0, operand))
         if isinstance(expr, ast.ExtractYear):
             operand = self._value_expr(pipeline, expr.operand)
+            if isinstance(operand, ParamRef):
+                return operand.intdiv(10000)
             if not isinstance(operand, Var):
                 return int(operand) // 10000
             return b.emit("batcalc", "intdiv", (operand, 10000))
@@ -543,8 +569,8 @@ class Compiler:
 
     def _compile_cmp_operands(self, pipeline, expr: ast.BinOp):
         """Comparison operands with dictionary-code resolution."""
-        left_lit = isinstance(expr.left, (ast.Literal, ast.DateLiteral))
-        right_lit = isinstance(expr.right, (ast.Literal, ast.DateLiteral))
+        left_lit = isinstance(expr.left, _LITERAL_NODES)
+        right_lit = isinstance(expr.right, _LITERAL_NODES)
         if isinstance(expr.left, ast.Column) and right_lit:
             bound, column = self._resolve(expr.left, pipeline.bounds)
             return (
@@ -756,6 +782,10 @@ class _GroupEnv:
             )
         if isinstance(expr, (ast.Literal, ast.DateLiteral)):
             return expr.value
+        if isinstance(expr, ast.Param):
+            if expr.kind == "s":
+                raise BindError("string literal outside a comparison")
+            return ParamRef(expr.index)
         if isinstance(expr, ast.BinOp):
             left = self.compile(expr.left)
             right = self.compile(expr.right)
@@ -792,6 +822,10 @@ class _ScalarEnv:
             return b.emit("aggr", expr.func, (argument,))
         if isinstance(expr, (ast.Literal, ast.DateLiteral)):
             return expr.value
+        if isinstance(expr, ast.Param):
+            if expr.kind == "s":
+                raise BindError("string literal outside a comparison")
+            return ParamRef(expr.index)
         if isinstance(expr, ast.BinOp):
             left = self.compile(expr.left)
             right = self.compile(expr.right)

@@ -233,6 +233,9 @@ class Parser:
         if token.kind == "string":
             self.advance()
             return ast.Literal(token.value)
+        if token.kind == "param":
+            self.advance()
+            return ast.Param(int(token.value[:-1]), token.value[-1])
         if self.accept("kw", "date"):
             value = date_literal(self.expect("string").value)
             return self._maybe_interval(value)

@@ -135,6 +135,63 @@ class TestSpecParams:
             default_registry.parse(None)
 
 
+class TestServeParams:
+    """``timeout=`` / ``admission=`` (PR 7): the front door's serving
+    parameters, accepted by every family like ``morsel=``."""
+
+    @pytest.mark.parametrize("family", ["MS", "MP", "CPU", "GPU", "HET"])
+    def test_every_simple_family_accepts_them(self, family):
+        config = default_registry.resolve(
+            f"{family}:admission=4,timeout=2.5"
+        )
+        assert config.admission == 4
+        assert config.timeout_s == 2.5
+
+    def test_shard_accepts_them(self):
+        config = default_registry.resolve(
+            "SHARD:2xMS,admission=2,timeout=1.5"
+        )
+        assert config.admission == 2
+        assert config.timeout_s == 1.5
+
+    def test_off_means_disabled(self):
+        config = default_registry.resolve("MS:admission=off,timeout=off")
+        assert config.admission == 0
+        assert config.timeout_s == 0.0
+
+    def test_params_canonicalise_sorted(self):
+        a = default_registry.parse("MS:timeout=2.5,admission=4")
+        b = default_registry.parse("ms:ADMISSION=4,timeout=2.5")
+        assert a.canonical == b.canonical == "MS:admission=4,timeout=2.5"
+
+    def test_defaults_are_off(self):
+        config = default_registry.resolve("CPU")
+        assert config.admission == 0
+        assert config.timeout_s == 0.0
+
+    @pytest.mark.parametrize("bad", [
+        "MS:timeout=-1",                   # negative deadline
+        "MS:timeout=zero",                 # not a number
+        "MS:timeout=1,timeout=2",          # conflicting values
+        "MS:admission=2.5",                # not an integer
+        "MS:admission=-3",
+        "MS:admission=lots",
+        "MS:admission=1,admission=2",
+        "SHARD:2xMS,timeout=never",
+    ])
+    def test_bad_values_rejected(self, bad):
+        with pytest.raises(EngineSpecError):
+            default_registry.resolve(bad)
+
+    def test_spec_params_connect_end_to_end(self):
+        db = repro.Database()
+        db.create_table("t", {"x": np.arange(16, dtype=np.int32)})
+        con = db.connect("MS:admission=2,timeout=1e6")
+        result = con.execute("SELECT sum(x) AS s FROM t")
+        assert int(result.column("s")[0]) == 120
+        assert con.scheduler.admission_limit == 2
+
+
 class TestRegistry:
     def _family(self, name, description="test engine"):
         def configure(spec, registry):
@@ -211,8 +268,10 @@ class TestGeneratedDocs:
         readme = Path(__file__).resolve().parents[2] / "README.md"
         content = readme.read_text()
         assert engine_table_markdown() in content
-        # the flag column advertises the morsel= parameter everywhere
+        # the flag column advertises the serving parameters everywhere
         assert "`morsel=…`" in engine_table_markdown()
+        assert "`timeout=…`" in engine_table_markdown()
+        assert "`admission=…`" in engine_table_markdown()
 
     def test_readme_references_resolve(self):
         """The README points at ARCHITECTURE.md sections by name; the
@@ -222,6 +281,10 @@ class TestGeneratedDocs:
         root = Path(__file__).resolve().parents[2]
         architecture = (root / "ARCHITECTURE.md").read_text()
         assert "Morsel-driven execution" in architecture
+        assert "Front door" in architecture
         readme = (root / "README.md").read_text()
         assert "Morsel-driven" in readme
         assert "REPRO_MORSEL" in readme
+        assert "Front door" in readme
+        assert "`admission=<n>`" in readme
+        assert "`timeout=<seconds>`" in readme

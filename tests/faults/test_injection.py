@@ -1,0 +1,218 @@
+"""Scheduler-path fault injection: park-and-retry under OOM, the
+retry-queue starvation fix, bounded re-parks, deadlines, cancellation,
+admission control, and transient re-routing — all through
+``Connection.submit``."""
+
+import pytest
+
+from repro.ocelot.memory import OcelotOOM
+from repro.serve import (
+    MAX_PARKS,
+    CircuitOpen,
+    FaultyBackend,
+    NodeFault,
+    QueryCancelled,
+    QueryTimeout,
+    TransientFault,
+)
+from repro.serve.faults import wrap_shard_child
+
+QUERY = "SELECT x, sum(y) AS s FROM points GROUP BY x"
+OTHER = "SELECT sum(y) AS s FROM points WHERE x < 4"
+
+
+def _faulty(con, schedule):
+    faulty = FaultyBackend(con.backend, schedule)
+    con.backend = faulty
+    con._scheduler = None
+    return faulty
+
+
+class TestParkAndRetry:
+    def test_oom_parks_then_completes(self, points_db, assert_results_equal):
+        con = points_db.connect("MS")
+        clean = con.execute(QUERY)
+        _faulty(con, {1: OcelotOOM("boom"), 2: OcelotOOM("boom")})
+        future = con.submit(QUERY)
+        con.drain()
+        assert future.exception() is None
+        assert_results_equal(clean, future.result())
+        # parked twice (one per OOM), completed on the third run
+        parked = [s for s, op in con.scheduler.turn_log if op == "parked"]
+        assert len(parked) == 2
+
+    def test_reparks_are_bounded(self, points_db, assert_results_equal):
+        con = points_db.connect("MS")
+        clean = con.execute(QUERY)
+        # each run dies on its first operator: the initial run plus
+        # MAX_PARKS re-runs consume exactly MAX_PARKS + 1 faults
+        _faulty(con, {k: OcelotOOM("boom")
+                      for k in range(1, MAX_PARKS + 2)})
+        future = con.submit(QUERY)
+        con.drain()
+        # initial run + MAX_PARKS re-runs all OOMed: the error surfaces
+        assert isinstance(future.exception(), OcelotOOM)
+        parked = [op for _s, op in con.scheduler.turn_log if op == "parked"]
+        assert len(parked) == MAX_PARKS
+        # the connection is not poisoned (schedule ran dry)
+        assert_results_equal(clean, con.execute(QUERY))
+
+    def test_parked_query_is_not_starved_by_new_arrivals(
+        self, points_db, assert_results_equal
+    ):
+        """Regression: a steady arrival stream used to keep a parked
+        query waiting forever.  New submissions are held back until the
+        retry queue drains — the twice-parked query completes *before*
+        the later arrival runs."""
+        con = points_db.connect("MS")
+        clean = {QUERY: con.execute(QUERY), OTHER: con.execute(OTHER)}
+        _faulty(con, {1: OcelotOOM("boom"), 2: OcelotOOM("boom")})
+        first = con.submit(QUERY)
+        scheduler = con.scheduler
+        scheduler.step()                      # first run OOMs: parked
+        late = [con.submit(OTHER) for _ in range(3)]
+        assert len(scheduler._pending) == 3   # held behind the retry
+        con.drain()
+        assert_results_equal(clean[QUERY], first.result())
+        for future in late:
+            assert_results_equal(clean[OTHER], future.result())
+        # ordering: the parked query's completing run precedes every
+        # late arrival's run in the turn log
+        ops = [op for _s, op in scheduler.turn_log]
+        assert ops == ["parked", "parked", "query",
+                       "query", "query", "query"]
+        sessions = [s for s, op in scheduler.turn_log if op == "query"]
+        assert sessions[0] == first.session
+
+
+class TestDeadlinesAndCancellation:
+    def test_submit_timeout_fails_the_query(self, points_db):
+        con = points_db.connect("MS")
+        future = con.submit(QUERY, timeout=1e-9)
+        con.drain()
+        assert isinstance(future.exception(), QueryTimeout)
+        # the engine stays healthy for deadline-free work
+        assert con.execute(QUERY).n_rows == 8
+
+    def test_spec_level_timeout_applies_to_every_submit(self, points_db):
+        con = points_db.connect("MS:timeout=1e-9")
+        futures = [con.submit(QUERY), con.submit(OTHER)]
+        con.drain()
+        for future in futures:
+            assert isinstance(future.exception(), QueryTimeout)
+        # a generous spec deadline lets the same queries finish
+        roomy = points_db.connect("MS:timeout=1e6")
+        ok = roomy.submit(QUERY)
+        roomy.drain()
+        assert ok.exception() is None
+
+    def test_pipelined_timeout(self, points_db):
+        con = points_db.connect("HET")
+        doomed = con.submit(QUERY, timeout=1e-9)
+        fine = con.submit(OTHER)
+        con.drain()
+        assert isinstance(doomed.exception(), QueryTimeout)
+        assert fine.exception() is None
+
+    def test_cancel_running_query(self, points_db):
+        con = points_db.connect("HET")
+        keep = con.submit(QUERY)
+        doomed = con.submit(OTHER)
+        assert doomed.cancel()
+        con.drain()
+        assert isinstance(doomed.exception(), QueryCancelled)
+        assert keep.exception() is None
+        assert not doomed.cancel()            # already finished
+
+    def test_cancel_pending_query_fails_it_immediately(self, points_db):
+        con = points_db.connect("HET:admission=1")
+        con.submit(QUERY)
+        pending = con.submit(OTHER)
+        assert pending.cancel()
+        assert pending.done()                 # no drain needed
+        assert isinstance(pending.exception(), QueryCancelled)
+        con.drain()
+
+
+class TestAdmissionControl:
+    def test_concurrency_cap_holds_submissions_back(
+        self, points_db, assert_results_equal
+    ):
+        con = points_db.connect("HET:admission=2")
+        clean = con.execute(QUERY)
+        futures = [con.submit(QUERY) for _ in range(5)]
+        scheduler = con.scheduler
+        assert len(scheduler) <= 2
+        while scheduler.step():
+            assert len(scheduler) <= 2        # never over the cap
+        for future in futures:
+            assert_results_equal(clean, future.result())
+
+    def test_memory_budget_defers_submissions(
+        self, points_db, assert_results_equal
+    ):
+        con = points_db.connect("HET")
+        clean = con.execute(QUERY)
+        scheduler = con.scheduler
+        # both columns of `points` are bound by the query; a budget of
+        # 1.5 plans admits one in-flight query at a time
+        per_query = scheduler._estimate_bytes(
+            points_db.plan_cache.prepare(
+                QUERY, con.config, points_db.schema
+            )[1]
+        )
+        assert per_query > 0
+        scheduler.memory_budget = int(1.5 * per_query)
+        futures = [con.submit(QUERY) for _ in range(3)]
+        assert len(scheduler) == 1
+        while scheduler.step():
+            assert scheduler._inflight_bytes <= scheduler.memory_budget
+        for future in futures:
+            assert_results_equal(clean, future.result())
+
+    def test_open_breaker_refuses_submission(self, points_db):
+        con = points_db.connect("MS")
+        con.execute(QUERY)
+        _faulty(con, {k: TransientFault("down") for k in (1, 2, 3)})
+        with pytest.raises(TransientFault):
+            con.execute(QUERY)                # trips the self breaker
+        future = con.submit(QUERY)
+        assert future.done()                  # refused at admission
+        assert isinstance(future.exception(), CircuitOpen)
+
+
+class TestTransientRerouteViaSubmit:
+    def test_shard_fault_parks_reroutes_and_completes(
+        self, points_db, assert_results_equal
+    ):
+        con = points_db.connect("SHARD:3xCPU")
+        clean = con.execute(QUERY)
+        wrap_shard_child(con.backend, 1, {
+            k: NodeFault("shard 1 down", node=1) for k in (1, 2, 3)
+        })
+        future = con.submit(QUERY)
+        con.drain()
+        assert future.exception() is None
+        assert_results_equal(clean, future.result())
+        assert con.backend._excluded == {1}
+        parked = [op for _s, op in con.scheduler.turn_log
+                  if op == "parked"]
+        assert len(parked) == MAX_PARKS       # two retries + the trip
+
+    def test_concurrent_queries_survive_the_reroute(
+        self, points_db, assert_results_equal
+    ):
+        """Two interleaved queries both tripping over the same sick
+        shard: the breaker trips once, the topology changes once, and
+        both queries complete correctly on the healthy remainder."""
+        con = points_db.connect("SHARD:3xCPU")
+        clean = {QUERY: con.execute(QUERY), OTHER: con.execute(OTHER)}
+        wrap_shard_child(con.backend, 1, {
+            k: NodeFault("shard 1 down", node=1) for k in (1, 2, 3)
+        })
+        faulted = con.submit(QUERY)
+        innocent = con.submit(OTHER)
+        con.drain()
+        assert_results_equal(clean[QUERY], faulted.result())
+        assert_results_equal(clean[OTHER], innocent.result())
+        assert con.backend._excluded == {1}

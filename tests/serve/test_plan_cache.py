@@ -49,11 +49,39 @@ class TestKeying:
         assert db.plan_cache.stats.hits == 0
         assert db.plan_cache.stats.misses == 2
 
+    def test_literal_variants_share_one_template_plan(self, db):
+        """The headline parameterisation effect: N literal variations
+        of one query shape are N-1 cache hits on a single entry."""
+        con = db.connect("MS")
+        results = [
+            con.execute(f"SELECT sum(y) AS s FROM points WHERE x < {k}")
+            for k in range(8)
+        ]
+        assert len(db.plan_cache) == 1
+        assert con.plan_cache.stats.misses == 1
+        assert con.plan_cache.stats.hits == 7
+        # and the bound plans still see their own literal
+        sums = [float(r.column("s")[0]) for r in results]
+        assert sums == sorted(sums)
+        assert sums[0] == 0.0 and sums[-1] > sums[1]
+
     def test_lru_eviction_bounds_entries(self, db):
         db.plan_cache.max_entries = 4
         con = db.connect("MS")
-        for k in range(8):
-            con.execute(f"SELECT sum(y) AS s FROM points WHERE x < {k}")
+        # structurally distinct statements (literal variations would
+        # collapse into one parameterised template)
+        statements = [
+            "SELECT sum(y) AS s FROM points",
+            "SELECT sum(x) AS s FROM points",
+            "SELECT count(*) AS s FROM points",
+            "SELECT min(y) AS s FROM points",
+            "SELECT max(y) AS s FROM points",
+            "SELECT avg(y) AS s FROM points",
+            "SELECT sum(y) AS s FROM points WHERE x < 4",
+            "SELECT sum(y) AS s FROM points GROUP BY x",
+        ]
+        for sql in statements:
+            con.execute(sql)
         assert len(db.plan_cache) == 4
 
 
@@ -67,6 +95,26 @@ class TestInvalidation:
         assert db.plan_cache.stats.invalidations >= 1
         con.execute(SQL)   # recompiled under the new version
         assert db.plan_cache.stats.misses == 2
+
+    def test_ddl_mid_batch_invalidates_without_breaking_in_flight(self, db):
+        """DDL landing *mid-submit-batch* invalidates the cache for
+        future compiles while the in-flight query — already bound to
+        the old plan — still completes correctly."""
+        con = db.connect("HET")
+        baseline = con.execute(SQL)
+        in_flight = con.submit(SQL)
+        for _ in range(3):
+            assert con.scheduler.step()   # underway, not finished
+        misses = db.plan_cache.stats.misses
+        db.create_table("other", {"z": np.arange(4, dtype=np.int32)})
+        assert db.plan_cache.stats.invalidations >= 1
+        after_ddl = con.submit(SQL)       # recompiles (stale entry gone)
+        con.drain()
+        assert db.plan_cache.stats.misses == misses + 1
+        for future in (in_flight, after_ddl):
+            assert future.exception() is None
+            assert np.allclose(future.result().column("total"),
+                               baseline.column("total"))
 
     def test_recreated_table_serves_fresh_data(self, db):
         con = db.connect("CPU")
