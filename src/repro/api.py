@@ -208,7 +208,43 @@ class Connection:
         entry, program = self.plan_cache.prepare(
             sql, config, self.database.schema, name=name
         )
-        return program.format()
+        text = program.format()
+        encodings = self._plan_encodings(program)
+        if encodings:
+            text += "\n# encodings: " + ", ".join(encodings)
+        return text
+
+    def _plan_encodings(self, program: MALProgram) -> list[str]:
+        """``table.column=codec(payload)`` annotations for every bound
+        column the catalog stores encoded (:mod:`repro.compress`)."""
+        catalog = self.database.catalog
+        seen: set[tuple[str, str]] = set()
+        notes = []
+        for instruction in program.instructions:
+            if (instruction.module, instruction.function) != ("sql", "bind"):
+                continue
+            ref = instruction.args[0]
+            key = (ref.table, ref.column)
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                bat = catalog.bat(ref.table, ref.column)
+            except KeyError:
+                continue
+            encoding = getattr(bat, "encoding", None)
+            if encoding is None:
+                continue
+            if encoding.kind == "dict":
+                detail = str(encoding.codes.dtype)
+            elif encoding.kind == "for":
+                detail = str(encoding.deltas.dtype)
+            else:
+                detail = f"{encoding.run_values.size} runs"
+            notes.append(
+                f"{ref.table}.{ref.column}={encoding.kind}({detail})"
+            )
+        return notes
 
     # -- statistics --------------------------------------------------------------
 
@@ -224,6 +260,18 @@ class Connection:
         win (co-located and shuffled joins vs. broadcast-gather) is
         observable without instrumenting benchmark code."""
         return self.backend.interconnect_traffic()
+
+    @property
+    def compression(self):
+        """Compression counters for the storage this connection reads.
+
+        A :class:`~repro.compress.stats.CompressionStats`: encoded vs
+        plain column counts, physical vs nominal stored bytes, and the
+        decode counters the zero-decode tests assert on
+        (``decode_events`` — full-column materialisations,
+        ``partial_decodes`` — morsel/shard slices).  On the sharded
+        engine the snapshot folds every shard catalog in."""
+        return self.backend.compression_stats()
 
     # -- asynchronous sessions ------------------------------------------------
 

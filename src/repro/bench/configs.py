@@ -21,6 +21,7 @@ from collections.abc import Mapping
 
 from ..engines import (
     ADMISSION_PARAM,
+    COMPRESSION_PARAM,
     FUSION_OFF,
     MORSEL_PARAM,
     TIMEOUT_PARAM,
@@ -29,6 +30,7 @@ from ..engines import (
     EngineSpec,
     default_registry,
     parse_admission_setting,
+    parse_compression_setting,
     parse_morsel_setting,
     parse_timeout_setting,
     register_engine,
@@ -53,7 +55,9 @@ def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
     ``"CPU:fusion=off"``) for A/B comparison against the operator-fusion
     pass (see :mod:`repro.fuse`), the ``morsel=off`` / ``morsel=<rows>``
     parameter controlling morsel-driven execution (see
-    :mod:`repro.morsel`), and the serving-tier ``timeout=<s>`` /
+    :mod:`repro.morsel`), the ``compression=off|auto|dict|rle|for``
+    parameter controlling compressed execution (see
+    :mod:`repro.compress`), and the serving-tier ``timeout=<s>`` /
     ``admission=<n>`` parameters (see :mod:`repro.serve`)."""
 
     def configure(spec: EngineSpec, registry) -> EngineConfig:
@@ -69,6 +73,7 @@ def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
             morsel_size=morsel_size,
             timeout_s=parse_timeout_setting(spec),
             admission=parse_admission_setting(spec),
+            compression=parse_compression_setting(spec),
             spec=spec.canonical,
         )
 
@@ -76,7 +81,8 @@ def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
                         description=description, syntax=name,
                         allowed_flags=frozenset({FUSION_OFF}),
                         allowed_params=frozenset({
-                            ADMISSION_PARAM, MORSEL_PARAM, TIMEOUT_PARAM,
+                            ADMISSION_PARAM, COMPRESSION_PARAM,
+                            MORSEL_PARAM, TIMEOUT_PARAM,
                         }))
 
 

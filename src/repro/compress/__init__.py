@@ -1,0 +1,56 @@
+"""``repro.compress`` — compressed columns, executed compressed.
+
+ROADMAP's compressed-execution item: base columns are stored under
+lightweight codecs (dictionary / run-length / frame-of-reference,
+:mod:`~repro.compress.codecs`) chosen per column at
+``Catalog.create_table`` time, held as
+:class:`~repro.compress.encoded.EncodedBAT` tails that decompress only
+at result materialisation, and *executed on* directly: a rewrite pass
+(:mod:`~repro.compress.passes`, mirroring ``fuse``/``morsel``) routes
+bind-direct selections, groupings and aggregations to the
+``compress.*`` operator set (:mod:`~repro.compress.ops`), which
+evaluates them over the narrow payloads — code-domain comparisons,
+run-level folds — and falls back to a whole-column decode whenever a
+column turned out plain.  Gated by the ``compression=off|auto|dict|
+rle|for`` spec parameter on every engine family and the
+``REPRO_COMPRESSION`` environment override; observability through
+``Connection.compression`` (:class:`~repro.compress.stats.CompressionStats`).
+"""
+
+from .codecs import (
+    CODEC_KINDS,
+    DictEncoding,
+    FOREncoding,
+    MIN_ENCODE_ROWS,
+    RLEEncoding,
+    choose_encoding,
+)
+from .encoded import EncodedBAT
+from .ops import register_compress_ops
+from .passes import (
+    COMPRESSION_ENV,
+    MODES,
+    compress_program,
+    effective_compression,
+    env_compression,
+    storage_mode,
+)
+from .stats import CompressionStats
+
+__all__ = [
+    "CODEC_KINDS",
+    "COMPRESSION_ENV",
+    "CompressionStats",
+    "DictEncoding",
+    "EncodedBAT",
+    "FOREncoding",
+    "MIN_ENCODE_ROWS",
+    "MODES",
+    "RLEEncoding",
+    "choose_encoding",
+    "compress_program",
+    "effective_compression",
+    "env_compression",
+    "register_compress_ops",
+    "storage_mode",
+]

@@ -1,0 +1,200 @@
+"""``EncodedBAT`` — a base column stored compressed, decoded lazily.
+
+A drop-in :class:`~repro.monetdb.bat.BAT` subclass whose tail lives as
+a codec payload (:mod:`repro.compress.codecs`) instead of a plain
+array.  Everything that inspects metadata (``count``, ``dtype``,
+``key``/``sorted``) works without touching the payload; reading
+``values`` triggers **late materialisation** — the whole tail is
+decoded once, cached, and counted in the catalog's
+:class:`~repro.compress.stats.CompressionStats` so the zero-decode
+tests can see it.
+
+The compressed execution paths never take that hit: they ask for the
+*compute-domain* companion BATs instead —
+
+* :meth:`code_bat` — the dictionary codes / FOR deltas as a plain BAT
+  (uint8/uint32 tail; uint16 payloads are widened to uint32 lazily
+  since uint16 is not an admissible tail dtype).  Marked ``is_base`` so
+  device memory managers cache the *codes* (that is the HET
+  GPU-ceiling win) and registered in :attr:`derived_bats` so catalog
+  deletion drops those device copies too.
+* :meth:`run_value_bat` — an RLE column's run values (original dtype),
+  for run-level selections and aggregations over ``n_runs`` elements.
+* :meth:`slice_rows` — an encoded view of rows ``[lo, hi)`` (morsels,
+  shard partitions) that decodes only its own range when materialised,
+  counted as a *partial* decode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..monetdb.bat import BAT, Owner, Role
+from .codecs import DictEncoding, FOREncoding, RLEEncoding
+from .stats import CompressionStats
+
+
+class EncodedBAT(BAT):
+    """A BAT whose tail is stored as a codec payload."""
+
+    def __init__(self, encoding, *, tag: str = "", key: bool = False,
+                 sorted_: bool = False,
+                 stats: "CompressionStats | None" = None,
+                 full_column: bool = True):
+        super().__init__(None, Role.VALUES, tag=tag, key=key,
+                         sorted_=sorted_)
+        self.encoding = encoding
+        self._count = encoding.count
+        self.stats = stats
+        #: whether a decode counts as a full-column materialisation
+        self.full_column = full_column
+        #: companion BATs derived from the payload (codes, run values);
+        #: the catalog recurses over these on delete so device caches
+        #: drop the code buffers along with the column
+        self.derived_bats: list[BAT] = []
+        self._code_bat: BAT | None = None
+        self._run_value_bat: BAT | None = None
+        self._dict_bat: BAT | None = None
+
+    # -- metadata (no decode) ---------------------------------------------
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.encoding.dtype
+
+    @property
+    def physical_nbytes(self) -> int:
+        return int(self.encoding.physical_nbytes)
+
+    @property
+    def nominal_nbytes(self) -> int:
+        return int(self.encoding.nominal_nbytes)
+
+    @property
+    def has_host_values(self) -> bool:
+        # the host can always produce the tail (by decoding); only an
+        # Ocelot ownership hand-over makes it unreadable
+        return self.owner is Owner.MONETDB
+
+    # -- late materialisation ---------------------------------------------
+
+    def _decode(self) -> np.ndarray:
+        if self._values is None:
+            from ..monetdb.storage import aligned_array
+
+            self._values = aligned_array(self.encoding.decode())
+            if self.stats is not None:
+                if self.full_column:
+                    self.stats.decode_events += 1
+                else:
+                    self.stats.partial_decodes += 1
+        return self._values
+
+    @property
+    def values(self) -> np.ndarray:
+        if self.owner is Owner.OCELOT:
+            return super().values      # raises OwnershipError
+        return self._decode()
+
+    def peek_values(self) -> np.ndarray:
+        return self._decode()
+
+    # -- compute-domain companions ----------------------------------------
+
+    def code_bat(self) -> "BAT | None":
+        """The per-row integer payload as a plain BAT, if the codec has
+        one: dictionary codes or FOR deltas.  Shares row positions with
+        the column, so selections/groupings over it yield oids/gids
+        valid for the original."""
+        if self._code_bat is not None:
+            return self._code_bat
+        encoding = self.encoding
+        if isinstance(encoding, DictEncoding):
+            payload = encoding.codes
+        elif isinstance(encoding, FOREncoding):
+            payload = encoding.deltas
+        else:
+            return None
+        if payload.dtype == np.uint16:
+            # uint16 is not an admissible tail dtype; widen for compute
+            payload = payload.astype(np.uint32)
+        elif payload.dtype == np.uint64:
+            payload = payload.astype(np.int64)
+        # the payload carries the column's own tag: it is row-aligned
+        # (same cardinality, predicate selectivity carries over 1:1),
+        # so per-tag feedback — HET's learned selectivities — keeps
+        # accumulating under the column whichever domain executed
+        bat = BAT(np.ascontiguousarray(payload), Role.VALUES,
+                  key=False, sorted_=self.sorted, tag=self.tag)
+        # persistent like the column itself: device managers may cache
+        # the codes across queries (the point of executing compressed)
+        bat.is_base = self.is_base
+        self.derived_bats.append(bat)
+        self._code_bat = bat
+        return bat
+
+    def run_value_bat(self) -> "BAT | None":
+        """An RLE column's run values as a plain BAT (``n_runs`` rows)."""
+        if self._run_value_bat is not None:
+            return self._run_value_bat
+        encoding = self.encoding
+        if not isinstance(encoding, RLEEncoding):
+            return None
+        bat = BAT(np.ascontiguousarray(encoding.run_values), Role.VALUES,
+                  key=False, sorted_=False, tag=f"{self.tag}#runs")
+        bat.is_base = self.is_base
+        self.derived_bats.append(bat)
+        self._run_value_bat = bat
+        return bat
+
+    def dict_bat(self) -> "BAT | None":
+        """A dictionary column's sorted value table as a (tiny) plain
+        BAT — the lookup side of a device-resident projection: gather
+        codes by oid, then gather values by code."""
+        if self._dict_bat is not None:
+            return self._dict_bat
+        encoding = self.encoding
+        if not isinstance(encoding, DictEncoding):
+            return None
+        bat = BAT(np.ascontiguousarray(encoding.dictionary), Role.VALUES,
+                  key=True, sorted_=True, tag=f"{self.tag}#dict")
+        bat.is_base = self.is_base
+        self.derived_bats.append(bat)
+        self._dict_bat = bat
+        return bat
+
+    def gather_rows(self, idx: np.ndarray) -> np.ndarray:
+        """Materialise only rows ``idx`` (host-side projection) without
+        decoding the whole tail — counted as a *partial* decode."""
+        if self._values is not None:
+            return self._values[idx]
+        encoding = self.encoding
+        if isinstance(encoding, DictEncoding):
+            out = encoding.dictionary[encoding.codes[idx]]
+        elif isinstance(encoding, FOREncoding):
+            out = (encoding.deltas[idx].astype(np.int64)
+                   + encoding.frame).astype(self.dtype)
+        else:
+            run_idx = np.searchsorted(encoding.ends, idx, side="right")
+            out = encoding.run_values[run_idx]
+        if self.stats is not None:
+            self.stats.partial_decodes += 1
+        return out
+
+    def slice_rows(self, lo: int, hi: int) -> "EncodedBAT":
+        """An encoded view of rows ``[lo, hi)`` — still compressed; its
+        eventual decode is a *partial* materialisation."""
+        sliced = EncodedBAT(
+            self.encoding.slice_(lo, hi),
+            tag=f"{self.tag}[{lo}:{hi}]",
+            key=self.key, sorted_=self.sorted,
+            stats=self.stats, full_column=False,
+        )
+        return sliced
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<EncodedBAT #{self.bat_id} {self.tag!r} "
+            f"{self.encoding.kind} n={self._count} "
+            f"{self.physical_nbytes}/{self.nominal_nbytes}B>"
+        )

@@ -1,0 +1,136 @@
+"""The compression rewrite pass and its gating.
+
+Mirrors ``fuse``/``morsel``: a plan-level pass
+(:func:`compress_program`) rewrites operators that consume a **base
+column directly** (the result of ``sql.bind``) into their
+compression-aware ``compress.*`` forms, and an environment variable /
+spec parameter pair gates the whole subsystem:
+
+* ``compression=off|auto|dict|rle|for`` — per-engine spec parameter
+  accepted by every family; ``auto`` (the default) lets
+  :func:`~repro.compress.codecs.choose_encoding` pick per column,
+  the codec names restrict it to one family, ``off`` disables both
+  storage encoding and the pass,
+* ``REPRO_COMPRESSION`` — the global override, used by the CI
+  ``compression-off`` A/B job exactly like ``REPRO_FUSION`` /
+  ``REPRO_MORSEL``.
+
+Only bind-direct consumers are rewritten: that is where the encoded
+representation lives (intermediates are plain BATs), and it keeps the
+pass trivially safe — every ``compress.*`` operator re-checks its
+input at runtime and delegates to the ordinary operator when the
+column turned out plain (or encoded with a codec the operator cannot
+exploit), so the same compiled plan is correct for *any* storage
+state.  The effective mode is part of the serve layer's plan-cache key,
+so compiled-with and compiled-without plans never mix.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..monetdb.mal import MALInstruction, MALProgram, Var
+
+#: the global override, like REPRO_FUSION / REPRO_MORSEL
+COMPRESSION_ENV = "REPRO_COMPRESSION"
+
+#: admissible settings for the spec param and the env override
+MODES = ("off", "auto", "dict", "rle", "for")
+
+_OFF_WORDS = ("off", "0", "false", "no")
+
+#: scalar aggregates with a compressed-domain evaluation
+_SCALAR_AGGS = ("sum", "min", "max", "count", "avg")
+
+#: grouped aggregates with a compressed-domain evaluation (dictionary
+#: order isomorphism: min/max commute with the code mapping)
+_GROUPED_AGGS = ("submin", "submax")
+
+
+def env_compression() -> "str | None":
+    """The ``REPRO_COMPRESSION`` override, normalised, or ``None``."""
+    raw = os.environ.get(COMPRESSION_ENV, "").strip().lower()
+    if not raw:
+        return None
+    if raw in _OFF_WORDS:
+        return "off"
+    if raw in MODES:
+        return raw
+    return None
+
+
+def storage_mode() -> str:
+    """The mode governing *storage-time* encoding (``create_table``)."""
+    return env_compression() or "auto"
+
+
+def effective_compression(config) -> str:
+    """The mode a connection actually runs under: env beats spec."""
+    override = env_compression()
+    if override is not None:
+        return override
+    return getattr(config, "compression", "auto")
+
+
+def compress_program(program: MALProgram, mode: str) -> MALProgram:
+    """Rewrite bind-direct operators into ``compress.*`` forms.
+
+    Idempotent; a no-op under ``mode == "off"``.  Each rewritten
+    instruction gains a trailing ``mode`` literal so the runtime
+    operator knows which codecs it may exploit.
+    """
+    if mode == "off":
+        return program
+    instructions = program.instructions
+    if any(i.module == "compress" for i in instructions):
+        return program     # already rewritten: the pass is a no-op
+
+    bind_results = {
+        i.results[0].name
+        for i in instructions
+        if i.op == "sql.bind" and i.results
+    }
+
+    def _is_bind(arg) -> bool:
+        return isinstance(arg, Var) and arg.name in bind_results
+
+    rewritten = []
+    changed = False
+    for instruction in instructions:
+        replacement = _rewrite(instruction, _is_bind, mode)
+        if replacement is not None:
+            rewritten.append(replacement)
+            changed = True
+        else:
+            rewritten.append(instruction)
+    if not changed:
+        return program
+    return MALProgram(
+        name=program.name,
+        instructions=rewritten,
+        result_columns=list(program.result_columns),
+    )
+
+
+def _compressed(instruction: MALInstruction, mode: str) -> MALInstruction:
+    return MALInstruction(
+        instruction.results, "compress", instruction.function,
+        instruction.args + (mode,),
+    )
+
+
+def _rewrite(instruction: MALInstruction, is_bind, mode: str):
+    """The ``compress.*`` replacement for one instruction, or None."""
+    op = instruction.op
+    args = instruction.args
+    if op in ("algebra.select", "algebra.thetaselect", "group.group"):
+        if args and is_bind(args[0]):
+            return _compressed(instruction, mode)
+        return None
+    if instruction.module == "aggr":
+        fn = instruction.function
+        if fn in _SCALAR_AGGS and len(args) == 1 and is_bind(args[0]):
+            return _compressed(instruction, mode)
+        if fn in _GROUPED_AGGS and args and is_bind(args[0]):
+            return _compressed(instruction, mode)
+    return None

@@ -78,6 +78,17 @@ TIMEOUT_PARAM = "timeout"
 #: cap queue at the front door and admit as slots free up.
 ADMISSION_PARAM = "admission"
 
+#: the spec parameter every family accepts to control compressed
+#: execution: ``compression=off`` disables the compress rewrite pass
+#: for one engine instance (whole-column decode on first touch),
+#: ``compression=auto`` (the default) executes on whatever codec each
+#: column carries, and ``compression=dict|rle|for`` restricts execution
+#: to one codec family (other encodings fall back to decode), e.g.
+#: ``"CPU:compression=off"``.  The ``REPRO_COMPRESSION`` environment
+#: variable additionally overrides it globally — and, being a storage
+#: setting too, controls which codecs ``Catalog.create_table`` applies.
+COMPRESSION_PARAM = "compression"
+
 
 def parse_morsel_setting(spec: EngineSpec) -> tuple[bool, int]:
     """``(enabled, size)`` from a spec's ``morsel=`` parameters.
@@ -159,6 +170,36 @@ def parse_admission_setting(spec: EngineSpec) -> int:
     )
 
 
+def parse_compression_setting(spec: EngineSpec) -> str:
+    """Compression mode from ``compression=``; one of
+    :data:`repro.compress.MODES` (``off``/``auto``/``dict``/``rle``/
+    ``for``), defaulting to ``auto``.
+
+    Raises :class:`EngineSpecError` for malformed or conflicting values.
+    """
+    values = spec.param_values(COMPRESSION_PARAM)
+    if not values:
+        return "auto"
+    if len(values) > 1:
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: conflicting compression= "
+            f"values {values!r}"
+        )
+    value = values[0]
+    if value in _MORSEL_OFF_WORDS:
+        return "off"
+    if value == "on":
+        return "auto"
+    from .compress import MODES
+
+    if value in MODES:
+        return value
+    raise EngineSpecError(
+        f"engine spec {spec.canonical!r}: compression= takes one of "
+        f"{', '.join(MODES)}, got {value!r}"
+    )
+
+
 @dataclass(frozen=True)
 class EngineSpec:
     """One parsed engine spec: family + parameters + canonical string."""
@@ -218,6 +259,11 @@ class EngineConfig:
     #: concurrent-admission cap for the session scheduler, from
     #: ``admission=<n>``; 0 means unlimited
     admission: int = 0
+    #: compressed-execution mode from ``compression=``; ``off`` skips
+    #: the compress rewrite pass, ``auto`` (the default) executes on any
+    #: codec, a codec name restricts execution to that codec family
+    #: (the ``REPRO_COMPRESSION`` environment variable overrides it)
+    compression: str = "auto"
     #: canonical engine spec; defaults to ``label`` for parameterless
     #: families (set via ``__post_init__`` to keep the dataclass frozen)
     spec: str = ""
@@ -248,6 +294,12 @@ class EngineConfig:
                 or self.morsel_size
                 or DEFAULT_MORSEL_SIZE)
 
+    def effective_compression(self) -> str:
+        """Compression mode: ``REPRO_COMPRESSION`` > spec > ``auto``."""
+        from .compress import effective_compression
+
+        return effective_compression(self)
+
     def plan(self, program: MALProgram) -> MALProgram:
         """Optimizer pipeline for this configuration.
 
@@ -260,9 +312,20 @@ class EngineConfig:
         instructions.  Deterministic per (program, engine, fusion
         switch, morsel switch) — the serve layer's plan cache memoises
         its output keyed by SQL text, canonical engine spec, schema
-        version and both effective switches (see
+        version and the effective switches (see
         :mod:`repro.serve.plancache`).
+
+        The compress pass runs *first*: it rewrites selections,
+        groupings and aggregates over base columns into their
+        ``compress.*`` forms, which the later passes treat as opaque
+        leaf operators (fusion never fuses them, the Ocelot rewriter
+        passes them through, the morsel pass streams the selects).
         """
+        mode = self.effective_compression()
+        if mode != "off":
+            from .compress import compress_program
+
+            program = compress_program(program, mode)
         if self.fuses:
             from .fuse import fuse_program
 

@@ -41,6 +41,11 @@ _KEY_SPECS = {
     np.dtype(np.float32): (KEY_KIND_FLOAT, np.uint32, _SIGN),
     np.dtype(np.int64): (KEY_KIND_INT, np.uint64, _SIGN64),
     np.dtype(np.float64): (KEY_KIND_FLOAT, np.uint64, _SIGN64),
+    # narrow unsigned payloads (dictionary codes, FOR deltas from
+    # repro.compress) zero-extend into uint32 keys — in OpenCL a plain
+    # (uint)col[i] widening cast instead of the as_uint reinterpretation
+    np.dtype(np.uint8): (KEY_KIND_UINT, np.uint32, _SIGN),
+    np.dtype(np.uint16): (KEY_KIND_UINT, np.uint32, _SIGN),
 }
 
 
@@ -70,6 +75,8 @@ def encode_keys(col: np.ndarray) -> np.ndarray:
     kind, udtype, sign = _KEY_SPECS[np.dtype(col.dtype)]
     if kind == KEY_KIND_FLOAT:
         col = col + col.dtype.type(0)  # -0.0 + 0.0 == +0.0
+    if col.dtype.itemsize != np.dtype(udtype).itemsize:
+        return col.astype(udtype)      # narrow uint: zero-extend
     u = col.view(udtype)
     if kind == KEY_KIND_UINT:
         return u.copy()
@@ -87,6 +94,9 @@ def _key_encode_vec(ctx, out, col, n, kind):
         u = col.view(out.dtype)
         negative = (u & sign) != 0
         out[:n] = np.where(negative, ~u, u ^ sign)
+        return
+    if col.dtype.itemsize != out.dtype.itemsize:
+        out[:n] = col[:n].astype(out.dtype)    # narrow uint: zero-extend
         return
     u = col[:n].view(out.dtype)
     if kind == KEY_KIND_UINT:
@@ -110,6 +120,9 @@ def _key_encode_ref(wi, out, col, n, kind):
         if kind == KEY_KIND_FLOAT:
             u = np.asarray(col[i] + col.dtype.type(0)).view(out.dtype)[()]
             out[i] = out.dtype.type(~u) if (u & sign) else (u ^ sign)
+            continue
+        if col.dtype.itemsize != out.dtype.itemsize:
+            out[i] = out.dtype.type(col[i])    # narrow uint: zero-extend
             continue
         u = col.view(out.dtype)[i]
         out[i] = u if kind == KEY_KIND_UINT else (u ^ sign)

@@ -165,6 +165,11 @@ class MonetDBBackend(Backend):
         reg("calc.sub", lambda a, b: a - b)
         reg("calc.mul", lambda a, b: a * b)
         reg("calc.div", lambda a, b: a / b)
+        # compressed-execution forms (delegate back to the ops above
+        # when a column is stored plain)
+        from ..compress.ops import register_compress_ops
+
+        register_compress_ops(self)
 
     # -- helpers ----------------------------------------------------------------
 
@@ -212,7 +217,13 @@ class MonetDBBackend(Backend):
 
     def op_projection(self, oids: BAT, b: BAT) -> BAT:
         idx = oids.values.astype(np.int64, copy=False)
-        out = b.values[idx]
+        gather_rows = getattr(b, "gather_rows", None)
+        if gather_rows is not None:
+            # encoded source: materialise only the fetched rows through
+            # the codec instead of decoding the whole tail first
+            out = gather_rows(idx)
+        else:
+            out = b.values[idx]
         model = self.model
         self._charge(
             OpCost(
@@ -411,16 +422,21 @@ class MonetDBBackend(Backend):
 
     def _make_scalar_agg(self, agg: str):
         def op(b: BAT):
-            values = b.values
             model = self.model
+            if agg == "count":
+                # metadata answers this — never touch (or decode) the tail
+                n = int(b.count)
+                self._charge(
+                    OpCost(op="aggr.count", work=model.ns(n, model.agg_ns))
+                )
+                return n
+            values = b.values
             self._charge(
                 OpCost(
                     op=f"aggr.{agg}",
                     work=model.ns(values.size, model.agg_ns),
                 )
             )
-            if agg == "count":
-                return int(values.size)
             if values.size == 0:
                 # SQL returns NULL for empty SUM/AVG; without NULLs the
                 # engines agree on 0 (min/max stay undefined).

@@ -108,6 +108,16 @@ class Backend(abc.ABC):
     def elapsed(self) -> float:
         """Simulated seconds consumed since :meth:`begin`."""
 
+    def compression_stats(self):
+        """Compression counters for the storage this backend reads.
+
+        The default reports the catalog's own counters (encoded
+        columns, bytes saved, decode events — see
+        :class:`repro.compress.stats.CompressionStats`); the sharded
+        engine overrides this to fold its per-shard catalogs in.
+        """
+        return self.catalog.compression
+
     def interconnect_traffic(self):
         """Interconnect byte counters, for multi-node backends.
 
@@ -259,6 +269,14 @@ class Backend(abc.ABC):
         key = (bat.bat_id, lo, hi)
         sliced = cache.get(key)
         if sliced is None:
+            slice_rows = getattr(bat, "slice_rows", None)
+            if slice_rows is not None:
+                # an encoded column slices in the compressed domain —
+                # never decode a whole column just to cut a morsel
+                sliced = slice_rows(lo, hi)
+                sliced.is_base = bat.is_base
+                cache[key] = sliced
+                return sliced
             values = bat.peek_values()
             if values is None:
                 raise ValueError(f"cannot slice device-only BAT {bat.tag!r}")

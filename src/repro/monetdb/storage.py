@@ -52,8 +52,13 @@ class Catalog:
     """
 
     def __init__(self) -> None:
+        from ..compress.stats import CompressionStats
+
         self._tables: dict[str, dict[str, BAT]] = {}
         self._delete_callbacks: list[Callable[[BAT], None]] = []
+        #: per-catalog compression counters, shared by every EncodedBAT
+        #: this catalog creates (``Connection.compression`` reads it)
+        self.compression = CompressionStats()
         #: monotonic DDL counter; every create/drop bumps it.  The serve
         #: layer's plan cache keys compiled plans by this version, so a
         #: schema change implicitly invalidates every cached plan.
@@ -67,7 +72,14 @@ class Catalog:
     # -- schema ------------------------------------------------------------
 
     def create_table(self, table: str, columns: dict[str, np.ndarray]) -> None:
-        """Register a table from column arrays (stored 128-byte aligned)."""
+        """Register a table from column arrays (stored 128-byte aligned).
+
+        Under ``REPRO_COMPRESSION`` settings other than ``off``, each
+        column is offered to :func:`repro.compress.choose_encoding`;
+        columns it accepts are stored as
+        :class:`~repro.compress.encoded.EncodedBAT` — compressed at
+        rest, decoded only at result materialisation — the rest stay
+        plain arrays."""
         if table in self._tables:
             raise ValueError(f"table {table!r} already exists")
         if not columns:
@@ -76,13 +88,29 @@ class Catalog:
         if len(sizes) != 1:
             raise ValueError(f"table {table!r} columns differ in length")
         bats = {
-            col: make_bat(aligned_array(arr), tag=f"{table}.{col}")
+            col: self._column_bat(arr, tag=f"{table}.{col}")
             for col, arr in columns.items()
         }
         for bat in bats.values():
             bat.is_base = True
         self._tables[table] = bats
         self.version += 1
+
+    def _column_bat(self, arr: np.ndarray, tag: str) -> BAT:
+        """A base column's BAT: encoded when a codec pays off."""
+        from ..compress import EncodedBAT, choose_encoding, storage_mode
+
+        mode = storage_mode()
+        encoding = choose_encoding(np.ascontiguousarray(arr), mode)
+        stats = self.compression
+        if encoding is None:
+            if mode != "off":
+                stats.columns_plain += 1
+            return make_bat(aligned_array(arr), tag=tag)
+        stats.columns_encoded += 1
+        stats.bytes_physical += encoding.physical_nbytes
+        stats.bytes_nominal += encoding.nominal_nbytes
+        return EncodedBAT(encoding, tag=tag, stats=stats)
 
     def drop_table(self, table: str) -> None:
         for bat in self._tables.pop(table).values():
@@ -155,6 +183,11 @@ class Catalog:
             pass
 
     def _fire_delete(self, bat: BAT) -> None:
+        # an encoded column's derived payload BATs (dictionary codes,
+        # run values) may be device-cached under their own identities;
+        # drop those device copies along with the column itself
+        for derived in getattr(bat, "derived_bats", ()):
+            self._fire_delete(derived)
         for callback in self._delete_callbacks:
             callback(bat)
 

@@ -102,6 +102,7 @@ MIN_REGION = 2
 _SELECT_OPS = frozenset({
     "algebra.select", "algebra.thetaselect",
     "ocelot.select", "ocelot.thetaselect",
+    "compress.select", "compress.thetaselect",
 })
 _PROJECTION_OPS = frozenset({"algebra.projection", "ocelot.projection"})
 _PIPE_OPS = frozenset({"fuse.pipe", "ocelot.pipe"})

@@ -153,6 +153,13 @@ class OcelotBackend(Backend):
 
         for name, fn in operators.HOST_CODE.items():
             self.register(f"ocelot.{name}", bind_host_code(fn))
+        # compressed-execution forms, registered on *this* backend so
+        # their internal delegation targets the ocelot.* device
+        # operators (the dictionary codes get uploaded and cached at
+        # payload width) instead of the host fallback
+        from ..compress.ops import register_compress_ops
+
+        register_compress_ops(self)
 
     def resolve(self, op: str):
         if op in self._registry:

@@ -69,6 +69,7 @@ class CacheEntry:
     free_pending: bool = False            # released while pinned elsewhere
     intermediate: bool = False            # counted in intermediates stats
     counted_nbytes: int = 0               # nominal bytes counted as such
+    counted_nbytes_physical: int = 0      # raw in-process bytes ditto
 
     @property
     def resident(self) -> bool:
@@ -102,6 +103,13 @@ class MemoryManagerStats:
     #: column-sized
     intermediate_bytes: int = 0
     intermediate_bytes_peak: int = 0
+    #: the same footprint in raw (in-process, unscaled) bytes.  Under
+    #: compressed execution (repro.compress) operators run over narrow
+    #: code payloads, so the physical footprint can sit well below what
+    #: the same plan over plain columns would allocate — this pair is
+    #: how that gap is observed
+    intermediate_bytes_physical: int = 0
+    intermediate_bytes_physical_peak: int = 0
 
 
 class MemoryManager:
@@ -266,10 +274,19 @@ class MemoryManager:
             self._scope_allocs[-1].add(entry.entry_id)
             entry.intermediate = True
             entry.counted_nbytes = buffer.nominal_nbytes
+            entry.counted_nbytes_physical = buffer.nbytes
             self.stats.intermediate_bytes += entry.counted_nbytes
             if self.stats.intermediate_bytes > self.stats.intermediate_bytes_peak:
                 self.stats.intermediate_bytes_peak = (
                     self.stats.intermediate_bytes
+                )
+            self.stats.intermediate_bytes_physical += (
+                entry.counted_nbytes_physical
+            )
+            if (self.stats.intermediate_bytes_physical
+                    > self.stats.intermediate_bytes_physical_peak):
+                self.stats.intermediate_bytes_physical_peak = (
+                    self.stats.intermediate_bytes_physical
                 )
         self._scope_pin(buffer)
         return buffer
@@ -331,6 +348,9 @@ class MemoryManager:
             entry.intermediate = False
             self.stats.intermediates_freed += 1
             self.stats.intermediate_bytes -= entry.counted_nbytes
+            self.stats.intermediate_bytes_physical -= (
+                entry.counted_nbytes_physical
+            )
         for frame in self._scope_allocs:
             if entry.entry_id in frame:
                 frame.discard(entry.entry_id)
@@ -479,8 +499,14 @@ class MemoryManager:
             if new_entry.intermediate:
                 self.stats.intermediates_allocated -= 1
                 self.stats.intermediate_bytes -= new_entry.counted_nbytes
+                self.stats.intermediate_bytes_physical -= (
+                    new_entry.counted_nbytes_physical
+                )
             new_entry.intermediate = True
             new_entry.counted_nbytes = entry.counted_nbytes
+            new_entry.counted_nbytes_physical = (
+                entry.counted_nbytes_physical
+            )
         self._entries.pop(entry.entry_id, None)
         # linked (non-BASE) BATs carried a direct device_ref before the
         # offload; re-attach it.  BASE copies never hold one — a cached
@@ -613,3 +639,14 @@ class MemoryManager:
     @property
     def resident_bytes(self) -> int:
         return self.context.allocated_nominal
+
+    @property
+    def resident_bytes_physical(self) -> int:
+        """Raw (unscaled) bytes of live registry entries — the actual
+        in-process footprint, as opposed to the simulated device budget
+        ``resident_bytes`` is charged against."""
+        return sum(
+            entry.buffer.nbytes
+            for entry in self._entries.values()
+            if entry.resident
+        )

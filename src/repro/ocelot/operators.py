@@ -286,7 +286,50 @@ def _select_common(engine, b, cand, op, lo, hi, anti):
 # projection — the left fetch join (§4.1.2)
 # ---------------------------------------------------------------------------
 
+def _project_encoded(engine: OcelotEngine, oids: BAT, b: BAT):
+    """Device-side projection against a compressed base column.
+
+    Late materialisation without a host decode: gather the narrow code
+    payload by oid, then rebuild values *on the device* — a second
+    gather against the (tiny) dictionary table, or an element-wise
+    frame add for FOR.  The code buffer is what the Memory Manager
+    caches, so the device working set stays at payload width.  RLE has
+    no run-lookup kernel; those columns return ``None`` and take the
+    ordinary upload path.
+    """
+    encoding = getattr(b, "encoding", None)
+    if encoding is None or encoding.kind not in ("dict", "for"):
+        return None
+    code = b.code_bat()
+    codes_buf = engine.buffer_of(code)
+    with engine.memory.pinned(codes_buf):
+        oid_buf, count, unique = _oids_of(engine, oids)
+        codes = engine.temp(max(count, 1), code.dtype, tag="proj_codes")
+        if count:
+            engine.launch("gather", codes, codes_buf, oid_buf, count)
+        out = engine.result_buffer(max(count, 1), b.dtype, tag="proj")
+        if encoding.kind == "dict":
+            dict_buf = engine.buffer_of(b.dict_bat())
+            with engine.memory.pinned(dict_buf):
+                if count:
+                    engine.launch("gather", out, dict_buf, codes, count)
+        else:
+            frame = engine.temp(max(count, 1), b.dtype, tag="proj_frame")
+            if count:
+                engine.launch("fill", frame, count, encoding.frame)
+                engine.launch("ewise", out, codes, frame, count, "add")
+            engine.release(frame)
+        engine.release(codes)
+    return engine.device_bat(
+        out, Role.VALUES, count=count, key=bool(b.key and unique)
+    )
+
+
 def op_projection(engine: OcelotEngine, oids: BAT, b: BAT):
+    if b.role is not Role.BITMAP:
+        projected = _project_encoded(engine, oids, b)
+        if projected is not None:
+            return projected
     if b.role is Role.BITMAP:
         # A bitmap used as the fetch source (row-map composition): its
         # value column is the materialised oid list.

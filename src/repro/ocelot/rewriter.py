@@ -69,6 +69,23 @@ OCELOT_MAP: dict[str, tuple[str, tuple[str, ...]]] = {
 }
 
 
+#: Result kinds of the compressed-execution forms (module ``compress``),
+#: mirroring OCELOT_MAP: ``bat`` results may come back device-owned
+#: when the runtime operator delegated to an ocelot.* implementation.
+_COMPRESS_RESULT_KINDS: dict[str, tuple[str, ...]] = {
+    "select": ("bat",),
+    "thetaselect": ("bat",),
+    "group": ("bat", "scalar"),
+    "submin": ("bat",),
+    "submax": ("bat",),
+    "sum": ("scalar",),
+    "min": ("scalar",),
+    "max": ("scalar",),
+    "count": ("scalar",),
+    "avg": ("scalar",),
+}
+
+
 #: Row-independent Ocelot functions, by fan-out shape (consumed by the
 #: heterogeneous scheduler).  Element-wise ops merge by concatenation,
 #: selections by offsetting + concatenating the qualifying-oid lists,
@@ -119,6 +136,26 @@ def rewrite_for_ocelot(program: MALProgram) -> MALProgram:
             )
             for var in instruction.results:
                 ocelot_owned.add(var.name)
+            continue
+        if instruction.module == "compress":
+            # compressed-execution forms (repro.compress) stay as-is:
+            # the runtime operator delegates to the ocelot.* device
+            # implementations itself, so BAT results may come back
+            # device-owned and need syncs at ownership boundaries
+            # (host-produced results are MonetDB-owned already and the
+            # inserted sync is then a no-op)
+            out.instructions.append(
+                MALInstruction(
+                    instruction.results, "compress", instruction.function,
+                    args,
+                )
+            )
+            kinds = _COMPRESS_RESULT_KINDS.get(
+                instruction.function, ("bat",)
+            )
+            for var, kind in zip(instruction.results, kinds):
+                if kind == "bat":
+                    ocelot_owned.add(var.name)
             continue
         mapping = OCELOT_MAP.get(instruction.op)
         if mapping is not None:

@@ -176,6 +176,12 @@ class HeterogeneousBackend(Backend):
     def _register_ops(self) -> None:
         for name in HOST_CODE:
             self.register(f"ocelot.{name}", self._bind(name))
+        # compressed-execution forms: their internal delegation hits the
+        # ocelot.* bindings above, i.e. the cost-based placer — the
+        # narrow code payloads are what gets placed, uploaded and cached
+        from ..compress.ops import register_compress_ops
+
+        register_compress_ops(self)
 
     def _bind(self, function: str):
         def op(*args):

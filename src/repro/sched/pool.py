@@ -149,6 +149,13 @@ class DevicePool:
         key = (bat.bat_id, lo, hi)
         sliced = self._slices.get(key)
         if sliced is None:
+            slice_rows = getattr(bat, "slice_rows", None)
+            if slice_rows is not None:
+                # encoded columns slice in the code domain — no decode
+                sliced = slice_rows(lo, hi)
+                sliced.is_base = bat.is_base
+                self._slices[key] = sliced
+                return sliced
             values = bat.peek_values()
             if values is None:
                 raise ValueError(

@@ -110,7 +110,11 @@ class PlanCache:
         # not serve plans compiled under the other setting.  The morsel
         # component carries the effective size too, so retuning
         # ``REPRO_MORSEL=<rows>`` recompiles instead of reusing regions
-        # cut at the old size.
+        # cut at the old size.  The effective compression mode
+        # (``compression=`` / REPRO_COMPRESSION) is part of the identity
+        # for the same reason: compressed-execution plans carry
+        # ``compress.*`` instructions that an ``off`` connection must
+        # never be served.
         fused = bool(getattr(config, "fuses", False))
         morsels = bool(getattr(config, "morsels", False))
         morsel_size = (
@@ -118,8 +122,14 @@ class PlanCache:
             if morsels and hasattr(config, "effective_morsel_size")
             else 0
         )
+        compression = (
+            config.effective_compression()
+            if hasattr(config, "effective_compression")
+            else "off"
+        )
         return (sql_cache_key(sql), config.spec, name,
-                self.catalog.version, fused, morsels, morsel_size)
+                self.catalog.version, fused, morsels, morsel_size,
+                compression)
 
     def lookup(self, sql: str, config, schema, name: str = "query"
                ) -> CachedPlan:

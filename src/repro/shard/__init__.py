@@ -45,6 +45,7 @@ from __future__ import annotations
 
 from ..engines import (
     ADMISSION_PARAM,
+    COMPRESSION_PARAM,
     FUSION_OFF,
     MORSEL_PARAM,
     TIMEOUT_PARAM,
@@ -53,6 +54,7 @@ from ..engines import (
     EngineSpec,
     EngineSpecError,
     parse_admission_setting,
+    parse_compression_setting,
     parse_morsel_setting,
     parse_timeout_setting,
     register_engine,
@@ -167,6 +169,7 @@ def _configure(spec: EngineSpec, registry) -> EngineConfig:
         morsel_size=morsel_size,
         timeout_s=parse_timeout_setting(spec),
         admission=parse_admission_setting(spec),
+        compression=parse_compression_setting(spec),
         spec=spec.canonical,
     )
 
@@ -192,6 +195,6 @@ register_engine(EngineFamily(
     allowed_flags=frozenset({"hash", FUSION_OFF}),
     allowed_params=frozenset({
         "key", "keys", "join",
-        ADMISSION_PARAM, MORSEL_PARAM, TIMEOUT_PARAM,
+        ADMISSION_PARAM, COMPRESSION_PARAM, MORSEL_PARAM, TIMEOUT_PARAM,
     }),
 ))

@@ -97,7 +97,11 @@ class InterconnectTraffic:
 
     Bytes are *nominal* (scaled by the dataset's ``data_scale``, like
     the simulated clock), so counters line up with the makespan charges
-    and with the paper-scale data volumes."""
+    and with the paper-scale data volumes.  Each pattern additionally
+    tracks a ``*_physical`` counter: the bytes a transfer would move if
+    it shipped columns in their *encoded* form (:mod:`repro.compress`)
+    instead of decoded arrays — equal to the nominal counter when
+    nothing on the wire was compressed."""
 
     #: driver gather + re-broadcast to every shard (broadcast joins,
     #: eager aggregate merges re-broadcast to the shards)
@@ -106,25 +110,42 @@ class InterconnectTraffic:
     bytes_shuffled: int = 0
     #: driver-only gathers (result collection, grouped key merges)
     bytes_gathered: int = 0
+    #: encoded-wire counterparts, by the same pattern
+    bytes_broadcast_physical: int = 0
+    bytes_shuffled_physical: int = 0
+    bytes_gathered_physical: int = 0
 
     @property
     def bytes_total(self) -> int:
         return (self.bytes_broadcast + self.bytes_shuffled
                 + self.bytes_gathered)
 
-    def add(self, kind: str, nbytes: int) -> None:
+    @property
+    def bytes_total_physical(self) -> int:
+        return (self.bytes_broadcast_physical
+                + self.bytes_shuffled_physical
+                + self.bytes_gathered_physical)
+
+    def add(self, kind: str, nbytes: int,
+            physical: "int | None" = None) -> None:
         setattr(self, f"bytes_{kind}",
                 getattr(self, f"bytes_{kind}") + int(nbytes))
+        physical = nbytes if physical is None else physical
+        setattr(self, f"bytes_{kind}_physical",
+                getattr(self, f"bytes_{kind}_physical") + int(physical))
 
     def reset(self) -> None:
         self.bytes_broadcast = self.bytes_shuffled = 0
         self.bytes_gathered = 0
+        self.bytes_broadcast_physical = self.bytes_shuffled_physical = 0
+        self.bytes_gathered_physical = 0
 
     def __str__(self) -> str:
         return (
             f"broadcast={self.bytes_broadcast} "
             f"shuffled={self.bytes_shuffled} "
-            f"gathered={self.bytes_gathered}"
+            f"gathered={self.bytes_gathered} "
+            f"physical={self.bytes_total_physical}"
         )
 
 
@@ -623,21 +644,37 @@ class ShardedBackend(Backend):
     def query_overhead_s(self) -> float:
         return max(child.query_overhead_s() for child in self.children)
 
-    def _charge_merge(self, nbytes: int, kind: str = "gathered") -> None:
+    def _charge_merge(self, nbytes: int, kind: str = "gathered",
+                      physical_nbytes: "int | None" = None) -> None:
         """Interconnect + driver cost of moving ``nbytes`` (actual array
         bytes; scaled to nominal) through the merge point.  ``kind``
         classifies the transfer pattern for the traffic counters:
         ``"broadcast"`` (gather + re-broadcast), ``"shuffled"``
         (shard-to-shard moves and targeted fetches) or ``"gathered"``
-        (driver-only)."""
+        (driver-only).  ``physical_nbytes`` — when the moved columns are
+        stored encoded — is what the transfer would put on the wire in
+        compressed form; it feeds the ``*_physical`` traffic counters
+        only, while the simulated wire time stays charged at nominal
+        width so the timing baselines are unaffected by storage mode."""
         nominal = int(nbytes * self.data_scale)
+        physical = (nominal if physical_nbytes is None
+                    else int(physical_nbytes * self.data_scale))
         self._merge_s += SHARD_LATENCY_S + nominal / (SHARD_NET_GBS * GB)
-        self.traffic.query.add(kind, nominal)
-        self.traffic.total.add(kind, nominal)
+        self.traffic.query.add(kind, nominal, physical)
+        self.traffic.total.add(kind, nominal, physical)
 
     def interconnect_traffic(self) -> ShardTraffic:
         """Per-query + cumulative interconnect byte counters."""
         return self.traffic
+
+    def compression_stats(self):
+        """Driver-catalog counters folded with every shard's: each
+        shard catalog re-encodes its own partition at ``create_table``
+        time, so the storage picture spans all of them."""
+        combined = self.catalog.compression.snapshot()
+        for child in self.all_children:
+            combined.add(child.compression_stats())
+        return combined
 
     # -- protocol: lifecycle ------------------------------------------------------
 
@@ -1021,14 +1058,20 @@ class ShardedBackend(Backend):
                     oid_bat(merged.astype(OID_DTYPE), tag="shard_gather")
                     for _ in range(self.n_shards)
                 ]
+                physical = int(merged.nbytes)
             else:
                 merged = np.concatenate(arrays)
                 bats = [
                     make_bat(merged, tag="shard_gather")
                     for _ in range(self.n_shards)
                 ]
+                # encoded parts would ship (and re-broadcast) their
+                # codec payloads, not the decoded arrays
+                physical = self._physical_nbytes(value.parts, arrays)
             self._charge_merge(int(merged.nbytes) * (1 + self.n_shards),
-                               kind="broadcast")
+                               kind="broadcast",
+                               physical_nbytes=physical
+                               * (1 + self.n_shards))
             gathered = ShardedValue(bats, partitioned=False)
             # offset-translated positions now live in the gathered
             # (global) layout — consumers must gather their sources too
@@ -1038,6 +1081,18 @@ class ShardedBackend(Backend):
 
     def _needs_gather(self, value) -> bool:
         return isinstance(value, ShardedValue) and value.partitioned
+
+    @staticmethod
+    def _physical_nbytes(parts, arrays) -> int:
+        """Wire bytes if each part shipped in its *stored* form: the
+        codec payload size for encoded parts (``repro.compress``), the
+        plain array size otherwise."""
+        total = 0
+        for part, arr in zip(parts, arrays):
+            physical = getattr(part, "physical_nbytes", None)
+            total += int(physical if physical is not None
+                         else np.asarray(arr).nbytes)
+        return total
 
     @staticmethod
     def _counts(value) -> "tuple[int, ...] | None":
@@ -1235,6 +1290,12 @@ class ShardedBackend(Backend):
                 for s, a in enumerate(arrays)
             ]
         concat = np.concatenate(arrays)
+        # an encoded source would ship fetched rows in its stored form;
+        # approximate with the source's overall physical/nominal ratio
+        # (position columns are never encoded, so their ratio is 1)
+        src_nominal = sum(int(np.asarray(a).nbytes) for a in arrays)
+        src_ratio = (self._physical_nbytes(source.parts, arrays)
+                     / src_nominal) if src_nominal else 1.0
         bounds = np.append(offsets, len(concat)).astype(np.int64)
         parts, moved = [], 0
         for shard in range(self.n_shards):
@@ -1249,7 +1310,8 @@ class ShardedBackend(Backend):
                                      tag="shard_fetch"))
             else:
                 parts.append(make_bat(values, tag="shard_fetch"))
-        self._charge_merge(moved, kind="shuffled")
+        self._charge_merge(moved, kind="shuffled",
+                           physical_nbytes=int(moved * src_ratio))
         out = ShardedValue(parts, partitioned=True)
         if positions:
             # fetched values are positions in the source space's own
@@ -1453,10 +1515,19 @@ class ShardedBackend(Backend):
         dest_keys: list[list] = [[] for _ in range(self.n_shards)]
         dest_oids: list[list] = [[] for _ in range(self.n_shards)]
         moved = 0
+        moved_physical = 0
         dtype = None
         for shard in range(self.n_shards):
-            keys = np.asarray(self._host_values(shard, value.parts[shard]))
+            part = value.parts[shard]
+            keys = np.asarray(self._host_values(shard, part))
             dtype = keys.dtype if dtype is None else dtype
+            # encoded key columns ship their moved rows in stored form;
+            # approximate with the part's physical/nominal ratio (oids
+            # travel at full width either way)
+            part_physical = getattr(part, "physical_nbytes", None)
+            key_ratio = (part_physical / keys.nbytes
+                         if part_physical is not None and keys.nbytes
+                         else 1.0)
             ids = place(keys)
             goids = np.arange(keys.shape[0], dtype=np.int64) \
                 + offsets[shard]
@@ -1471,7 +1542,11 @@ class ShardedBackend(Backend):
                 if dest != shard:
                     moved += int(moved_keys.nbytes) \
                         + int(moved_oids.nbytes)
-        self._charge_merge(moved, kind="shuffled")
+                    moved_physical += \
+                        int(moved_keys.nbytes * key_ratio) \
+                        + int(moved_oids.nbytes)
+        self._charge_merge(moved, kind="shuffled",
+                           physical_nbytes=moved_physical)
         parts, mapping = [], []
         for dest in range(self.n_shards):
             keys = (np.concatenate(dest_keys[dest]) if dest_keys[dest]
@@ -1554,7 +1629,10 @@ class ShardedBackend(Backend):
             for shard, part in enumerate(value.parts)
         ]
         merged = np.concatenate(arrays)
-        self._charge_merge(int(merged.nbytes))
+        self._charge_merge(
+            int(merged.nbytes),
+            physical_nbytes=self._physical_nbytes(value.parts, arrays),
+        )
         return merged
 
     def collect(self, value):

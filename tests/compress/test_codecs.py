@@ -1,0 +1,145 @@
+"""Codec units: round trips, slicing, widths, and the ``auto`` policy."""
+
+import numpy as np
+import pytest
+
+from repro.compress.codecs import (
+    MAX_PHYSICAL_FRACTION,
+    MIN_ENCODE_ROWS,
+    DictEncoding,
+    FOREncoding,
+    RLEEncoding,
+    choose_encoding,
+)
+
+
+def _roundtrip(codec_cls, values):
+    encoding = codec_cls.encode(values)
+    decoded = encoding.decode()
+    assert decoded.dtype == values.dtype
+    np.testing.assert_array_equal(decoded, values)
+    return encoding
+
+
+class TestDict:
+    def test_roundtrip_and_narrow_codes(self):
+        rng = np.random.default_rng(3)
+        values = rng.choice(
+            np.linspace(1.0, 9.0, 40).astype(np.float32), size=4000
+        )
+        encoding = _roundtrip(DictEncoding, values)
+        assert encoding.codes.dtype == np.uint8
+        assert encoding.physical_nbytes < encoding.nominal_nbytes
+
+    def test_dictionary_is_sorted(self):
+        values = np.array([5, 1, 5, 3, 1, 3] * 10, dtype=np.int32)
+        encoding = DictEncoding.encode(values)
+        assert np.array_equal(encoding.dictionary, [1, 3, 5])
+
+    def test_width_grows_with_cardinality(self):
+        values = np.arange(300, dtype=np.int32)
+        assert DictEncoding.encode(values).codes.dtype == np.uint16
+
+    def test_slice_matches_plain_slice(self):
+        values = np.array([7, 7, 2, 9, 2, 2, 7, 9], dtype=np.int64)
+        encoding = DictEncoding.encode(values)
+        np.testing.assert_array_equal(
+            encoding.slice_(2, 6).decode(), values[2:6]
+        )
+
+
+class TestRLE:
+    def test_roundtrip_runs(self):
+        values = np.repeat(
+            np.array([4, 4, 1, 8], dtype=np.int32), [5, 3, 7, 2]
+        )
+        encoding = _roundtrip(RLEEncoding, values)
+        # adjacent equal run values merge
+        assert encoding.n_runs == 3
+        assert encoding.count == values.size
+
+    def test_slice_cuts_runs(self):
+        values = np.repeat(np.arange(6, dtype=np.int32), 10)
+        encoding = RLEEncoding.encode(values)
+        for lo, hi in ((0, 60), (5, 55), (9, 11), (30, 30), (17, 18)):
+            np.testing.assert_array_equal(
+                encoding.slice_(lo, hi).decode(), values[lo:hi],
+                err_msg=f"[{lo}:{hi}]",
+            )
+
+    def test_empty(self):
+        encoding = RLEEncoding.encode(np.empty(0, dtype=np.float32))
+        assert encoding.count == 0
+        assert encoding.decode().dtype == np.float32
+
+
+class TestFOR:
+    def test_roundtrip_and_narrow_deltas(self):
+        values = (np.arange(2000) % 200 + 19940000).astype(np.int32)
+        encoding = _roundtrip(FOREncoding, values)
+        assert encoding.frame == 19940000
+        assert encoding.deltas.dtype == np.uint8
+
+    def test_negative_frame(self):
+        values = np.array([-50, -20, -50, -3] * 8, dtype=np.int64)
+        _roundtrip(FOREncoding, values)
+
+    def test_slice_matches_plain_slice(self):
+        values = np.arange(100, dtype=np.int32) + 1000
+        encoding = FOREncoding.encode(values)
+        np.testing.assert_array_equal(
+            encoding.slice_(10, 20).decode(), values[10:20]
+        )
+
+
+class TestAutoPolicy:
+    def test_off_never_encodes(self):
+        assert choose_encoding(np.zeros(1000, np.int32), "off") is None
+
+    def test_short_columns_stay_plain(self):
+        assert choose_encoding(
+            np.zeros(MIN_ENCODE_ROWS - 1, np.int32), "auto"
+        ) is None
+
+    def test_nan_stays_plain(self):
+        values = np.full(1000, np.nan, dtype=np.float64)
+        assert choose_encoding(values, "auto") is None
+
+    def test_incompressible_stays_plain(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 1 << 62, 4096).astype(np.int64)
+        assert choose_encoding(values, "auto") is None
+
+    def test_constant_column_prefers_rle(self):
+        encoding = choose_encoding(np.zeros(10000, np.int32), "auto")
+        assert encoding is not None and encoding.kind == "rle"
+
+    def test_small_range_ints_take_for(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 200, 10000).astype(np.int32)
+        encoding = choose_encoding(values, "auto")
+        # FOR has no dictionary to store, so it narrowly beats dict here
+        assert encoding is not None and encoding.kind == "for"
+
+    def test_low_cardinality_floats_take_dict(self):
+        rng = np.random.default_rng(9)
+        palette = np.linspace(0.0, 1.0, 30).astype(np.float32)
+        encoding = choose_encoding(rng.choice(palette, 10000), "auto")
+        assert encoding is not None and encoding.kind == "dict"
+
+    def test_forced_mode_restricts_the_codec(self):
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 200, 10000).astype(np.int32)
+        assert choose_encoding(values, "dict").kind == "dict"
+        assert choose_encoding(values, "for").kind == "for"
+        # scattered values: forcing rle cannot beat the plain tail
+        assert choose_encoding(values, "rle") is None
+
+    def test_win_must_beat_the_fraction_gate(self):
+        chosen = choose_encoding(
+            np.arange(10000, dtype=np.int32), "auto"
+        )
+        if chosen is not None:
+            assert chosen.physical_nbytes < (
+                chosen.nominal_nbytes * MAX_PHYSICAL_FRACTION
+            )

@@ -272,6 +272,7 @@ class TestGeneratedDocs:
         assert "`morsel=…`" in engine_table_markdown()
         assert "`timeout=…`" in engine_table_markdown()
         assert "`admission=…`" in engine_table_markdown()
+        assert "`compression=…`" in engine_table_markdown()
 
     def test_readme_references_resolve(self):
         """The README points at ARCHITECTURE.md sections by name; the
@@ -282,9 +283,13 @@ class TestGeneratedDocs:
         architecture = (root / "ARCHITECTURE.md").read_text()
         assert "Morsel-driven execution" in architecture
         assert "Front door" in architecture
+        assert "Compressed execution" in architecture
         readme = (root / "README.md").read_text()
         assert "Morsel-driven" in readme
         assert "REPRO_MORSEL" in readme
         assert "Front door" in readme
         assert "`admission=<n>`" in readme
         assert "`timeout=<seconds>`" in readme
+        assert "Compressed execution" in readme
+        assert "REPRO_COMPRESSION" in readme
+        assert "`compression=off|auto|dict|rle|for`" in readme

@@ -1,0 +1,197 @@
+"""Compression properties (hypothesis).
+
+Two contracts the codec layer must never bend:
+
+* **round-trip fidelity** — every codec decodes to exactly the array
+  it encoded, for every tail dtype it accepts, including the edge
+  shapes (empty, constant, all-distinct), and every ``slice_`` view
+  decodes to the matching slice of the original;
+* **execution transparency** — a connection running compressed plans
+  returns results identical to ``compression=off`` over the same
+  (encoded) storage, across the whole TPC-H workload.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.compress.codecs import (
+    MAX_PHYSICAL_FRACTION,
+    DictEncoding,
+    FOREncoding,
+    RLEEncoding,
+    choose_encoding,
+)
+
+INT_DTYPES = (np.int32, np.int64)
+ALL_DTYPES = INT_DTYPES + (np.float32, np.float64)
+
+int_lists = st.lists(st.integers(-(1 << 31), (1 << 31) - 1),
+                     min_size=0, max_size=200)
+float_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False, width=32),
+    min_size=0, max_size=200,
+)
+# runs amplify RLE; a few distinct values amplify dict
+runny_lists = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(1, 20)),
+    min_size=0, max_size=40,
+).map(lambda runs: [v for v, n in runs for _ in range(n)])
+
+
+def _as_array(values, dtype):
+    return np.asarray(values, dtype=dtype)
+
+
+def _roundtrip(codec, values):
+    encoding = codec.encode(values)
+    decoded = encoding.decode()
+    assert decoded.dtype == values.dtype
+    np.testing.assert_array_equal(decoded, values)
+    assert encoding.count == values.size
+    assert encoding.nominal_nbytes == values.nbytes
+    return encoding
+
+
+def _slices(encoding, values, cuts):
+    for lo, hi in cuts:
+        lo = min(lo, values.size)
+        hi = min(hi, values.size)
+        window = encoding.slice_(lo, hi)
+        np.testing.assert_array_equal(
+            window.decode(), values[lo:hi], err_msg=f"[{lo}:{hi}]"
+        )
+        assert window.count == max(hi - lo, 0)
+
+
+cut_pairs = st.lists(st.tuples(st.integers(0, 220), st.integers(0, 220))
+                     .map(lambda p: (min(p), max(p))),
+                     min_size=1, max_size=5)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    @given(values=runny_lists, cuts=cut_pairs)
+    @settings(max_examples=20, deadline=None)
+    def test_dict(self, dtype, values, cuts):
+        array = _as_array(values, dtype)
+        _slices(_roundtrip(DictEncoding, array), array, cuts)
+
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    @given(values=runny_lists, cuts=cut_pairs)
+    @settings(max_examples=20, deadline=None)
+    def test_rle(self, dtype, values, cuts):
+        array = _as_array(values, dtype)
+        encoding = _roundtrip(RLEEncoding, array)
+        # runs are maximal: neighbouring run values always differ
+        if encoding.n_runs > 1:
+            assert (encoding.run_values[1:]
+                    != encoding.run_values[:-1]).all()
+        _slices(encoding, array, cuts)
+
+    @pytest.mark.parametrize("dtype", INT_DTYPES)
+    @given(values=int_lists, cuts=cut_pairs)
+    @settings(max_examples=20, deadline=None)
+    def test_for(self, dtype, values, cuts):
+        array = _as_array(values, dtype)
+        encoding = _roundtrip(FOREncoding, array)
+        assert encoding.deltas.dtype.kind == "u"
+        _slices(encoding, array, cuts)
+
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    @given(values=float_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_dict_and_rle_on_float_shapes(self, dtype, values):
+        array = _as_array(values, dtype)
+        _roundtrip(DictEncoding, array)
+        _roundtrip(RLEEncoding, array)
+
+    @pytest.mark.parametrize("codec,dtype", [
+        (DictEncoding, dtype) for dtype in ALL_DTYPES
+    ] + [
+        (RLEEncoding, dtype) for dtype in ALL_DTYPES
+    ] + [
+        (FOREncoding, dtype) for dtype in INT_DTYPES
+    ])
+    def test_edge_shapes(self, codec, dtype):
+        empty = np.empty(0, dtype=dtype)
+        constant = np.full(257, 42, dtype=dtype)
+        distinct = np.arange(257, 0, -1).astype(dtype)
+        for array in (empty, constant, distinct):
+            encoding = _roundtrip(codec, array)
+            _slices(encoding, array, [(0, 0), (0, array.size),
+                                      (3, 200), (200, 3)])
+
+
+class TestAutoPolicy:
+    @given(values=runny_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_chosen_encoding_is_faithful_and_worth_it(self, values):
+        array = _as_array(values, np.int64)
+        encoding = choose_encoding(array, "auto")
+        if encoding is None:
+            return
+        np.testing.assert_array_equal(encoding.decode(), array)
+        assert encoding.physical_nbytes < (
+            encoding.nominal_nbytes * MAX_PHYSICAL_FRACTION
+        )
+
+    @given(values=int_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_forced_modes_are_faithful(self, values):
+        array = _as_array(values, np.int32)
+        for mode in ("dict", "rle", "for"):
+            encoding = choose_encoding(array, mode)
+            if encoding is not None:
+                assert encoding.kind == mode
+                np.testing.assert_array_equal(encoding.decode(), array)
+
+
+class TestTPCHTransparency:
+    """Compressed execution never changes a TPC-H answer."""
+
+    @pytest.fixture(scope="class")
+    def db(self):
+        database = repro.tpch_database(sf=0.1)
+        yield database
+        database.close()
+
+    def _compare(self, db, engine, query_id):
+        from repro.tpch import WORKLOAD
+
+        sql = WORKLOAD[query_id]
+        off_spec = (f"{engine},compression=off" if ":" in engine
+                    else f"{engine}:compression=off")
+        auto = db.connect(engine).execute(sql, name=query_id)
+        off = db.connect(off_spec).execute(sql, name=query_id)
+        assert set(auto.columns) == set(off.columns)
+        for column in auto.columns:
+            a, b = auto.columns[column], off.columns[column]
+            assert a.shape == b.shape, (engine, query_id, column)
+            if a.dtype.kind == "f" or b.dtype.kind == "f":
+                np.testing.assert_allclose(
+                    a.astype(np.float64), b.astype(np.float64),
+                    rtol=1e-4, atol=1e-6,
+                    err_msg=f"{engine}/{query_id}:{column}",
+                )
+            else:
+                np.testing.assert_array_equal(
+                    a, b, err_msg=f"{engine}/{query_id}:{column}"
+                )
+
+    @pytest.mark.parametrize("query_id", sorted(
+        repro.tpch.WORKLOAD, key=lambda q: int(q[1:])
+    ))
+    def test_every_query_on_the_baseline(self, db, query_id):
+        self._compare(db, "MS", query_id)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("engine",
+                             ("MP", "CPU", "GPU", "HET", "SHARD:2xMS"))
+    @pytest.mark.parametrize("query_id", sorted(
+        repro.tpch.WORKLOAD, key=lambda q: int(q[1:])
+    ))
+    def test_every_query_on_every_family(self, db, engine, query_id):
+        self._compare(db, engine, query_id)

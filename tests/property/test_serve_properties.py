@@ -14,6 +14,8 @@ Two contracts the serving layer must never bend:
   in the registry) hold throughout.
 """
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -30,10 +32,21 @@ N_ROWS = 1 << 14
 def _database(ngroups: int, data_scale: float = 1.0) -> Database:
     rng = np.random.default_rng(41)
     db = Database(data_scale=data_scale)
-    db.create_table("t", {
-        "v": rng.integers(0, 1 << 30, N_ROWS).astype(np.int32),
-        "g": rng.integers(0, ngroups, N_ROWS).astype(np.int32),
-    })
+    # stored plain: the memory-pressure tests size their GPU budgets
+    # against two uncompressed 64 KB columns (~4 MB at scale 64), and
+    # the eviction guard below needs that working set to stay real
+    previous = os.environ.get("REPRO_COMPRESSION")
+    os.environ["REPRO_COMPRESSION"] = "off"
+    try:
+        db.create_table("t", {
+            "v": rng.integers(0, 1 << 30, N_ROWS).astype(np.int32),
+            "g": rng.integers(0, ngroups, N_ROWS).astype(np.int32),
+        })
+    finally:
+        if previous is None:
+            del os.environ["REPRO_COMPRESSION"]
+        else:
+            os.environ["REPRO_COMPRESSION"] = previous
     return db
 
 

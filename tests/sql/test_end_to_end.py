@@ -158,10 +158,15 @@ def test_year_extraction_grouping(db, raw):
 
 def test_explain_shows_rewritten_plan(db):
     connection = db.connect("GPU")
-    text = connection.explain("SELECT sum(price) AS p FROM orders")
+    sql = "SELECT sum(price) AS p FROM orders WHERE price >= 0.0"
+    text = connection.explain(sql)
     assert "ocelot." in text
-    ms_text = db.connect("MS").explain("SELECT sum(price) AS p FROM orders")
+    # the base-column selection takes the compressed-execution form
+    assert "compress." in text
+    ms_text = db.connect("MS").explain(sql)
     assert "ocelot." not in ms_text
+    off = db.connect("GPU:compression=off").explain(sql)
+    assert "compress." not in off
 
 
 def test_unknown_engine_rejected(db):
