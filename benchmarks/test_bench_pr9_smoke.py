@@ -1,0 +1,210 @@
+"""PR 9 perf smoke: observability must be free when off.
+
+Not a paper figure and *not* marked slow: this module runs in the fast
+tier-1 loop so every push records the observability layer's headline
+numbers into the machine-readable benchmark report
+(``REPRO_BENCH_JSON``, archived by CI as ``BENCH_PR9.json``):
+
+* off-mode overhead on Q1/Q6/Q12 — the instrumented interpreter with
+  tracing *off* A/B'd against a baseline stepper with the tracer hooks
+  edited out, wall-clock min-of-N (acceptance: < 5% aggregate);
+* trace=on vs trace=off — identical results and identical *simulated*
+  time (tracing is an observer, never a participant);
+* one Chrome trace of TPC-H Q1 on the heterogeneous pool, written next
+  to the report (``trace_q1_het.json``) and archived by CI, plus the
+  EXPLAIN ANALYZE profile's reconciliation numbers in the report.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from conftest import emit
+from repro import tpch
+from repro.bench.harness import Measurement, Series
+from repro.monetdb.bat import BAT
+from repro.monetdb.interpreter import ProgramRun
+from repro.morsel.run import MorselRun
+
+SF = 0.05
+QUERIES = ("Q1", "Q6", "Q12")
+ROUNDS = 9
+
+#: where the Chrome trace artifact lands (CI archives it)
+TRACE_ARTIFACT = os.environ.get("REPRO_TRACE_ARTIFACT",
+                                "trace_q1_het.json")
+
+
+@pytest.fixture(autouse=True)
+def _unforced_tracing(monkeypatch):
+    """A global ``REPRO_TRACE`` would trace the off arm of the A/B."""
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+
+
+# -- the baseline steppers -------------------------------------------------------
+#
+# Copies of the untraced fast paths with the tracer hooks removed —
+# what the interpreter looked like before PR 9.  The A/B below measures
+# exactly what the always-compiled-in hooks cost when tracing is off.
+
+def _baseline_step(self) -> bool:
+    if self.done:
+        return False
+    instruction = self.program.instructions[self._pc]
+    if instruction.op == "morsel.run":
+        return self._step_morsel(instruction)
+    fn = self.backend.resolve(instruction.op)
+    args = [self.resolve_arg(a) for a in instruction.args]
+    out = fn(*args)
+    self._assign(instruction, out)
+    self._release_dead(self._pc)
+    self._pc += 1
+    return not self.done
+
+
+def _baseline_morsel_step(self) -> bool:
+    lo = self._lo
+    hi = min(lo + self.spec.size, self._n)
+    slices = {}
+    for name, value in self._slots.items():
+        slices[name] = (
+            self.backend.slice_base(value, lo, hi)
+            if name in self._sliced_names and isinstance(value, BAT)
+            else value
+        )
+    local: dict = {}
+    with self.backend.morsel_scope():
+        for member in self.spec.members:
+            self._execute(member, local, slices)
+        self._harvest(local, slices, lo)
+    self._release_locals(local, slices)
+    self._lo = hi
+    if hi < self._n:
+        return True
+    self._finalize()
+    return False
+
+
+def _timed(con, sql) -> float:
+    t0 = time.perf_counter()
+    con.execute(sql)
+    return time.perf_counter() - t0
+
+
+def test_trace_off_overhead_under_five_percent():
+    db = repro.tpch_database(sf=SF)
+    con = db.connect("MS")
+    sqls = {q: tpch.WORKLOAD[q] for q in QUERIES}
+    for sql in sqls.values():                      # warm plans + caches
+        con.execute(sql)
+
+    instrumented = {q: float("inf") for q in QUERIES}
+    baseline = {q: float("inf") for q in QUERIES}
+    originals = (ProgramRun.step, MorselRun._step_morsel)
+    for _ in range(ROUNDS):                        # interleave the arms
+        for q, sql in sqls.items():
+            instrumented[q] = min(instrumented[q], _timed(con, sql))
+        ProgramRun.step = _baseline_step
+        MorselRun._step_morsel = _baseline_morsel_step
+        try:
+            for q, sql in sqls.items():
+                baseline[q] = min(baseline[q], _timed(con, sql))
+        finally:
+            ProgramRun.step, MorselRun._step_morsel = originals
+
+    ratio = sum(instrumented.values()) / sum(baseline.values())
+    emit(Series(
+        name="pr9 smoke: trace-off overhead vs un-instrumented stepper",
+        x_label="query",
+        labels=("instrumented_ms", "baseline_ms"),
+        points=[
+            Measurement(
+                x=q,
+                millis={"instrumented_ms": instrumented[q] * 1e3,
+                        "baseline_ms": baseline[q] * 1e3},
+                extra={"ratio": round(instrumented[q] / baseline[q], 4)},
+            )
+            for q in QUERIES
+        ] + [Measurement(
+            x="aggregate",
+            millis={"instrumented_ms": sum(instrumented.values()) * 1e3,
+                    "baseline_ms": sum(baseline.values()) * 1e3},
+            extra={"ratio": round(ratio, 4)},
+        )],
+    ))
+    assert ratio < 1.05, f"trace-off overhead {ratio:.3f}x exceeds 5%"
+    db.close()
+
+
+def test_trace_on_is_a_pure_observer():
+    points = []
+    for engine, traced_spec in (("MS", "MS:trace=on"),
+                                ("SHARD:2xCPU", "SHARD:2xCPU,trace=on")):
+        db = repro.tpch_database(sf=SF)
+        for q in QUERIES:
+            sql = tpch.WORKLOAD[q]
+            plain = db.connect(engine).execute(sql)
+            traced = db.connect(traced_spec).execute(sql)
+            assert plain.trace is None and traced.trace is not None
+            assert list(plain.columns) == list(traced.columns)
+            for col in plain.columns:
+                np.testing.assert_allclose(
+                    traced.columns[col].astype(np.float64),
+                    plain.columns[col].astype(np.float64),
+                    rtol=1e-5, atol=1e-9,
+                )
+            assert traced.elapsed == plain.elapsed
+            points.append(Measurement(
+                x=f"{engine} {q}",
+                millis={"simulated_ms": plain.elapsed * 1e3},
+                extra={"spans": sum(1 for _ in traced.trace.walk())},
+            ))
+        db.close()
+    emit(Series(
+        name="pr9 smoke: trace=on is a pure observer "
+             "(identical results + simulated time)",
+        x_label="engine / query",
+        labels=("simulated_ms",),
+        points=points,
+    ))
+
+
+def test_chrome_trace_artifact_and_profile():
+    db = repro.tpch_database(sf=SF)
+    con = db.connect("HET")
+    result = con.execute(tpch.WORKLOAD["Q1"], analyze=True)
+    doc = result.trace.export_chrome(TRACE_ARTIFACT)
+
+    with open(TRACE_ARTIFACT) as fh:
+        loaded = json.load(fh)
+    assert loaded["displayTimeUnit"] == "ms"
+    assert any(e["ph"] == "X" for e in loaded["traceEvents"])
+    assert doc["otherData"]["engine"] == "HET"
+
+    profile = result.trace.profile()
+    operators = profile["operators"]
+    operator_s = sum(row["seconds"] for row in operators.values())
+    assert 0 < operator_s <= profile["wall_s"] * (1 + 1e-9)
+    emit(Series(
+        name="pr9 smoke: EXPLAIN ANALYZE Q1 on HET "
+             f"(chrome trace -> {TRACE_ARTIFACT})",
+        x_label="metric",
+        labels=("ms",),
+        points=[
+            Measurement(
+                x="wall", millis={"ms": profile["wall_s"] * 1e3},
+                extra={
+                    "operators": len(operators),
+                    "reconciled_pct": round(
+                        100 * operator_s / profile["wall_s"], 1
+                    ),
+                    "trace_events": len(doc["traceEvents"]),
+                },
+            ),
+        ],
+    ))
+    db.close()

@@ -20,7 +20,19 @@ ARCHITECTURE.md for the layer map (sql -> monetdb/MAL -> ocelot -> cl
 -> sched -> serve) and the lifecycle of a query on each engine.
 """
 
-from . import bench, cl, fuse, kernels, monetdb, ocelot, serve, shard, sql, tpch
+from . import (
+    bench,
+    cl,
+    fuse,
+    kernels,
+    monetdb,
+    obs,
+    ocelot,
+    serve,
+    shard,
+    sql,
+    tpch,
+)
 from .api import CatalogSchema, Connection, Database, tpch_database
 # NOTE: ``repro.engines`` is deliberately rebound from the submodule to
 # the listing *function* — ``repro.engines()`` is the public registry
@@ -48,6 +60,7 @@ __all__ = [
     "engines",
     "kernels",
     "monetdb",
+    "obs",
     "ocelot",
     "register_engine",
     "serve",

@@ -110,6 +110,7 @@ class Connection:
         #: shared per-database cache of compiled/rewritten/placed plans
         self.plan_cache: PlanCache = database.plan_cache
         self._scheduler: Optional[SessionScheduler] = None
+        self._metrics = None
         self._closed = False
 
     @property
@@ -126,7 +127,8 @@ class Connection:
 
     # -- synchronous execution ----------------------------------------------
 
-    def execute(self, sql: str, name: str = "query") -> QueryResult:
+    def execute(self, sql: str, name: str = "query",
+                analyze: bool = False) -> QueryResult:
         """Parse, lower, optimize and run one SQL statement.
 
         Statements are auto-parameterised: literals are normalised into
@@ -136,17 +138,34 @@ class Connection:
         execute time).  Engines declaring the ``replays_placements``
         capability additionally replay the cached placement trace,
         skipping per-instruction scoring on repeat queries.
+
+        ``analyze=True`` forces tracing on for this statement regardless
+        of the spec's ``trace=`` setting: the returned result carries a
+        :class:`~repro.obs.tracer.Tracer` on ``result.trace`` (per-span
+        simulated timings, Chrome export, per-operator profile).
         """
         self._check_open()
+        tracer = None
+        if analyze or self.config.traces:
+            from .obs import Tracer
+
+            tracer = Tracer(engine=self.config.spec)
+        cache_stats = self.plan_cache.stats
+        misses_before = cache_stats.misses
         entry, program = self.plan_cache.prepare(
             sql, self.config, self.database.schema, name=name
         )
-        return self._run_cached(entry, program)
+        if tracer is not None:
+            tracer.event("plan_cache.lookup", cat="plancache",
+                         hit=cache_stats.misses == misses_before,
+                         query=name)
+        return self._run_cached(entry, program, tracer=tracer, name=name)
 
     #: bounded node-failure retries per statement on the synchronous path
     MAX_TRANSIENT_RETRIES = 8
 
-    def _run_cached(self, entry, program=None) -> QueryResult:
+    def _run_cached(self, entry, program=None, tracer=None,
+                    name: str = "query") -> QueryResult:
         from .serve.faults import TransientFault
 
         backend = self.backend
@@ -155,10 +174,15 @@ class Connection:
         for attempt in range(self.MAX_TRANSIENT_RETRIES + 1):
             backend.query_boundary()
             backend.check_admission()
+            if tracer is not None:
+                tracer.event(
+                    "admission", cat="admission", attempt=attempt,
+                    breakers={b.name: b.state for b in backend.breakers()},
+                )
             if backend.replays_placements:
                 backend.install_replay(entry.placements)
             try:
-                result = run_program(program, backend)
+                result = run_program(program, backend, tracer=tracer)
             except TransientFault as fault:
                 # a node-level failure: consult the breaker board; a
                 # tripped breaker reroutes reads around the sick node
@@ -173,6 +197,7 @@ class Connection:
                 entry.placements = trace
                 self.plan_cache.stats.placement_reuses += replayed
             backend.note_query_success()
+            self._record_query(name, result.elapsed)
             return result
 
     def run_plan(self, program: MALProgram) -> QueryResult:
@@ -182,7 +207,8 @@ class Connection:
         return run_program(plan, self.backend)
 
     def explain(self, sql: str, name: str = "query",
-                no_fuse: bool = False, no_morsel: bool = False) -> str:
+                no_fuse: bool = False, no_morsel: bool = False,
+                analyze: bool = False) -> str:
         """The optimized MAL plan this connection would execute.
 
         Served through the plan cache — explaining a statement and then
@@ -194,9 +220,22 @@ class Connection:
         size, member chain, escaping outputs) inlined.  Pass
         ``no_fuse=True`` / ``no_morsel=True`` for the comparison plans
         compiled with the respective pass disabled (cached separately,
-        so the plans coexist)."""
+        so the plans coexist).
+
+        ``analyze=True`` is EXPLAIN ANALYZE: the statement actually
+        *executes* (with tracing forced on) and the plan text is
+        followed by the per-operator profile — simulated time, launches,
+        rows, bytes and the devices/encodings each operator really used.
+        The static ``# encodings:`` line renders the driver catalog's
+        storage choices; the analyze profile's ``# encodings
+        (observed):`` note reports what each shard read at runtime,
+        which is the truth on partitioned tables.  ``no_fuse`` /
+        ``no_morsel`` are ignored under ``analyze`` — the profile
+        describes the plan this connection executes."""
         self._check_open()
         config = self.config
+        if analyze:
+            no_fuse = no_morsel = False
         if (no_fuse and config.fusion) or (no_morsel and config.morsel):
             from dataclasses import replace
 
@@ -212,6 +251,11 @@ class Connection:
         encodings = self._plan_encodings(program)
         if encodings:
             text += "\n# encodings: " + ", ".join(encodings)
+        if analyze:
+            from .obs import render_profile
+
+            result = self.execute(sql, name=name, analyze=True)
+            text += "\n" + render_profile(result.trace)
         return text
 
     def _plan_encodings(self, program: MALProgram) -> list[str]:
@@ -272,6 +316,24 @@ class Connection:
         ``partial_decodes`` — morsel/shard slices).  On the sharded
         engine the snapshot folds every shard catalog in."""
         return self.backend.compression_stats()
+
+    @property
+    def metrics(self):
+        """The connection's unified metrics registry (created on first
+        use): one dotted namespace over the plan cache, interconnect,
+        compression, memory-manager, breaker and scheduler counters,
+        with ``snapshot()`` / ``diff()`` and the slow-query log.  See
+        :class:`~repro.obs.metrics.MetricsRegistry`."""
+        if self._metrics is None:
+            from .obs import MetricsRegistry
+
+            self._metrics = MetricsRegistry(self)
+        return self._metrics
+
+    def _record_query(self, name: str, elapsed_s: float) -> None:
+        """Count one completed query (and log it when it exceeds the
+        spec's ``obs_slow_ms=`` threshold)."""
+        self.metrics.record_query(name, elapsed_s)
 
     # -- asynchronous sessions ------------------------------------------------
 

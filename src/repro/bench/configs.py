@@ -24,7 +24,9 @@ from ..engines import (
     COMPRESSION_PARAM,
     FUSION_OFF,
     MORSEL_PARAM,
+    OBS_SLOW_PARAM,
     TIMEOUT_PARAM,
+    TRACE_PARAM,
     EngineConfig,
     EngineFamily,
     EngineSpec,
@@ -32,7 +34,9 @@ from ..engines import (
     parse_admission_setting,
     parse_compression_setting,
     parse_morsel_setting,
+    parse_slow_ms_setting,
     parse_timeout_setting,
+    parse_trace_setting,
     register_engine,
 )
 from ..monetdb.backends import MonetDBParallel, MonetDBSequential
@@ -57,8 +61,10 @@ def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
     parameter controlling morsel-driven execution (see
     :mod:`repro.morsel`), the ``compression=off|auto|dict|rle|for``
     parameter controlling compressed execution (see
-    :mod:`repro.compress`), and the serving-tier ``timeout=<s>`` /
-    ``admission=<n>`` parameters (see :mod:`repro.serve`)."""
+    :mod:`repro.compress`), the serving-tier ``timeout=<s>`` /
+    ``admission=<n>`` parameters (see :mod:`repro.serve`), and the
+    observability ``trace=on|off`` / ``obs_slow_ms=<ms>`` parameters
+    (see :mod:`repro.obs`)."""
 
     def configure(spec: EngineSpec, registry) -> EngineConfig:
         morsel, morsel_size = parse_morsel_setting(spec)
@@ -74,6 +80,8 @@ def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
             timeout_s=parse_timeout_setting(spec),
             admission=parse_admission_setting(spec),
             compression=parse_compression_setting(spec),
+            trace=parse_trace_setting(spec),
+            obs_slow_ms=parse_slow_ms_setting(spec),
             spec=spec.canonical,
         )
 
@@ -82,7 +90,8 @@ def _simple_family(name: str, description: str, make, *, is_ocelot: bool,
                         allowed_flags=frozenset({FUSION_OFF}),
                         allowed_params=frozenset({
                             ADMISSION_PARAM, COMPRESSION_PARAM,
-                            MORSEL_PARAM, TIMEOUT_PARAM,
+                            MORSEL_PARAM, OBS_SLOW_PARAM,
+                            TIMEOUT_PARAM, TRACE_PARAM,
                         }))
 
 

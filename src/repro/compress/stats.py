@@ -27,6 +27,11 @@ class CompressionStats:
     (morsel slices, late-materialised grouped-aggregate results) — these
     are the *point* of late materialisation and are tracked separately
     so the zero-full-decode assertions stay meaningful.
+
+    .. note:: superseded by the unified metrics registry — the same
+       counters appear under ``compress.*`` in
+       ``Connection.metrics.snapshot()``; ``Connection.compression``
+       keeps returning this live object.
     """
 
     #: base columns stored encoded vs. kept as plain arrays

@@ -90,6 +90,22 @@ ADMISSION_PARAM = "admission"
 COMPRESSION_PARAM = "compression"
 
 
+#: the spec parameter every family accepts to enable query-scoped
+#: tracing for one engine instance, e.g. ``"HET:trace=on"`` — spans
+#: around every instruction, morsel, dispatch and shard transfer,
+#: exportable as a Chrome trace (:mod:`repro.obs`).  Off by default
+#: (one pointer check per interpreter step).  The ``REPRO_TRACE``
+#: environment variable overrides it globally in either direction.
+TRACE_PARAM = "trace"
+
+#: the spec parameter every family accepts to set the slow-query-log
+#: threshold in milliseconds, e.g. ``"MS:obs_slow_ms=5"``: completed
+#: queries at or over the threshold are appended to
+#: ``Connection.metrics.slow_queries``.  ``obs_slow_ms=off`` (the
+#: default, 0) disables the log.
+OBS_SLOW_PARAM = "obs_slow_ms"
+
+
 def parse_morsel_setting(spec: EngineSpec) -> tuple[bool, int]:
     """``(enabled, size)`` from a spec's ``morsel=`` parameters.
 
@@ -200,6 +216,58 @@ def parse_compression_setting(spec: EngineSpec) -> str:
     )
 
 
+def parse_trace_setting(spec: EngineSpec) -> bool:
+    """Whether ``trace=`` asks for query-scoped tracing (default off).
+
+    Raises :class:`EngineSpecError` for malformed or conflicting values.
+    """
+    values = spec.param_values(TRACE_PARAM)
+    if not values:
+        return False
+    if len(values) > 1:
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: conflicting trace= values "
+            f"{values!r}"
+        )
+    value = values[0]
+    if value in _MORSEL_OFF_WORDS:
+        return False
+    if value in ("on", "1", "true", "yes"):
+        return True
+    raise EngineSpecError(
+        f"engine spec {spec.canonical!r}: trace= takes 'on' or 'off', "
+        f"got {value!r}"
+    )
+
+
+def parse_slow_ms_setting(spec: EngineSpec) -> float:
+    """Slow-query-log threshold (ms) from ``obs_slow_ms=``; 0.0 = off.
+
+    Raises :class:`EngineSpecError` for malformed or conflicting values.
+    """
+    values = spec.param_values(OBS_SLOW_PARAM)
+    if not values:
+        return 0.0
+    if len(values) > 1:
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: conflicting obs_slow_ms= "
+            f"values {values!r}"
+        )
+    value = values[0]
+    if value in _MORSEL_OFF_WORDS:
+        return 0.0
+    try:
+        millis = float(value)
+    except ValueError:
+        millis = -1.0
+    if millis >= 0.0:
+        return millis
+    raise EngineSpecError(
+        f"engine spec {spec.canonical!r}: obs_slow_ms= takes 'off' or a "
+        f"non-negative number of milliseconds, got {value!r}"
+    )
+
+
 @dataclass(frozen=True)
 class EngineSpec:
     """One parsed engine spec: family + parameters + canonical string."""
@@ -264,6 +332,13 @@ class EngineConfig:
     #: codec, a codec name restricts execution to that codec family
     #: (the ``REPRO_COMPRESSION`` environment variable overrides it)
     compression: str = "auto"
+    #: whether query-scoped tracing is on for this engine instance,
+    #: from ``trace=on`` (the ``REPRO_TRACE`` environment variable
+    #: overrides it globally in either direction; see :mod:`repro.obs`)
+    trace: bool = False
+    #: slow-query-log threshold in milliseconds from ``obs_slow_ms=``;
+    #: 0.0 disables the log
+    obs_slow_ms: float = 0.0
     #: canonical engine spec; defaults to ``label`` for parameterless
     #: families (set via ``__post_init__`` to keep the dataclass frozen)
     spec: str = ""
@@ -299,6 +374,17 @@ class EngineConfig:
         from .compress import effective_compression
 
         return effective_compression(self)
+
+    @property
+    def traces(self) -> bool:
+        """Whether queries on this engine run traced by default:
+        ``REPRO_TRACE`` > the ``trace=`` spec parameter > off.
+        (``execute(..., analyze=True)`` forces tracing per statement
+        regardless.)"""
+        from .obs import trace_env_forced
+
+        forced = trace_env_forced()
+        return self.trace if forced is None else forced
 
     def plan(self, program: MALProgram) -> MALProgram:
         """Optimizer pipeline for this configuration.

@@ -70,6 +70,14 @@ class Backend(abc.ABC):
     #: declared feature: per-session timelines for pipelined execution.
     pipelines_sessions: bool = False
 
+    #: the active query's :class:`~repro.obs.tracer.Tracer`, or None.
+    #: A traced :class:`ProgramRun` points this at its tracer for the
+    #: duration of each step, so deeper layers (the morsel runner, the
+    #: heterogeneous dispatcher, the shard fan-out) can attach spans
+    #: without plumbing a tracer through every call signature.  Checked
+    #: with one ``is not None`` per site — the whole cost when off.
+    tracer = None
+
     def __init__(self, catalog: Catalog):
         self.catalog = catalog
         self._registry: dict[str, Callable] = {}
@@ -108,6 +116,17 @@ class Backend(abc.ABC):
     def elapsed(self) -> float:
         """Simulated seconds consumed since :meth:`begin`."""
 
+    def elapsed_now(self) -> float:
+        """Read the per-query clock **without** synchronising.
+
+        ``elapsed()`` may be a sync point (Ocelot's joins the device
+        queue like ``clFinish``, flooring subsequent commands), which
+        is correct at a query boundary but would perturb the simulated
+        schedule if read mid-flight.  The tracer samples this instead:
+        backends whose timelines can run ahead override it with a pure
+        observation so tracing never changes query timings."""
+        return self.elapsed()
+
     def compression_stats(self):
         """Compression counters for the storage this backend reads.
 
@@ -128,6 +147,16 @@ class Backend(abc.ABC):
         ``bytes_gathered``), surfaced as ``Connection.interconnect``.
         """
         return None
+
+    def memory_managers(self):
+        """The backend's Ocelot memory managers (one per owned device).
+
+        The MonetDB baselines own none; the single-device Ocelot
+        backends return one, the heterogeneous scheduler one per pooled
+        device, and the sharded engine folds its children's in.  The
+        metrics registry sums their counters under the ``mm.``
+        namespace (see :mod:`repro.obs.metrics`)."""
+        return ()
 
     def query_overhead_s(self) -> float:
         """Fixed per-query framework cost charged by the *last* query.
@@ -374,6 +403,9 @@ class QueryResult:
     program: MALProgram
     instruction_count: int = 0
     env: dict = field(default_factory=dict)
+    #: the query's :class:`~repro.obs.tracer.Tracer` when it ran traced
+    #: (``trace=on`` spec / ``REPRO_TRACE`` / ``analyze=True``), else None
+    trace: object = None
 
     @property
     def n_rows(self) -> int:
@@ -397,9 +429,17 @@ class ProgramRun:
     concurrent queries are isolated by construction.
     """
 
-    def __init__(self, program: MALProgram, backend: Backend):
+    def __init__(self, program: MALProgram, backend: Backend,
+                 tracer=None):
         self.program = program
         self.backend = backend
+        #: optional per-query tracer; the caller installs the backend's
+        #: clock on it before constructing the run (see
+        #: :func:`run_program` and the session scheduler)
+        self.tracer = tracer
+        self._root_span = None
+        self._instr_span = None
+        self._instr_pc = -1
         self.env: dict[str, object] = {}
         self._pc = 0
         self._morsel_run = None
@@ -443,6 +483,8 @@ class ProgramRun:
         schedulers interleave queries at morsel granularity."""
         if self.done:
             return False
+        if self.tracer is not None:
+            return self._step_traced()
         instruction = self.program.instructions[self._pc]
         if instruction.op == "morsel.run":
             return self._step_morsel(instruction)
@@ -453,6 +495,69 @@ class ProgramRun:
         self._release_dead(self._pc)
         self._pc += 1
         return not self.done
+
+    def _step_traced(self) -> bool:
+        """One step with span bookkeeping (``self.tracer`` is set).
+
+        Each instruction gets one span named after its op; a
+        ``morsel.run`` instruction's span stays open across the steps
+        that advance it morsel by morsel, with the per-morsel spans
+        nested inside.  The tracer is exposed as ``backend.tracer`` for
+        the step's duration so deeper layers (dispatch, shard fan-out)
+        attach child spans."""
+        tracer = self.tracer
+        if self._root_span is None:
+            tracer.wall_s = None
+            self._root_span = tracer.begin(
+                "query", cat="query", engine=self.backend.label,
+                query=self.program.name,
+            )
+        pc = self._pc
+        instruction = self.program.instructions[pc]
+        span = self._instr_span
+        if span is None or self._instr_pc != pc:
+            span = tracer.begin(instruction.op, cat="instruction")
+            self._instr_span, self._instr_pc = span, pc
+        previous = self.backend.tracer
+        self.backend.tracer = tracer
+        try:
+            if instruction.op == "morsel.run":
+                more = self._step_morsel(instruction)
+            else:
+                fn = self.backend.resolve(instruction.op)
+                args = [self.resolve_arg(a) for a in instruction.args]
+                out = fn(*args)
+                self._assign(instruction, out)
+                self._release_dead(pc)
+                self._pc += 1
+                more = not self.done
+        finally:
+            self.backend.tracer = previous
+            if self._pc != pc:
+                self._close_instruction_span(instruction, span)
+        return more
+
+    def _close_instruction_span(self, instruction, span) -> None:
+        from ..obs.tracer import describe_value
+
+        args = {}
+        if instruction.results:
+            out = self.env.get(instruction.results[0].name)
+            if out is not None:
+                args = {
+                    key: value
+                    for key, value in describe_value(out).items()
+                    if value is not None
+                }
+        if instruction.op == "sql.bind":
+            ref = instruction.args[0]
+            span.args.setdefault("column", f"{ref.table}.{ref.column}")
+        # single-device engines have no deeper placement spans; label
+        # the instruction itself so the profile's device column fills
+        if not any("device" in child.args for child in span.walk()):
+            span.args["device"] = self.backend.label
+        self.tracer.end(span, **args)
+        self._instr_span = None
 
     def _assign(self, instruction, out) -> None:
         results = instruction.results
@@ -526,6 +631,11 @@ class ProgramRun:
             v for k, v in self.env.items() if k not in result_vars
         ]
         self.backend.end_of_query(intermediates)
+        if self.tracer is not None:
+            if self._root_span is not None:
+                self.tracer.end(self._root_span)
+            self.tracer.close_open()
+            self.tracer.wall_s = elapsed
         return QueryResult(
             columns=columns,
             elapsed=elapsed,
@@ -533,12 +643,20 @@ class ProgramRun:
             program=self.program,
             instruction_count=len(self.program.instructions),
             env=self.env,
+            trace=self.tracer,
         )
 
 
-def run_program(program: MALProgram, backend: Backend) -> QueryResult:
-    """Interpret ``program`` on ``backend`` and collect its result set."""
+def run_program(program: MALProgram, backend: Backend,
+                tracer=None) -> QueryResult:
+    """Interpret ``program`` on ``backend`` and collect its result set.
+
+    ``tracer`` (a :class:`repro.obs.tracer.Tracer`) turns on span
+    recording for this query; its clock is pointed at the backend's
+    per-query simulated clock."""
     backend.begin()
-    run = ProgramRun(program, backend)
+    if tracer is not None:
+        tracer.clock = backend.elapsed_now
+    run = ProgramRun(program, backend, tracer=tracer)
     run.run()
     return run.collect(backend.elapsed())

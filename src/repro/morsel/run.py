@@ -154,6 +154,11 @@ class MorselRun:
     def _step_morsel(self) -> bool:
         lo = self._lo
         hi = min(lo + self.spec.size, self._n)
+        tracer = self.backend.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin("morsel", cat="morsel",
+                                lo=lo, hi=hi, rows=hi - lo)
         slices = {}
         for name, value in self._slots.items():
             slices[name] = (
@@ -161,12 +166,16 @@ class MorselRun:
                 if name in self._sliced_names and isinstance(value, BAT)
                 else value
             )
-        local: dict = {}
-        with self.backend.morsel_scope():
-            for member in self.spec.members:
-                self._execute(member, local, slices)
-            self._harvest(local, slices, lo)
-        self._release_locals(local, slices)
+        try:
+            local: dict = {}
+            with self.backend.morsel_scope():
+                for member in self.spec.members:
+                    self._execute(member, local, slices)
+                self._harvest(local, slices, lo)
+            self._release_locals(local, slices)
+        finally:
+            if span is not None:
+                tracer.end(span)
         self._lo = hi
         if hi < self._n:
             return True

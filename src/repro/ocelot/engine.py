@@ -192,8 +192,15 @@ class OcelotBackend(Backend):
     def elapsed(self) -> float:
         return self.engine.queue.finish() - self._t0
 
+    def elapsed_now(self) -> float:
+        # read-only makespan: no clFinish, the schedule is untouched
+        return self.engine.queue.makespan() - self._t0
+
     def query_overhead_s(self) -> float:
         return self.engine.device.profile.framework_overhead_s
+
+    def memory_managers(self):
+        return (self.engine.memory,)
 
     # -- lifecycle -------------------------------------------------------------------
 

@@ -82,6 +82,14 @@ class CacheEntry:
 
 @dataclass
 class MemoryManagerStats:
+    """Per-device memory-manager counters.
+
+    .. note:: superseded by the unified metrics registry — the same
+       counters appear under ``mm.*`` in
+       ``Connection.metrics.snapshot()``, summed over every device the
+       engine owns; ``manager.stats`` stays as the live per-device
+       storage the registry reads."""
+
     evictions: int = 0
     offloads: int = 0
     restores: int = 0

@@ -139,6 +139,9 @@ class HeterogeneousBackend(Backend):
         per-query state."""
         self._pending_replay = placements or None
 
+    def memory_managers(self):
+        return tuple(engine.memory for engine in self.pool.engines)
+
     def take_trace(self) -> tuple[list[tuple[str, Placement]], int]:
         """Harvest the active state's decisions; returns ``(trace,
         replayed)`` where ``replayed`` counts decisions served from the
@@ -251,25 +254,60 @@ class HeterogeneousBackend(Backend):
                              if decision.split is None else 0.0),
             )
         state.trace.append((function, decision))
+        tracer = self.tracer
         if decision.split is not None:
             state.decision_log.append((function, "split"))
-            out = execute_split(
-                self.pool, function, args, decision.split,
-                charge_overhead=self._charge_overhead,
-            )
+            if tracer is not None:
+                span = tracer.begin(
+                    f"dispatch.{function}", cat="dispatch", device="split",
+                    shares=[[d, hi - lo] for d, lo, hi in decision.split],
+                )
+            try:
+                out = execute_split(
+                    self.pool, function, args, decision.split,
+                    charge_overhead=self._charge_overhead,
+                )
+            finally:
+                if tracer is not None:
+                    tracer.end(span)
         else:
             device = decision.device
             engine = self.pool.engines[device]
             state.decision_log.append((function, device))
             self._charge_overhead(device)
-            for arg in args:
-                if isinstance(arg, BAT):
-                    self.pool.ensure_on(arg, engine)
-            with engine.memory.operator_scope():
-                out = HOST_CODE[function](engine, *args)
+            if tracer is not None:
+                label = self._device_label(device)
+                span = tracer.begin(
+                    f"dispatch.{function}", cat="dispatch",
+                    tid=label, device=label,
+                )
+            try:
+                for arg in args:
+                    if isinstance(arg, BAT):
+                        if tracer is not None \
+                                and not engine.memory.has_resident(arg):
+                            from ..obs.tracer import describe_value
+
+                            tracer.event(
+                                "transfer", cat="transfer",
+                                tid=self._device_label(device),
+                                device=self._device_label(device),
+                                tag=arg.tag,
+                                **describe_value(arg),
+                            )
+                        self.pool.ensure_on(arg, engine)
+                with engine.memory.operator_scope():
+                    out = HOST_CODE[function](engine, *args)
+            finally:
+                if tracer is not None:
+                    tracer.end(span)
         if function in SELECT_FUNCTIONS:
             self._observe_selection(function, args, out)
         return out
+
+    def _device_label(self, device: int) -> str:
+        engine = self.pool.engines[device]
+        return "GPU" if engine.device.is_gpu else "CPU"
 
     # -- morsel-driven execution --------------------------------------------------
 
@@ -414,6 +452,9 @@ class HeterogeneousBackend(Backend):
 
     def elapsed(self) -> float:
         return self.pool.join_clocks() - self._t0
+
+    def elapsed_now(self) -> float:
+        return self.pool.observe_clocks() - self._t0
 
     def query_overhead_s(self) -> float:
         return sum(

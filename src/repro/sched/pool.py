@@ -232,6 +232,17 @@ class DevicePool:
     def makespan(self) -> float:
         return max(engine.queue.makespan() for engine in self.engines)
 
+    def observe_clocks(self) -> float:
+        """Read-only :meth:`join_clocks`: the same instant, but no
+        timeline is floored — mid-query observers (the tracer) use
+        this so sampling the clock never perturbs the schedule."""
+        session = self.current_session
+        if session is not None:
+            return max(
+                engine.queue.session_time(session) for engine in self.engines
+            )
+        return self.makespan()
+
     # -- session lifecycle (serve layer) ----------------------------------------
 
     def set_session(self, session: str | None) -> None:

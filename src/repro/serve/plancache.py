@@ -53,7 +53,13 @@ BOUND_PLANS_PER_ENTRY = 16
 
 @dataclass
 class CacheStats:
-    """Hit/miss/invalidation counters for one :class:`PlanCache`."""
+    """Hit/miss/invalidation counters for one :class:`PlanCache`.
+
+    .. note:: superseded by the unified metrics registry — the same
+       counters appear as ``plan_cache.hits`` / ``plan_cache.misses`` /
+       ``plan_cache.invalidations`` / ``plan_cache.placement_reuses``
+       in ``Connection.metrics.snapshot()``; this object stays as the
+       live storage they read."""
 
     hits: int = 0
     misses: int = 0

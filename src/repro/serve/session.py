@@ -190,6 +190,13 @@ class SessionScheduler:
             program if program is not None else entry.program
         )
         flight.extra["bytes"] = self._estimate_bytes(flight.extra["program"])
+        if getattr(self.connection.config, "traces", False):
+            from ..obs import Tracer
+
+            flight.extra["tracer"] = Tracer(
+                engine=self.connection.config.spec
+                or self.connection.config.label,
+            )
         if timeout is not None:
             flight.extra["timeout"] = float(timeout)
         if self._batch_start is None:
@@ -245,9 +252,21 @@ class SessionScheduler:
             flight.extra["deadline"] = (
                 flight.future.submit_epoch + flight.extra["timeout"]
             )
-        flight.run = ProgramRun(flight.extra["program"], backend)
+        flight.run = ProgramRun(flight.extra["program"], backend,
+                                tracer=self._arm_tracer(flight))
         self._inflight_bytes += flight.extra.get("bytes", 0)
         self._active.append(flight)
+
+    def _arm_tracer(self, flight: _InFlight):
+        """Point the flight's tracer (if any) at the right simulated
+        clock: the shared pool makespan when sessions pipeline (every
+        flight's spans land on one global timeline, as in fig. 9), the
+        backend's per-query clock on the FIFO path."""
+        tracer = flight.extra.get("tracer")
+        if tracer is not None:
+            tracer.clock = (self.backend.pool.makespan if self.pipelined
+                            else self.backend.elapsed_now)
+        return tracer
 
     def _admit_pending(self) -> None:
         if self._retry or any(f.extra.get("retried") for f in self._active):
@@ -496,7 +515,8 @@ class SessionScheduler:
             )
         else:
             flight.future.submit_epoch = self._now()
-        flight.run = ProgramRun(flight.extra["program"], backend)
+        flight.run = ProgramRun(flight.extra["program"], backend,
+                                tracer=self._arm_tracer(flight))
         self._inflight_bytes += flight.extra.get("bytes", 0)
         self._active.append(flight)
 
@@ -508,6 +528,7 @@ class SessionScheduler:
         flight.future._done = True
         self._inflight_bytes -= flight.extra.get("bytes", 0)
         self.backend.note_query_success()
+        self.connection._record_query(flight.future.name, result.elapsed)
         self._batch_end = max(self._batch_end, completion)
         self._maybe_finish_batch()
 

@@ -48,7 +48,9 @@ from ..engines import (
     COMPRESSION_PARAM,
     FUSION_OFF,
     MORSEL_PARAM,
+    OBS_SLOW_PARAM,
     TIMEOUT_PARAM,
+    TRACE_PARAM,
     EngineConfig,
     EngineFamily,
     EngineSpec,
@@ -56,7 +58,9 @@ from ..engines import (
     parse_admission_setting,
     parse_compression_setting,
     parse_morsel_setting,
+    parse_slow_ms_setting,
     parse_timeout_setting,
+    parse_trace_setting,
     register_engine,
 )
 from .backend import (
@@ -170,6 +174,8 @@ def _configure(spec: EngineSpec, registry) -> EngineConfig:
         timeout_s=parse_timeout_setting(spec),
         admission=parse_admission_setting(spec),
         compression=parse_compression_setting(spec),
+        trace=parse_trace_setting(spec),
+        obs_slow_ms=parse_slow_ms_setting(spec),
         spec=spec.canonical,
     )
 
@@ -195,6 +201,7 @@ register_engine(EngineFamily(
     allowed_flags=frozenset({"hash", FUSION_OFF}),
     allowed_params=frozenset({
         "key", "keys", "join",
-        ADMISSION_PARAM, COMPRESSION_PARAM, MORSEL_PARAM, TIMEOUT_PARAM,
+        ADMISSION_PARAM, COMPRESSION_PARAM, MORSEL_PARAM,
+        OBS_SLOW_PARAM, TIMEOUT_PARAM, TRACE_PARAM,
     }),
 ))

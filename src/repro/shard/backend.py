@@ -101,7 +101,13 @@ class InterconnectTraffic:
     tracks a ``*_physical`` counter: the bytes a transfer would move if
     it shipped columns in their *encoded* form (:mod:`repro.compress`)
     instead of decoded arrays — equal to the nominal counter when
-    nothing on the wire was compressed."""
+    nothing on the wire was compressed.
+
+    .. note:: superseded by the unified metrics registry — the same
+       counters appear under ``interconnect.*`` (cumulative) and
+       ``interconnect.query.*`` (per query) in
+       ``Connection.metrics.snapshot()``; ``Connection.interconnect``
+       keeps returning this live object."""
 
     #: driver gather + re-broadcast to every shard (broadcast joins,
     #: eager aggregate merges re-broadcast to the shards)
@@ -537,6 +543,17 @@ class ShardedBackend(Backend):
         self._default_ctx.replay = self._armed_replay
         self._armed_replay = None
 
+    def query_boundary(self) -> None:
+        """Between-queries hook: breaker ticks (base class) plus
+        per-query counter hygiene.  Pipelined sessions never call
+        :meth:`begin` (each flight gets its own timeline instead), and a
+        query dying mid-plan skips its own cleanup — either way the next
+        query must start from zeroed per-query traffic.  Reset is in
+        place so live references to ``con.interconnect.query`` keep
+        reading the current counters."""
+        super().query_boundary()
+        self.traffic.query.reset()
+
     # -- protocol: per-session timelines (pipelines_sessions) ------------------
 
     def open_session(self, session: str, replay=None) -> float:
@@ -641,6 +658,10 @@ class ShardedBackend(Backend):
         return max(child.elapsed() for child in self.children) \
             + self._merge_s
 
+    def elapsed_now(self) -> float:
+        return max(child.elapsed_now() for child in self.children) \
+            + self._merge_s
+
     def query_overhead_s(self) -> float:
         return max(child.query_overhead_s() for child in self.children)
 
@@ -659,13 +680,33 @@ class ShardedBackend(Backend):
         nominal = int(nbytes * self.data_scale)
         physical = (nominal if physical_nbytes is None
                     else int(physical_nbytes * self.data_scale))
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(f"interconnect.{kind}", cat="interconnect",
+                                tid="interconnect", kind=kind,
+                                bytes=nominal, bytes_physical=physical)
         self._merge_s += SHARD_LATENCY_S + nominal / (SHARD_NET_GBS * GB)
         self.traffic.query.add(kind, nominal, physical)
         self.traffic.total.add(kind, nominal, physical)
+        if tracer is not None:
+            tracer.end(span)
+            tracer.event(f"interconnect.{kind}", cat="interconnect",
+                         tid="interconnect", kind=kind, bytes=nominal,
+                         bytes_physical=physical)
 
     def interconnect_traffic(self) -> ShardTraffic:
         """Per-query + cumulative interconnect byte counters."""
         return self.traffic
+
+    def memory_managers(self):
+        """Every child node's memory managers (empty for MonetDB
+        children, one per pooled device for Ocelot/HET children)."""
+        return tuple(
+            manager
+            for child in self.all_children
+            for manager in child.memory_managers()
+        )
 
     def compression_stats(self):
         """Driver-catalog counters folded with every shard's: each
@@ -831,10 +872,32 @@ class ShardedBackend(Backend):
         return values
 
     def _fan(self, op: str, args, partitioned=None) -> object:
-        outs = [
-            self.children[shard].resolve(op)(*self._localize(shard, args))
-            for shard in range(self.n_shards)
-        ]
+        tracer = self.tracer
+        if tracer is None:
+            outs = [
+                self.children[shard].resolve(op)(
+                    *self._localize(shard, args)
+                )
+                for shard in range(self.n_shards)
+            ]
+        else:
+            # one span per shard lane; the child backend sees the tracer
+            # too, so a composite child (SHARD:NxHET) nests its dispatch
+            # spans under its shard's lane
+            outs = []
+            for shard in range(self.n_shards):
+                child = self.children[shard]
+                span = tracer.begin(op, cat="shard",
+                                    tid=f"shard{shard}", shard=shard,
+                                    device=f"shard{shard}")
+                child.tracer = tracer
+                try:
+                    outs.append(child.resolve(op)(
+                        *self._localize(shard, args)
+                    ))
+                finally:
+                    child.tracer = None
+                    tracer.end(span)
         if partitioned is None:
             partitioned = any(
                 isinstance(a, ShardedValue) and a.partitioned
@@ -1123,6 +1186,18 @@ class ShardedBackend(Backend):
         out = self._fan(op, args, partitioned=partitioned)
         if partitioned and isinstance(out, ShardedValue):
             out.origin = (ref.table, ref.column)
+        if self.tracer is not None and isinstance(out, ShardedValue):
+            # runtime truth for EXPLAIN ANALYZE: each shard catalog
+            # encodes its own partition, so the codec a shard actually
+            # read can differ from the driver catalog's whole-column
+            # choice that plain explain() renders
+            self.tracer.annotate(
+                column=f"{ref.table}.{ref.column}",
+                shard_encodings=[
+                    getattr(getattr(part, "encoding", None), "kind", None)
+                    for part in out.parts
+                ],
+            )
         return out
 
     def _op_select(self, op: str, args):

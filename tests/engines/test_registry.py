@@ -1,6 +1,8 @@
 """Engine registry: spec grammar, canonicalization, registration,
 override semantics, and the generated README engine table."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -192,6 +194,73 @@ class TestServeParams:
         assert con.scheduler.admission_limit == 2
 
 
+class TestTraceParams:
+    """``trace=`` / ``obs_slow_ms=`` (PR 9): the observability
+    parameters, accepted by every family like the serving ones."""
+
+    @pytest.mark.parametrize("family", ["MS", "MP", "CPU", "GPU", "HET"])
+    def test_every_simple_family_accepts_them(self, family):
+        config = default_registry.resolve(
+            f"{family}:trace=on,obs_slow_ms=2.5"
+        )
+        assert config.trace is True
+        assert config.obs_slow_ms == 2.5
+
+    def test_shard_accepts_them(self):
+        config = default_registry.resolve(
+            "SHARD:2xMS,trace=on,obs_slow_ms=5"
+        )
+        assert config.trace is True
+        assert config.obs_slow_ms == 5.0
+
+    def test_off_means_disabled(self):
+        config = default_registry.resolve("MS:trace=off,obs_slow_ms=off")
+        assert config.trace is False
+        assert config.obs_slow_ms == 0.0
+
+    def test_params_canonicalise_sorted(self):
+        a = default_registry.parse("MS:obs_slow_ms=5,trace=on")
+        b = default_registry.parse("ms:TRACE=on,obs_slow_ms=5")
+        assert a.canonical == b.canonical == "MS:obs_slow_ms=5,trace=on"
+
+    def test_defaults_are_off(self):
+        config = default_registry.resolve("CPU")
+        assert config.trace is False
+        assert config.obs_slow_ms == 0.0
+        if "REPRO_TRACE" not in os.environ:   # CI's trace-on job forces it
+            assert config.traces is False
+
+    def test_env_overrides_spec(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "on")
+        assert default_registry.resolve("MS").traces is True
+        monkeypatch.setenv("REPRO_TRACE", "off")
+        assert default_registry.resolve("MS:trace=on").traces is False
+        monkeypatch.delenv("REPRO_TRACE")
+        assert default_registry.resolve("MS:trace=on").traces is True
+
+    @pytest.mark.parametrize("bad", [
+        "MS:trace=maybe",                  # not on/off
+        "MS:trace=on,trace=off",           # conflicting values
+        "MS:obs_slow_ms=-1",               # negative threshold
+        "MS:obs_slow_ms=banana",           # not a number
+        "MS:obs_slow_ms=1,obs_slow_ms=2",  # conflicting values
+        "SHARD:2xMS,trace=always",
+    ])
+    def test_bad_values_rejected(self, bad):
+        with pytest.raises(EngineSpecError):
+            default_registry.resolve(bad)
+
+    def test_spec_params_connect_end_to_end(self):
+        db = repro.Database()
+        db.create_table("t", {"x": np.arange(16, dtype=np.int32)})
+        con = db.connect("MS:obs_slow_ms=0.000001,trace=on")
+        result = con.execute("SELECT sum(x) AS s FROM t")
+        assert int(result.column("s")[0]) == 120
+        assert result.trace is not None
+        assert result.trace.root().name == "query"
+        assert len(con.metrics.slow_queries) == 1
+
+
 class TestRegistry:
     def _family(self, name, description="test engine"):
         def configure(spec, registry):
@@ -273,6 +342,8 @@ class TestGeneratedDocs:
         assert "`timeout=…`" in engine_table_markdown()
         assert "`admission=…`" in engine_table_markdown()
         assert "`compression=…`" in engine_table_markdown()
+        assert "`trace=…`" in engine_table_markdown()
+        assert "`obs_slow_ms=…`" in engine_table_markdown()
 
     def test_readme_references_resolve(self):
         """The README points at ARCHITECTURE.md sections by name; the
@@ -293,3 +364,8 @@ class TestGeneratedDocs:
         assert "Compressed execution" in readme
         assert "REPRO_COMPRESSION" in readme
         assert "`compression=off|auto|dict|rle|for`" in readme
+        assert "Observability" in architecture
+        assert "EXPLAIN ANALYZE" in architecture
+        assert "REPRO_TRACE" in readme
+        assert "`trace=on|off`" in readme
+        assert "`obs_slow_ms=<ms>`" in readme
