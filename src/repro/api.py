@@ -112,6 +112,18 @@ class Connection:
         self._scheduler: Optional[SessionScheduler] = None
         self._metrics = None
         self._closed = False
+        # elastic engines announce topology changes (a replica
+        # promotion, a committed re-shard); eagerly purge the cached
+        # placement/join traces that reference the departed roster
+        if hasattr(self.backend, "on_topology_change"):
+            self.backend.on_topology_change = self._on_topology_change
+
+    def _on_topology_change(self, backend) -> None:
+        """The backend's roster moved: every memoised placement trace
+        of this engine references a node that may no longer serve its
+        slot, so they are dropped *now* — not lazily at the version
+        sweep (see :meth:`PlanCache.invalidate_placements`)."""
+        self.plan_cache.invalidate_placements(self.config.spec)
 
     @property
     def engine(self) -> str:
@@ -461,6 +473,65 @@ class Database:
         self.plan_cache.invalidate_schema()
         for connection in list(self._connections.values()):
             connection.backend.schema_changed()
+
+    # -- elastic re-sharding -----------------------------------------------
+
+    def add_shard(self) -> None:
+        """Grow every live sharded connection's cluster by one node.
+
+        The re-shard is **online**: the new layout is staged and key
+        ranges migrate incrementally at query boundaries, so in-flight
+        ``submit()`` batches drain against the old layout while new
+        admissions route to the new one.  On an idle connection the
+        migration is driven to completion before returning.
+        """
+        self._resize_shards(+1)
+
+    def remove_shard(self) -> None:
+        """Shrink every live sharded connection's cluster by one node.
+
+        Online like :meth:`add_shard` — and cached plans whose
+        placement traces reference the departing roster member are
+        eagerly invalidated when the new layout commits."""
+        self._resize_shards(-1)
+
+    def _resize_shards(self, delta: int) -> None:
+        resized = 0
+        for connection in list(self._connections.values()):
+            backend = connection.backend
+            nodes = backend.cluster_nodes()
+            if nodes is None:
+                continue
+            target = nodes + delta
+            if target < 1:
+                raise ValueError(
+                    f"connection {connection.engine!r} cannot shrink "
+                    f"below one node (currently {nodes})"
+                )
+            backend.request_resize(target)
+            resized += 1
+            scheduler = connection._scheduler
+            idle = scheduler is None or (
+                not scheduler._active and not scheduler._retry
+                and not scheduler._pending
+            )
+            if idle:
+                # nothing in flight: drive the staged migration to
+                # completion here, one boundary's worth at a time
+                guard = 0
+                while backend.topology_pending():
+                    backend.query_boundary()
+                    guard += 1
+                    if guard > 100_000:  # pragma: no cover - invariant
+                        raise RuntimeError(
+                            f"re-shard of {connection.engine!r} did "
+                            f"not converge"
+                        )
+        if not resized:
+            raise RuntimeError(
+                "no live sharded connections to resize; connect a "
+                "SHARD:<N>x<CHILD> engine first"
+            )
 
     # -- connections -----------------------------------------------------------
 

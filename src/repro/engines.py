@@ -481,7 +481,13 @@ class EngineRegistry:
     # -- the spec grammar --------------------------------------------------------
 
     def parse(self, text: str) -> EngineSpec:
-        """Parse and canonicalise one engine spec string."""
+        """Parse and canonicalise one engine spec string.
+
+        Arguments after the family separate on ``,`` or ``:``
+        interchangeably (``SHARD:4xCPU:replicas=2`` names the same
+        engine as ``SHARD:4xCPU,replicas=2``); the canonical form
+        always uses ``,``.  Child specs of a ``<N>x<CHILD>`` argument
+        are non-composite, so the extra separator is unambiguous."""
         if not isinstance(text, str) or not text.strip():
             raise EngineSpecError(
                 f"engine spec must be a non-empty string, got {text!r}; "
@@ -504,7 +510,7 @@ class EngineRegistry:
                 raise EngineSpecError(
                     f"engine spec {text!r}: empty parameter list after ':'"
                 )
-            for arg in rest.split(","):
+            for arg in re.split(r"[,:]", rest):
                 arg = arg.strip()
                 if not arg:
                     raise EngineSpecError(

@@ -238,6 +238,34 @@ class Backend(abc.ABC):
         if board is not None:
             board.record_success()
 
+    # -- elasticity (replicated / resizable clusters) -------------------------
+
+    def cluster_stats(self):
+        """Cluster-level counters, for elastic multi-node backends.
+
+        Single-node engines have no cluster and return ``None``; the
+        sharded engine returns its
+        :class:`~repro.shard.replica.ClusterStats` (promotions,
+        recoveries, migrated ranges, in-place retries, ...), surfaced
+        under the ``cluster.*`` metrics namespace."""
+        return None
+
+    def cluster_nodes(self):
+        """Current node count of an elastic backend, or ``None``.
+
+        ``Database.add_shard()`` / ``remove_shard()`` use this to find
+        resizable connections and compute their target topology (a
+        backend mid-resize reports the *target* count, so repeated
+        resizes compose)."""
+        return None
+
+    def topology_pending(self) -> bool:
+        """Whether a topology change (staged resize, pending failover)
+        is waiting on future query boundaries to complete.  The serve
+        layer drains this after a batch finishes, so migrations always
+        conclude even once traffic stops."""
+        return False
+
     def end_of_query(self, intermediates: list) -> None:
         """Hook: a finished query's leftover values go out of scope.
 

@@ -43,6 +43,12 @@ _COMPRESS_FIELDS = (
     "bytes_nominal", "decode_events", "partial_decodes",
 )
 
+_CLUSTER_FIELDS = (
+    "nodes", "replicas", "promotions", "recoveries",
+    "degraded_reads", "retries", "ranges_migrated",
+    "topology_changes", "reads_balanced",
+)
+
 
 class MetricsRegistry:
     """Unified, live counter namespace for one connection."""
@@ -107,6 +113,11 @@ class MetricsRegistry:
         if compression is not None:
             for fields in _COMPRESS_FIELDS:
                 out[f"compress.{fields}"] = getattr(compression, fields)
+
+        cluster = backend.cluster_stats()
+        if cluster is not None:
+            for fields in _CLUSTER_FIELDS:
+                out[f"cluster.{fields}"] = getattr(cluster, fields)
 
         managers = list(backend.memory_managers())
         if managers:

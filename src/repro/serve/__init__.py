@@ -31,7 +31,12 @@ how simulated timelines interleave; both are property-tested against
 fresh serial execution.
 """
 
-from .faults import FaultyBackend, NodeFault, TransientFault
+from .faults import (
+    FaultyBackend,
+    NodeFault,
+    RetryableFault,
+    TransientFault,
+)
 from .plancache import CachedPlan, CacheStats, PlanCache, sql_cache_key
 from .resilience import BreakerBoard, CircuitBreaker, CircuitOpen
 from .session import (
@@ -55,6 +60,7 @@ __all__ = [
     "QueryCancelled",
     "QueryFuture",
     "QueryTimeout",
+    "RetryableFault",
     "SessionScheduler",
     "TransientFault",
     "sql_cache_key",

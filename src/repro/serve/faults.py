@@ -13,7 +13,11 @@ consult the backend's circuit breakers (``note_node_failure``) and
 retry or re-route instead of failing the query outright.
 :class:`NodeFault` carries the identity of the failed node (a shard
 index, a device index) so tiered backends can charge the right
-breaker.
+breaker.  :class:`RetryableFault` refines it further: a blip brief
+enough that the sharded fan-out site absorbs it with an in-place
+retry (simulated backoff) *before* the breaker is ever charged —
+schedules mix the two classes to script transient-vs-hard fault
+sequences.
 """
 
 from __future__ import annotations
@@ -31,6 +35,15 @@ class NodeFault(TransientFault):
         self.node = node
 
 
+class RetryableFault(NodeFault):
+    """A blip the fan-out call site absorbs with an in-place retry.
+
+    Distinguished from a *hard* :class:`NodeFault` by class: the
+    sharded backend retries these (with simulated backoff) before the
+    breaker sees anything; only a blip outliving the retry budget
+    escalates to the breaker path like a hard fault."""
+
+
 class FaultyBackend:
     """A Backend proxy that injects scheduled failures.
 
@@ -44,8 +57,14 @@ class FaultyBackend:
         con._scheduler = None          # rebuild over the new backend
 
     With ``node`` set, injected :class:`TransientFault` instances that
-    do not already carry a node are re-raised as :class:`NodeFault`
-    attributed to it (used when wrapping one shard's child backend).
+    do not already carry a node are attributed to it — in place when
+    the error is already a :class:`NodeFault` subclass (preserving
+    e.g. :class:`RetryableFault`), by re-wrapping otherwise (used when
+    wrapping one shard's child backend).
+
+    ``always`` — an exception or factory — kills the node outright:
+    every operator raises it until cleared (the chaos harness's
+    kill/recover windows), independent of the counted schedule.
     """
 
     def __init__(self, inner, schedule: dict | None = None, node=None):
@@ -53,6 +72,8 @@ class FaultyBackend:
         self.schedule = dict(schedule or {})
         self.node = node
         self.ops_seen = 0
+        #: when set, every operator raises this (kill window)
+        self.always = None
         #: [(count, op, error), ...] for every fault actually raised
         self.injected: list = []
 
@@ -61,14 +82,19 @@ class FaultyBackend:
 
     def _raise_scheduled(self, op: str) -> None:
         self.ops_seen += 1
-        error = self.schedule.get(self.ops_seen)
+        error = self.always
+        if error is None:
+            error = self.schedule.get(self.ops_seen)
         if error is None:
             return
         if callable(error):
             error = error()
         if (self.node is not None and isinstance(error, TransientFault)
                 and getattr(error, "node", None) is None):
-            error = NodeFault(str(error), node=self.node)
+            if isinstance(error, NodeFault):
+                error.node = self.node
+            else:
+                error = NodeFault(str(error), node=self.node)
         self.injected.append((self.ops_seen, op, error))
         raise error
 
@@ -82,19 +108,55 @@ class FaultyBackend:
         return guarded
 
 
+def _swap_child(backend, child, faulty) -> None:
+    """Replace ``child`` with ``faulty`` wherever the sharded backend
+    holds it (copy grid, physical roster, active set), so the wrap
+    survives roster rebuilds after promotions and rotations."""
+    for row in getattr(backend, "copies", []):
+        for index, copy in enumerate(row):
+            if copy is child:
+                row[index] = faulty
+    for index, entry in enumerate(backend.all_children):
+        if entry is child:
+            backend.all_children[index] = faulty
+    for index, active in enumerate(backend.children):
+        if active is child:
+            backend.children[index] = faulty
+
+
 def wrap_shard_child(backend, shard: int,
                      schedule: dict | None = None) -> FaultyBackend:
     """Wrap one child of a :class:`~repro.shard.backend.ShardedBackend`
     in a :class:`FaultyBackend` attributed to that shard, in place.
 
-    Replaces the child in both the physical roster (``all_children``)
-    and the active set (``children``), so injected faults carry the
-    shard id and the breaker board can route around it.
+    Replaces the child in the copy grid, the physical roster
+    (``all_children``) and the active set (``children``), so injected
+    faults carry the shard id and the breaker board can route around
+    it.
     """
     child = backend.all_children[shard]
     faulty = FaultyBackend(child, schedule, node=shard)
-    backend.all_children[shard] = faulty
-    for index, active in enumerate(backend.children):
-        if active is child:
-            backend.children[index] = faulty
+    _swap_child(backend, child, faulty)
     return faulty
+
+
+def wrap_shard_node(backend, node: int,
+                    schedule: dict | None = None) -> list:
+    """Wrap every copy *hosted* on one physical node of a replicated
+    :class:`~repro.shard.backend.ShardedBackend`, in place.
+
+    Chained declustering puts copy ``k`` of slot ``s`` on node
+    ``(s + k) % N``, so killing a node means failing several slots'
+    copies at once; the returned wrappers all carry ``node`` so every
+    injected fault charges that node's breaker.
+    """
+    n = len(backend.copies)
+    wrapped = []
+    for slot, row in enumerate(backend.copies):
+        for k, child in enumerate(list(row)):
+            if (slot + k) % n != node:
+                continue
+            faulty = FaultyBackend(child, schedule, node=node)
+            _swap_child(backend, child, faulty)
+            wrapped.append(faulty)
+    return wrapped

@@ -198,6 +198,26 @@ class PlanCache:
             entry.binds.move_to_end(values)
         return entry, bound
 
+    def invalidate_placements(self, engine_spec: str) -> int:
+        """Eagerly purge one engine's entries on a topology change.
+
+        A shard promotion or a committed re-shard makes every memoised
+        placement/join-strategy trace of that engine refer to a
+        departed roster member.  The accompanying version bump already
+        prevents stale *lookups*, but the stale entries — and their
+        placement traces, which the retry path writes back into even
+        mid-failover — must not linger until a lazy
+        :meth:`invalidate_schema` sweep: the whole engine's entries are
+        dropped the moment the topology moves (they are all unreachable
+        under the bumped version anyway)."""
+        stale = [
+            key for key in self._entries if key[1] == engine_spec
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
     def invalidate_schema(self) -> int:
         """Purge entries compiled against a stale schema version.
 

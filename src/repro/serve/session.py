@@ -551,7 +551,21 @@ class SessionScheduler:
             self._finish_batch()
 
     def _finish_batch(self) -> None:
-        """The queue drained: close out the batch's makespan accounting."""
+        """The queue drained: close out the batch's makespan accounting.
+
+        This is also where a staged re-shard (or a deferred replica
+        promotion) completes: in-flight queries executed against the
+        old layout, and now that the batch — including any
+        mid-migration :meth:`QueryFuture.cancel` — has drained, the
+        remaining key ranges migrate and the new layout commits, so no
+        partial layout survives the batch."""
         if self._batch_start is not None:
             self.last_batch_makespan = self._batch_end - self._batch_start
         self._batch_start = None
+        backend = self.backend
+        guard = 0
+        while backend.topology_pending():
+            backend.query_boundary()
+            guard += 1
+            if guard > 100_000:  # pragma: no cover - defensive bound
+                break

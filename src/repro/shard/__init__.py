@@ -35,10 +35,19 @@ Registered as the ``SHARD`` engine family::
     )
     con = db.connect("SHARD:4xMS,keys=infer")     # adopt observed keys
     con = db.connect("SHARD:4xMS,join=broadcast")  # PR-3 baseline
+    con = db.connect("SHARD:4xCPU:replicas=2")    # 2 copies per range
 
 The spec's child component is resolved through the same registry, so
 anything registered with :func:`repro.register_engine` — including
 other composites-to-be — can serve as the per-node engine.
+
+Since PR 10 the cluster is **elastic** (ARCHITECTURE.md "Elastic
+cluster"): ``replicas=<r>`` keeps every key range on r
+chained-declustered copies — reads rotate across healthy copies, a
+breaker trip promotes a replica *without re-partitioning* — and
+``Database.add_shard()`` / ``remove_shard()`` re-shard online,
+migrating key ranges incrementally at query boundaries while in-flight
+``submit()`` batches drain against the old layout.
 """
 
 from __future__ import annotations
@@ -147,6 +156,19 @@ def _configure(spec: EngineSpec, registry) -> EngineConfig:
             f"engine spec {spec.canonical!r}: keys=infer is pointless "
             f"under join=broadcast (inferred keys could never be used)"
         )
+    replicas_text = single_param("replicas", "1")
+    if not replicas_text.isdigit() or int(replicas_text) < 1:
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: replicas= must be a "
+            f"positive integer (got {replicas_text!r})"
+        )
+    replicas = int(replicas_text)
+    if replicas > n_shards:
+        raise EngineSpecError(
+            f"engine spec {spec.canonical!r}: replicas={replicas} "
+            f"exceeds the node count {n_shards} (chained declustering "
+            f"places each copy on a distinct node)"
+        )
 
     def make(catalog, data_scale):
         return ShardedBackend(
@@ -156,6 +178,7 @@ def _configure(spec: EngineSpec, registry) -> EngineConfig:
             use_declared_keys=keys_mode != "off",
             infer_keys=keys_mode == "infer",
             join_strategy=join,
+            replicas=replicas,
         )
 
     morsel, morsel_size = parse_morsel_setting(spec)
@@ -188,11 +211,13 @@ register_engine(EngineFamily(
         "tables partitioned per node (by declared/inferred shard keys "
         "when given), key-aligned joins shard-local, hash-shuffle "
         "re-partition otherwise, aggregate partials merged "
-        "mat.pack-style on the driver"
+        "mat.pack-style on the driver; replicas=<r> keeps each key "
+        "range on r chained-declustered copies for load-balanced "
+        "reads and re-partition-free failover"
     ),
     syntax=(
         "SHARD:<N>x<CHILD>[,hash][,key=<t>.<c>][,keys=infer|off]"
-        "[,join=broadcast]"
+        "[,join=broadcast][,replicas=<r>]"
     ),
     takes_child=True,
     # range partitioning is the default and deliberately NOT a flag:
@@ -200,7 +225,7 @@ register_engine(EngineFamily(
     # cache and the connection cache over one identical engine
     allowed_flags=frozenset({"hash", FUSION_OFF}),
     allowed_params=frozenset({
-        "key", "keys", "join",
+        "key", "keys", "join", "replicas",
         ADMISSION_PARAM, COMPRESSION_PARAM, MORSEL_PARAM,
         OBS_SLOW_PARAM, TIMEOUT_PARAM, TRACE_PARAM,
     }),

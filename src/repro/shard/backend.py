@@ -76,11 +76,20 @@ from ..monetdb.bat import BAT, OID_DTYPE, Role, make_bat, oid_bat
 from ..monetdb.interpreter import Backend, UnsupportedOperator
 from ..monetdb.storage import Catalog
 from .partition import DEFAULT_MIN_PARTITION_ROWS, ShardPartitioner
+from .replica import ClusterStats, ReplicaRouting
 
 #: simulated interconnect between shards and the driver (10 GbE-ish)
 SHARD_NET_GBS = 8.0
 #: per-gather/merge round-trip latency
 SHARD_LATENCY_S = 40e-6
+
+#: in-place retries the fan-out site absorbs before a fault reaches
+#: the breaker path (transient blips vs. hard faults)
+FAN_RETRIES = 2
+#: simulated backoff charged per in-place retry (doubles per attempt)
+RETRY_BACKOFF_S = 200e-6
+#: tables migrated per query boundary during an online resize
+MIGRATE_TABLES_PER_BOUNDARY = 2
 
 #: join strategies the planner can pick (and the plan cache replays)
 JOIN_LOCAL = "local"                  # >=1 side replicated: plain fan-out
@@ -403,26 +412,52 @@ class ShardedBackend(Backend):
         use_declared_keys: bool = True,
         infer_keys: bool = False,
         join_strategy: str = "auto",
+        replicas: int = 1,
     ):
         self.label = label
         self.child_config = child_config
         self.data_scale = float(data_scale)
+        #: requested replica count (a resize re-clamps to min(R, N))
+        self._replicas_arg = int(replicas)
+        self.replicas = min(int(replicas), n_shards)
         self.partitioner = ShardPartitioner(
             catalog, n_shards, mode=mode,
             min_partition_rows=min_partition_rows,
             shard_keys=shard_keys,
             use_declared_keys=use_declared_keys,
+            replicas=self.replicas,
         )
-        #: the full physical roster, one child per shard catalog; the
+        #: ``copies[slot][k]`` — one child backend per copy catalog;
+        #: chained declustering maps copy ``k`` of slot ``s`` onto
+        #: physical node ``(s + k) % N``
+        self.copies: list[list[Backend]] = [
+            [child_config.make(copy_catalog, data_scale)
+             for copy_catalog in row]
+            for row in self.partitioner.copies
+        ]
+        #: the primary-copy roster, one child per shard slot; the
         #: fault harness wraps entries here (``wrap_shard_child``)
         self.all_children: list[Backend] = [
-            child_config.make(shard_catalog, data_scale)
-            for shard_catalog in self.partitioner.catalogs
+            row[0] for row in self.copies
         ]
+        #: slot -> live copy routing (failover + read balancing)
+        self.routing = ReplicaRouting(n_shards, self.replicas)
+        #: ``cluster.*`` metrics (promotions, migrations, retries, ...)
+        self.cluster = ClusterStats(
+            nodes=n_shards, replicas=self.replicas
+        )
+        #: round-robin step counter for read load balancing
+        self._balance = 0
+        #: observer fired after any applied topology change (the
+        #: connection hooks eager plan-cache invalidation here)
+        self.on_topology_change = None
+        #: staged partitioner of an in-progress online resize
+        self._staged: "ShardPartitioner | None" = None
         #: the *active* children every fan-out/merge loop runs over —
         #: shrinks when a shard's circuit breaker trips (route-around)
         self.children: list[Backend] = list(self.all_children)
-        #: physical shard ids currently routed around (open breakers)
+        #: physical shard ids currently routed around (open breakers;
+        #: only used without replicas — promotions replace exclusion)
         self._excluded: set[int] = set()
         self._topology_stale = False
         #: interconnect byte counters (Connection.interconnect)
@@ -542,6 +577,8 @@ class ShardedBackend(Backend):
         self._default_ctx = _ShardQueryCtx()
         self._default_ctx.replay = self._armed_replay
         self._armed_replay = None
+        if self.routing.degraded:
+            self.cluster.degraded_reads += 1
 
     def query_boundary(self) -> None:
         """Between-queries hook: breaker ticks (base class) plus
@@ -550,9 +587,14 @@ class ShardedBackend(Backend):
         query dying mid-plan skips its own cleanup — either way the next
         query must start from zeroed per-query traffic.  Reset is in
         place so live references to ``con.interconnect.query`` keep
-        reading the current counters."""
+        reading the current counters.  This is also where the elastic
+        machinery runs: staged resizes migrate a few key ranges, and a
+        healthy replicated cluster rotates its read routing."""
         super().query_boundary()
         self.traffic.query.reset()
+        self._advance_resize()
+        if not self._session_ctxs:
+            self._maybe_rotate_reads()
 
     # -- protocol: per-session timelines (pipelines_sessions) ------------------
 
@@ -561,6 +603,8 @@ class ShardedBackend(Backend):
         ctx = _ShardQueryCtx()
         ctx.replay = replay or None
         self._session_ctxs[session] = ctx
+        if self.routing.degraded:
+            self.cluster.degraded_reads += 1
         return self.pool.open_session(session)
 
     def activate_session(self, session: "str | None") -> None:
@@ -575,12 +619,25 @@ class ShardedBackend(Backend):
             if session not in self._session_ctxs:
                 self._session_ctxs[session] = _ShardQueryCtx()
             self._turn_baseline = (
-                self.partitioner.active,
+                self._hosts(),
                 [child.elapsed() for child in self.children],
                 self._session_ctxs[session].merge_s,
             )
         else:
             self._turn_baseline = None
+
+    def _hosts(self) -> tuple:
+        """Physical node serving each live child, in slot order.
+
+        Without replicas this is the partitioner's active set; with
+        replicas it follows the routing's chained-declustering copy
+        choice — after a failover two slots may share one node."""
+        if self.replicas > 1:
+            return tuple(
+                self.routing.host(slot)
+                for slot in range(len(self.children))
+            )
+        return tuple(self.partitioner.active)
 
     def _charge_turn(self, session: str) -> None:
         """Charge one scheduler turn's measured work to the timelines.
@@ -589,13 +646,13 @@ class ShardedBackend(Backend):
         single-threaded: everything their clocks advanced since this
         session was activated is this session's work.  The timeline
         pool is *physical*-sized (a routed-around shard keeps its
-        clock), so active (logical) deltas scatter to their physical
-        slots."""
-        active, baseline, merge_base = self._turn_baseline
+        clock), so per-child deltas scatter to their host nodes —
+        additively, because two promoted slots may share one host."""
+        hosts, baseline, merge_base = self._turn_baseline
         self._turn_baseline = None
-        deltas = [0.0] * len(self.all_children)
-        for phys, child, before in zip(active, self.children, baseline):
-            deltas[phys] = max(0.0, child.elapsed() - before)
+        deltas = [0.0] * (len(self.pool.clocks) - 1)
+        for host, child, before in zip(hosts, self.children, baseline):
+            deltas[host] += max(0.0, child.elapsed() - before)
         ctx = self._session_ctxs.get(session)
         merge_delta = max(
             0.0, (ctx.merge_s if ctx is not None else 0.0) - merge_base
@@ -704,7 +761,8 @@ class ShardedBackend(Backend):
         children, one per pooled device for Ocelot/HET children)."""
         return tuple(
             manager
-            for child in self.all_children
+            for row in self.copies
+            for child in row
             for manager in child.memory_managers()
         )
 
@@ -713,8 +771,9 @@ class ShardedBackend(Backend):
         shard catalog re-encodes its own partition at ``create_table``
         time, so the storage picture spans all of them."""
         combined = self.catalog.compression.snapshot()
-        for child in self.all_children:
-            combined.add(child.compression_stats())
+        for row in self.copies:
+            for child in row:
+                combined.add(child.compression_stats())
         return combined
 
     # -- protocol: lifecycle ------------------------------------------------------
@@ -725,8 +784,13 @@ class ShardedBackend(Backend):
         The partitioner re-slices any table whose layout signature
         changed (a declared key, moved domain bounds), so join planning
         never sees shard slices laid out by a scheme the catalog no
-        longer declares."""
+        longer declares.  A staged resize restarts from the new schema
+        (its pre-DDL layout plan is void)."""
         self.partitioner.sync()
+        if self._staged is not None:
+            target = self._staged.n_shards
+            self._staged = None
+            self.request_resize(target)
 
     # -- circuit breakers: route reads around a sick shard ---------------------
 
@@ -734,19 +798,39 @@ class ShardedBackend(Backend):
         """Charge the failed shard's breaker; route around it on trip.
 
         A :class:`~repro.serve.faults.NodeFault` carrying a shard id
-        charges that shard's breaker; trips (or an already-open
-        breaker) mark the topology stale — the shard is *excluded* and
-        every table re-partitions over the healthy remainder at the
-        next query boundary, never mid-query.  Faults without a node
-        fall back to the backend-wide breaker.  The last healthy shard
-        is never excluded: with nowhere left to route, the query
-        fails."""
+        charges that shard's breaker.  What a trip (or an already-open
+        breaker) means depends on the topology:
+
+        * **with replicas** the dead node's key ranges are already
+          resident on other nodes — each affected slot *promotes* its
+          next healthy copy.  No data moves and no table re-partitions;
+          the child roster swap waits for the next query boundary
+          (in-flight values hold parts fanned over the old roster).
+          Only when some slot has no healthy copy left does the query
+          fail.
+        * **without replicas** the shard is *excluded* and every table
+          re-partitions over the healthy remainder at the next query
+          boundary.  The last healthy shard is never excluded: with
+          nowhere left to route, the query fails.
+
+        Faults without a node fall back to the backend-wide breaker."""
         node = getattr(error, "node", None)
-        if node is None or not 0 <= node < len(self.all_children):
+        if node is None or not 0 <= node < len(self.pool.clocks) - 1:
             return super().note_node_failure(error)
         breaker = self.breakers().breaker(("shard", node))
         tripped = breaker.record_failure()
         if tripped or not breaker.allow():
+            if self.replicas > 1:
+                plan = self.routing.plan_failover(
+                    node, self._node_healthy
+                )
+                if plan is None:
+                    return "fail"
+                if plan:
+                    promoted, _ = self.routing.apply(plan)
+                    self.cluster.promotions += promoted
+                    self._topology_stale = True
+                return "rerouted"
             healthy = len(self.all_children) - len(self._excluded)
             if node not in self._excluded and healthy <= 1:
                 return "fail"
@@ -756,39 +840,172 @@ class ShardedBackend(Backend):
             return "rerouted"
         return "retry"
 
+    def _node_healthy(self, node: int) -> bool:
+        """Whether a physical node's breaker admits work."""
+        return self.breakers().breaker(("shard", node)).allow()
+
     def _recover_nodes(self) -> None:
-        """Between queries: re-include shards whose breakers cooled
+        """Between queries: route back to nodes whose breakers cooled
         down (half-open probes re-trip with doubled backoff on the next
         failure), then apply any pending topology change."""
         board = getattr(self, "_breaker_board", None)
         if board is not None:
-            for node in sorted(self._excluded):
-                if board.breaker(("shard", node)).allow():
-                    self._excluded.discard(node)
+            if self.replicas > 1:
+                plan = self.routing.rejoin_plan(self._node_healthy)
+                if plan:
+                    _, recovered = self.routing.apply(plan)
+                    self.cluster.recoveries += recovered
                     self._topology_stale = True
+            else:
+                for node in sorted(self._excluded):
+                    if board.breaker(("shard", node)).allow():
+                        self._excluded.discard(node)
+                        self._topology_stale = True
         if self._topology_stale:
             self._apply_topology()
 
+    def _rebuild_children(self) -> None:
+        """Swap the live child roster to match routing + active set."""
+        if self.replicas > 1:
+            self.children = [
+                self.copies[slot][self.routing.copy_of[slot]]
+                for slot in range(self.partitioner.n_shards)
+            ]
+        else:
+            self.children = [
+                self.all_children[phys]
+                for phys in self.partitioner.active
+            ]
+
     def _apply_topology(self) -> None:
-        """Re-route over the healthy shards: re-partition every table
-        across them and swap the active child roster.  Only ever called
-        from a query boundary — in-flight values hold parts fanned over
-        the *old* roster."""
+        """Apply a pending routing/roster change at a query boundary.
+
+        With replicas this is *purely* a routing change: the promoted
+        copies already hold their slots' slices, so the partitioner
+        (and every layout signature) is untouched — the asserted
+        zero-re-partition failover.  Without replicas the healthy
+        remainder re-partitions every table.  Both paths bump the
+        catalog version (memoised join traces assumed the old roster)
+        and fire the topology observer so trace-carrying plan-cache
+        entries are invalidated eagerly, not lazily."""
         self._topology_stale = False
-        healthy = [
-            phys for phys in range(len(self.all_children))
-            if phys not in self._excluded
-        ]
-        self.partitioner.set_active(healthy)
-        self.children = [self.all_children[phys] for phys in healthy]
-        # memoised join traces assumed the old fan-out width
+        if self.replicas <= 1:
+            healthy = [
+                phys for phys in range(len(self.all_children))
+                if phys not in self._excluded
+            ]
+            self.partitioner.set_active(healthy)
+        self._rebuild_children()
         self.catalog.bump_version()
+        self.cluster.topology_changes += 1
+        self._notify_topology_change()
+
+    def _notify_topology_change(self) -> None:
+        if self.on_topology_change is not None:
+            self.on_topology_change(self)
+
+    # -- read load balancing across healthy replicas ----------------------------
+
+    def _maybe_rotate_reads(self) -> None:
+        """Round-robin reads over each slot's copies, one rotation per
+        query boundary — only on a fully healthy, idle cluster (no
+        promotions, no staged resize, no open breakers, no in-flight
+        sessions), so balancing never interferes with failover or
+        migration.  Copies are identical, so no version bump: memoised
+        join traces stay valid across rotations."""
+        if self.replicas <= 1 or self._staged is not None:
+            return
+        if self.routing.degraded or self._topology_stale:
+            return
+        board = getattr(self, "_breaker_board", None)
+        if board is not None and board.open_nodes():
+            return
+        self._balance += 1
+        if self.routing.rotate(self._balance):
+            self._rebuild_children()
+            self.cluster.reads_balanced += 1
+
+    # -- online re-sharding ------------------------------------------------------
+
+    def cluster_stats(self) -> ClusterStats:
+        return self.cluster
+
+    def cluster_nodes(self) -> int:
+        """Current node count (a staged resize reports its target)."""
+        if self._staged is not None:
+            return self._staged.n_shards
+        return self.partitioner.n_shards
+
+    def topology_pending(self) -> bool:
+        return self._staged is not None or self._topology_stale
+
+    def request_resize(self, n_new: int) -> None:
+        """Stage an online resize to ``n_new`` shards.
+
+        Builds the target layout *empty* and migrates key ranges
+        incrementally at query boundaries (:meth:`_advance_resize`):
+        in-flight queries keep draining against the old layout, and the
+        swap commits only once every table is installed and no session
+        is in flight.  New admissions after the commit route to the new
+        topology (the catalog-version bump recompiles their plans)."""
+        if n_new < 1:
+            raise ValueError("need at least one shard")
+        current = self.partitioner
+        staged = ShardPartitioner(
+            self.catalog, n_new, mode=current.mode,
+            min_partition_rows=current.min_partition_rows_raw,
+            use_declared_keys=current.use_declared_keys,
+            replicas=min(self._replicas_arg, n_new),
+            eager=False,
+        )
+        staged._local_keys = dict(current._local_keys)
+        staged.begin_migration()
+        self._staged = staged
+
+    def _advance_resize(self) -> None:
+        """One query boundary's worth of migration work."""
+        staged = self._staged
+        if staged is None:
+            return
+        if not staged.migration_done:
+            moved = staged.migrate_step(MIGRATE_TABLES_PER_BOUNDARY)
+            self.cluster.ranges_migrated += moved
+        if staged.migration_done and not self._session_ctxs:
+            self._commit_resize()
+
+    def _commit_resize(self) -> None:
+        """Swap the fully-migrated layout in; a fresh roster, routing
+        and timeline pool (clocks seeded at the old makespan, so the
+        simulated time base stays monotonic)."""
+        staged = self._staged
+        self._staged = None
+        epoch = self.pool.makespan()
+        self.partitioner = staged
+        self.replicas = staged.replicas
+        self.copies = [
+            [self.child_config.make(copy_catalog, self.data_scale)
+             for copy_catalog in row]
+            for row in staged.copies
+        ]
+        self.all_children = [row[0] for row in self.copies]
+        self.routing = ReplicaRouting(staged.n_shards, staged.replicas)
+        self._excluded = set()
+        self._topology_stale = False
+        self._rebuild_children()
+        self.pool = _ShardTimelines(staged.n_shards)
+        self.pool.clocks = [epoch] * (staged.n_shards + 1)
+        self.cluster.nodes = staged.n_shards
+        self.cluster.replicas = staged.replicas
+        self.cluster.topology_changes += 1
+        self.catalog.bump_version()
+        self._notify_topology_change()
 
     def shutdown(self) -> None:
         self._session_ctxs.clear()
         self.current_session = None
-        for child in self.all_children:
-            child.shutdown()
+        for row in self.copies:
+            for child in row:
+                child.shutdown()
 
     def end_of_query(self, intermediates: list) -> None:
         per_child: list[list] = [[] for _ in self.children]
@@ -871,13 +1088,32 @@ class ShardedBackend(Backend):
             return values[:part.count]
         return values
 
+    def _dispatch(self, shard: int, op: str, args):
+        """Run one operator on one shard, absorbing transient blips
+        with an in-place retry (simulated backoff, doubling) before
+        anything reaches the breaker path.  A fault that outlives the
+        retry budget is *hard*: it propagates to ``note_node_failure``
+        and charges the shard's breaker like any other failure."""
+        from ..serve.faults import RetryableFault
+
+        backoff = RETRY_BACKOFF_S
+        for attempt in range(FAN_RETRIES + 1):
+            try:
+                return self.children[shard].resolve(op)(
+                    *self._localize(shard, args)
+                )
+            except RetryableFault:
+                if attempt >= FAN_RETRIES:
+                    raise
+                self.cluster.retries += 1
+                self._merge_s += backoff
+                backoff *= 2.0
+
     def _fan(self, op: str, args, partitioned=None) -> object:
         tracer = self.tracer
         if tracer is None:
             outs = [
-                self.children[shard].resolve(op)(
-                    *self._localize(shard, args)
-                )
+                self._dispatch(shard, op, args)
                 for shard in range(self.n_shards)
             ]
         else:
@@ -892,9 +1128,7 @@ class ShardedBackend(Backend):
                                     device=f"shard{shard}")
                 child.tracer = tracer
                 try:
-                    outs.append(child.resolve(op)(
-                        *self._localize(shard, args)
-                    ))
+                    outs.append(self._dispatch(shard, op, args))
                 finally:
                     child.tracer = None
                     tracer.end(span)
@@ -973,9 +1207,7 @@ class ShardedBackend(Backend):
         def fan_active(op_name: str) -> ShardedValue:
             parts = [None] * self.n_shards
             for shard in active:
-                parts[shard] = self.children[shard].resolve(op_name)(
-                    *self._localize(shard, args)
-                )
+                parts[shard] = self._dispatch(shard, op_name, args)
             return ShardedValue(parts, True)
 
         if fn == "avg":

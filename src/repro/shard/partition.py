@@ -17,8 +17,12 @@ Row assignment, in order of precedence:
   keys land on equal shards across tables — the tables co-partition and
   equi-joins on the key run entirely shard-local.  In ``hash`` mode the
   function is a 64-bit mix of the key value modulo N; in ``range`` mode
-  it is N equal-width value bands over the domain's observed [min, max]
-  (the union across all member tables, so the bands agree).
+  it is N value bands over the domain's *observed key histogram* (the
+  union across all member tables, so the bands agree).  Bands are cut at
+  weighted medians of the histogram, recursively splitting the heaviest
+  band — a skewed domain still fills every shard as long as it has at
+  least N distinct keys, instead of folding its load onto one band and
+  leaving the rest empty.
 * ``range`` (default, no key) — shard *s* holds the contiguous row range
   ``[s*n/N, (s+1)*n/N)``.  Concatenating per-shard rows in shard order
   reproduces the global base order, so even order-sensitive results
@@ -32,11 +36,25 @@ to every shard: dimension tables must be joinable everywhere without a
 shuffle.  DDL on the parent database re-syncs every shard catalog
 (creating/dropping per-shard tables bumps each child's schema version,
 which is what invalidates per-shard cached state).  Every table carries
-a **layout signature** (partitioned?, mode, key, domain bounds, N); when
-a re-sync observes a changed signature — a key was declared, a DDL
+a **layout signature** (partitioned?, mode, key, band cuts, N); when a
+re-sync observes a changed signature — a key was declared, a DDL
 widened a range domain — the table is dropped from every shard and
 re-partitioned, so a stale layout can never satisfy a co-partitioning
 check it no longer honours.
+
+**Replicas.**  With ``replicas=R`` every key-range slot keeps R
+identical copy catalogs (``self.copies[slot]``); the backend maps copy
+``k`` of slot ``s`` onto physical node ``(s + k) % N`` (chained
+declustering) and routes reads between them.  The partitioner installs
+the same slice into every copy, so a node failure never moves data —
+failover is purely the backend's routing choice.  ``self.catalogs``
+remains the list of primary copies, which is what every layout check
+and test inspects.
+
+**Online re-sharding.**  A partitioner built with ``eager=False`` stays
+empty until :meth:`begin_migration`; :meth:`migrate_step` then installs
+tables one at a time, so the backend can move key ranges incrementally
+at query boundaries while in-flight work drains against the old layout.
 """
 
 from __future__ import annotations
@@ -98,8 +116,62 @@ def range_placement(values: np.ndarray, n_shards: int,
     return np.clip(ids, 0, n_shards - 1)
 
 
+def skew_bands(values: np.ndarray, n_bands: int) -> np.ndarray:
+    """Histogram-aware band boundaries: ``min(n_bands, n_distinct)``
+    non-empty value bands over the observed keys.
+
+    Starts from one band covering every distinct key and repeatedly
+    splits the heaviest band at its weighted median, so a hot key range
+    spreads over many shards while the cold tail shares the rest — the
+    fix for skewed domains folding onto a single equal-width band.
+    Returns the inclusive upper boundary of each band but the last
+    (``n_bands - 1`` cuts); an empty result means one all-covering
+    band."""
+    uniq, counts = np.unique(
+        np.asarray(values).astype(np.float64, copy=False),
+        return_counts=True,
+    )
+    if uniq.size == 0:
+        return np.empty(0, dtype=np.float64)
+    want = min(int(n_bands), int(uniq.size))
+    # bands are half-open index ranges [lo, hi) into ``uniq``
+    bands = [(0, int(uniq.size))]
+    cum = np.concatenate(([0], np.cumsum(counts)))
+    while len(bands) < want:
+        heaviest, weight = None, -1
+        for i, (lo, hi) in enumerate(bands):
+            if hi - lo < 2:
+                continue            # one distinct key: cannot split
+            if cum[hi] - cum[lo] > weight:
+                heaviest, weight = i, cum[hi] - cum[lo]
+        if heaviest is None:
+            break
+        lo, hi = bands.pop(heaviest)
+        target = (cum[lo] + cum[hi]) / 2.0
+        cut = int(np.searchsorted(cum[lo + 1:hi], target, side="left"))
+        cut = min(max(cut + lo + 1, lo + 1), hi - 1)
+        bands.extend([(lo, cut), (cut, hi)])
+    bands.sort()
+    return np.array(
+        [uniq[hi - 1] for (lo, hi) in bands[:-1]], dtype=np.float64
+    )
+
+
+def band_placement(values: np.ndarray,
+                   boundaries: np.ndarray) -> np.ndarray:
+    """Value -> band id against :func:`skew_bands` boundaries.
+
+    Boundary ``i`` is the inclusive upper edge of band ``i``; any value
+    above the last boundary lands in the final band, so placement stays
+    total for probe-side keys never seen in the domain histogram."""
+    v = np.asarray(values).astype(np.float64, copy=False)
+    return np.searchsorted(
+        np.asarray(boundaries, dtype=np.float64), v, side="left"
+    ).astype(np.int64)
+
+
 class ShardPartitioner:
-    """Keeps N shard catalogs in sync with one parent catalog."""
+    """Keeps N shard catalogs (x R copies) in sync with one parent."""
 
     def __init__(
         self,
@@ -109,14 +181,22 @@ class ShardPartitioner:
         min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
         shard_keys: "dict[str, str] | None" = None,
         use_declared_keys: bool = True,
+        replicas: int = 1,
+        eager: bool = True,
     ):
         if n_shards < 1:
             raise ValueError("need at least one shard")
         if mode not in ("range", "hash"):
             raise ValueError(f"unknown partition mode {mode!r}")
+        if not 1 <= replicas <= n_shards:
+            raise ValueError(
+                f"replicas must be in 1..{n_shards}, got {replicas}"
+            )
         self.parent = parent
         self.n_shards = n_shards
         self.mode = mode
+        self.replicas = replicas
+        self.min_partition_rows_raw = int(min_partition_rows)
         self.min_partition_rows = max(int(min_partition_rows), n_shards)
         #: honour keys declared on the parent catalog (the ``keys=off``
         #: spec flag clears this: pure row-id placement, the PR-3 layout)
@@ -127,7 +207,14 @@ class ShardPartitioner:
             table: (column, None)
             for table, column in (shard_keys or {}).items()
         }
-        self.catalogs = [Catalog() for _ in range(n_shards)]
+        #: ``copies[slot][k]`` — copy ``k`` of slot ``slot``'s slice;
+        #: every copy in a row holds identical data
+        self.copies = [
+            [Catalog() for _ in range(replicas)]
+            for _ in range(n_shards)
+        ]
+        #: the primary copies — the list every layout check inspects
+        self.catalogs = [row[0] for row in self.copies]
         #: physical shard ids currently holding data, in logical order;
         #: the circuit-breaker board shrinks this to route around a sick
         #: node (:meth:`set_active`) and restores it on recovery
@@ -138,9 +225,14 @@ class ShardPartitioner:
         self.keys: dict[str, tuple[str, str]] = {}
         #: domain -> (min, max) over every member table's key column
         self.domains: dict[str, tuple[float, float]] = {}
+        #: domain -> skew-aware band boundaries (range mode only)
+        self.bands: dict[str, np.ndarray] = {}
         #: table -> layout signature of the slices currently installed
         self._signatures: dict[str, tuple] = {}
-        self.sync()
+        #: tables still to install during a staged migration
+        self._pending_tables: "list[str] | None" = None
+        if eager:
+            self.sync()
 
     def is_partitioned(self, table: str) -> bool:
         return self.partitioned.get(table, False)
@@ -150,6 +242,10 @@ class ShardPartitioner:
         """How many shards currently hold data (placement fan-out)."""
         return len(self.active)
 
+    def _all_catalogs(self):
+        for row in self.copies:
+            yield from row
+
     def set_active(self, active) -> None:
         """Re-partition every table over the given physical shards.
 
@@ -157,8 +253,11 @@ class ShardPartitioner:
         should hold data; excluded shards are emptied.  Changing the
         active set changes every table's layout signature, so the next
         :meth:`sync` (run immediately) drops and re-slices everything —
-        route-around is a full re-partition, exactly what a real
-        cluster would pay to shed a dead node."""
+        route-around is a full re-partition, exactly what an
+        unreplicated cluster must pay to shed a dead node.  (With
+        ``replicas > 1`` the backend never calls this on failure: the
+        ranges are already resident elsewhere and failover is a pure
+        routing change.)"""
         active = tuple(active)
         if not active:
             raise ValueError("need at least one active shard")
@@ -210,10 +309,8 @@ class ShardPartitioner:
         """The value-to-shard function of one key domain."""
         if self.mode == "hash":
             return lambda values: hash_placement(values, self.n_active)
-        bounds = self.domains[domain]
-        return lambda values: range_placement(
-            values, self.n_active, bounds
-        )
+        boundaries = self.bands[domain]
+        return lambda values: band_placement(values, boundaries)
 
     def default_placement(self, values: np.ndarray) -> np.ndarray:
         """Domain-free placement for ad-hoc shuffles (both-side hash
@@ -259,38 +356,24 @@ class ShardPartitioner:
     def _signature(self, name: str, partition: bool) -> tuple:
         key = self.keys.get(name)
         bounds = self.domains.get(key[1]) if key else None
-        return (partition, self.mode, key, bounds, self.active)
+        cuts = None
+        if key is not None and self.mode == "range":
+            boundaries = self.bands.get(key[1])
+            if boundaries is not None:
+                cuts = tuple(boundaries.tolist())
+        return (partition, self.mode, key, bounds, cuts, self.active)
 
     # -- synchronisation -----------------------------------------------------
 
-    def sync(self) -> None:
-        """Bring every shard catalog up to date with the parent.
-
-        New parent tables are partitioned or replicated per the size
-        policy; dropped parent tables are dropped from every shard
-        (firing the per-shard delete callbacks, so shard-local device
-        caches release their buffers).  A table whose layout signature
-        changed — key declared, domain bounds moved, partition policy
-        flipped — is dropped and re-partitioned, so shard slices always
-        reflect the placement function the co-partitioning checks
-        assume.  Both directions bump each child catalog's schema
-        version.
-        """
-        parent_tables = set(self.parent.tables())
-        for catalog in self.catalogs:
-            for stale in set(catalog.tables()) - parent_tables:
-                catalog.drop_table(stale)
-        for name in list(self.partitioned):
-            if name not in parent_tables:
-                del self.partitioned[name]
-                self._signatures.pop(name, None)
-
+    def _refresh_layout(self, parent_tables) -> None:
+        """Recompute keys, domain bounds and range-band boundaries."""
         self.keys = self._effective_keys(parent_tables)
         for name in list(self.keys):
             rows = self.parent.row_count(name)
             if rows < self.min_partition_rows:
                 del self.keys[name]     # replicated: key is irrelevant
         self.domains = {}
+        members: dict[str, list] = {}
         for name, (column, domain) in self.keys.items():
             values = self.parent.bat(name, column).values
             if values.dtype.kind not in "iuf":
@@ -304,32 +387,107 @@ class ShardPartitioner:
             if have is not None:
                 lo, hi = min(lo, have[0]), max(hi, have[1])
             self.domains[domain] = (lo, hi)
+            if self.mode == "range":
+                members.setdefault(domain, []).append(values)
+        self.bands = {}
+        if self.mode == "range":
+            for domain, arrays in members.items():
+                observed = np.concatenate(
+                    [np.asarray(a, dtype=np.float64) for a in arrays]
+                )
+                self.bands[domain] = skew_bands(observed, self.n_active)
 
-        for name in self.parent.tables():
-            rows = self.parent.row_count(name)
-            partition = rows >= self.min_partition_rows
-            self.partitioned[name] = partition
-            signature = self._signature(name, partition)
-            if self._signatures.get(name) != signature:
-                for catalog in self.catalogs:
-                    if catalog.has_table(name):
-                        catalog.drop_table(name)
-            self._signatures[name] = signature
-            for phys in set(range(self.n_shards)) - set(self.active):
-                if self.catalogs[phys].has_table(name):
-                    self.catalogs[phys].drop_table(name)
-            masks = self._slice_masks(name) if partition else None
-            for shard, phys in enumerate(self.active):
-                catalog = self.catalogs[phys]
+    def _install_table(self, name: str) -> int:
+        """(Re-)install one table's slices; returns the number of
+        logical slots that received fresh data (ranges moved)."""
+        rows = self.parent.row_count(name)
+        partition = rows >= self.min_partition_rows
+        self.partitioned[name] = partition
+        signature = self._signature(name, partition)
+        if self._signatures.get(name) != signature:
+            for catalog in self._all_catalogs():
+                if catalog.has_table(name):
+                    catalog.drop_table(name)
+        self._signatures[name] = signature
+        for phys in set(range(self.n_shards)) - set(self.active):
+            for catalog in self.copies[phys]:
+                if catalog.has_table(name):
+                    catalog.drop_table(name)
+        masks = self._slice_masks(name) if partition else None
+        installed = 0
+        for shard, phys in enumerate(self.active):
+            columns = None
+            fresh = False
+            for catalog in self.copies[phys]:
                 if catalog.has_table(name):
                     continue
-                columns = {}
-                for column in self.parent.columns(name):
-                    values = self.parent.bat(name, column).values
-                    if not partition:
-                        columns[column] = values
-                    elif masks is not None:
-                        columns[column] = values[masks[shard]]
-                    else:
-                        columns[column] = self._slice(values, shard)
+                if columns is None:
+                    columns = {}
+                    for column in self.parent.columns(name):
+                        values = self.parent.bat(name, column).values
+                        if not partition:
+                            columns[column] = values
+                        elif masks is not None:
+                            columns[column] = values[masks[shard]]
+                        else:
+                            columns[column] = self._slice(values, shard)
                 catalog.create_table(name, columns)
+                fresh = True
+            if fresh:
+                installed += 1
+        return installed
+
+    def sync(self) -> None:
+        """Bring every shard catalog up to date with the parent.
+
+        New parent tables are partitioned or replicated per the size
+        policy; dropped parent tables are dropped from every shard
+        (firing the per-shard delete callbacks, so shard-local device
+        caches release their buffers).  A table whose layout signature
+        changed — key declared, band cuts moved, partition policy
+        flipped — is dropped and re-partitioned, so shard slices always
+        reflect the placement function the co-partitioning checks
+        assume.  Both directions bump each child catalog's schema
+        version.
+        """
+        parent_tables = set(self.parent.tables())
+        for catalog in self._all_catalogs():
+            for stale in set(catalog.tables()) - parent_tables:
+                catalog.drop_table(stale)
+        for name in list(self.partitioned):
+            if name not in parent_tables:
+                del self.partitioned[name]
+                self._signatures.pop(name, None)
+        self._refresh_layout(parent_tables)
+        for name in self.parent.tables():
+            self._install_table(name)
+        self._pending_tables = None
+
+    # -- staged migration (online re-sharding) -------------------------------
+
+    def begin_migration(self) -> None:
+        """Prepare an incremental :meth:`sync`: compute the new layout
+        now, but defer installing tables to :meth:`migrate_step` calls
+        (one per query boundary), so a resize proceeds while queries
+        keep running against the old partitioner."""
+        parent_tables = set(self.parent.tables())
+        self._refresh_layout(parent_tables)
+        self._pending_tables = sorted(parent_tables)
+
+    def migrate_step(self, tables: int = 1) -> int:
+        """Install up to ``tables`` pending tables; returns how many
+        logical key-range slots received data."""
+        moved = 0
+        while tables > 0 and self._pending_tables:
+            name = self._pending_tables.pop(0)
+            moved += self._install_table(name)
+            tables -= 1
+        return moved
+
+    @property
+    def migration_done(self) -> bool:
+        """True once a started migration has installed every table."""
+        return (
+            self._pending_tables is not None
+            and not self._pending_tables
+        )

@@ -322,6 +322,43 @@ class TestRegistry:
             assert expected in names
 
 
+class TestReplicaGrammar:
+    def test_colon_and_comma_separators_are_interchangeable(self):
+        a = default_registry.parse("SHARD:4xCPU:replicas=2")
+        b = default_registry.parse("SHARD:4xCPU,replicas=2")
+        assert a.canonical == b.canonical == "SHARD:4xCPU,replicas=2"
+        mixed = default_registry.parse("shard:4xcpu:replicas=2,hash")
+        assert mixed.canonical == "SHARD:4xCPU,hash,replicas=2"
+
+    def test_replicas_connects_and_defaults_to_one(self):
+        import numpy as np
+
+        db = repro.Database()
+        db.create_table("t", {"v": np.arange(600, dtype=np.int64)})
+        assert db.connect("SHARD:2xMS").backend.replicas == 1
+        replicated = db.connect("SHARD:2xMS,replicas=2")
+        assert replicated.backend.replicas == 2
+        result = replicated.execute("SELECT sum(v) AS s FROM t")
+        assert int(result.column("s")[0]) == 600 * 599 // 2
+
+    @pytest.mark.parametrize("bad", [
+        "SHARD:4xCPU,replicas=0",
+        "SHARD:4xCPU,replicas=-1",
+        "SHARD:4xCPU,replicas=two",
+        "SHARD:4xCPU,replicas=",
+        "SHARD:4xCPU,replicas=5",     # more copies than nodes
+        "SHARD:4xCPU,replicas=2,replicas=3",
+        "CPU:replicas=2",             # single-node engines have no copies
+    ])
+    def test_bad_replicas_rejected(self, bad):
+        with pytest.raises(EngineSpecError):
+            default_registry.resolve(bad)
+
+    def test_replicas_error_message_names_declustering(self):
+        with pytest.raises(EngineSpecError, match="chained declustering"):
+            default_registry.resolve("SHARD:2xCPU,replicas=3")
+
+
 class TestGeneratedDocs:
     def test_engine_table_contains_every_family(self):
         table = engine_table_markdown()
@@ -344,6 +381,22 @@ class TestGeneratedDocs:
         assert "`compression=…`" in engine_table_markdown()
         assert "`trace=…`" in engine_table_markdown()
         assert "`obs_slow_ms=…`" in engine_table_markdown()
+
+    def test_elastic_cluster_docs_resolve(self):
+        """The elastic-cluster feature (PR 10) is documented where the
+        module docstrings point: ARCHITECTURE's "Elastic cluster"
+        section exists and the README's generated table carries the
+        ``replicas=`` grammar."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        architecture = (root / "ARCHITECTURE.md").read_text()
+        assert "Elastic cluster" in architecture
+        assert "chained declustering" in architecture
+        assert "add_shard" in architecture
+        readme = (root / "README.md").read_text()
+        assert "replicas=<r>" in readme
+        assert "replicas=<r>" in engine_table_markdown()
 
     def test_readme_references_resolve(self):
         """The README points at ARCHITECTURE.md sections by name; the

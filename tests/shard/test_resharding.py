@@ -1,0 +1,236 @@
+"""Online re-sharding (PR 10): ``Database.add_shard`` /
+``remove_shard`` migrate key ranges incrementally at query boundaries
+— in-flight ``submit()`` batches drain against the old layout while
+new admissions route to the new one — and the committed layout is
+indistinguishable from a freshly-built cluster of the same size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Database
+from repro.serve.session import QueryCancelled
+
+
+def assert_results_equal(expected, got, rtol=1e-6):
+    assert got.n_rows == expected.n_rows
+    assert list(got.columns) == list(expected.columns)
+    for name in expected.columns:
+        np.testing.assert_allclose(
+            got.columns[name].astype(np.float64),
+            expected.columns[name].astype(np.float64),
+            rtol=rtol, err_msg=name,
+        )
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(59)
+    database = Database()
+    database.create_table("fact", {
+        "k": rng.integers(0, 400, 5000).astype(np.int64),
+        "v": rng.random(5000).astype(np.float64),
+    })
+    yield database
+    database.close()
+
+
+AGG = "SELECT sum(v) AS s, count(*) AS n FROM fact"
+GROUPED = "SELECT k, sum(v) AS s FROM fact GROUP BY k"
+
+
+def fresh_result(sql, n_shards, replicas, seed_db_args=59):
+    """The same query on a freshly-built cluster of the target size —
+    the committed layout must be indistinguishable from it."""
+    rng = np.random.default_rng(seed_db_args)
+    with Database() as other:
+        other.create_table("fact", {
+            "k": rng.integers(0, 400, 5000).astype(np.int64),
+            "v": rng.random(5000).astype(np.float64),
+        })
+        spec = f"SHARD:{n_shards}xCPU,replicas={replicas}"
+        return other.connect(spec).execute(sql)
+
+
+class TestResize:
+    def test_add_shard_matches_fresh_layout(self, db):
+        con = db.connect("SHARD:4xCPU,replicas=2")
+        con.execute(GROUPED)
+        db.add_shard()
+        backend = con.backend
+        assert backend.cluster_nodes() == 5
+        assert not backend.topology_pending()
+        assert backend.partitioner.n_shards == 5
+        assert len(backend.children) == 5
+        assert_results_equal(
+            fresh_result(GROUPED, 5, 2), con.execute(GROUPED)
+        )
+        stats = backend.cluster_stats()
+        assert stats.ranges_migrated > 0
+        assert stats.topology_changes >= 1
+        assert stats.nodes == 5
+
+    def test_remove_shard_matches_fresh_layout(self, db):
+        con = db.connect("SHARD:4xCPU,replicas=2")
+        before = con.execute(GROUPED)
+        db.remove_shard()
+        assert con.backend.cluster_nodes() == 3
+        after = con.execute(GROUPED)
+        assert_results_equal(fresh_result(GROUPED, 3, 2), after)
+        assert_results_equal(before, after, rtol=1e-5)
+
+    def test_resizes_compose(self, db):
+        con = db.connect("SHARD:3xCPU,replicas=2")
+        con.execute(AGG)
+        db.add_shard()
+        db.add_shard()
+        assert con.backend.cluster_nodes() == 5
+        db.remove_shard()
+        assert con.backend.cluster_nodes() == 4
+        assert_results_equal(
+            fresh_result(AGG, 4, 2), con.execute(AGG)
+        )
+
+    def test_replicas_clamped_to_one_node(self, db):
+        con = db.connect("SHARD:2xCPU,replicas=2")
+        con.execute(AGG)
+        db.remove_shard()
+        backend = con.backend
+        assert backend.cluster_nodes() == 1
+        assert backend.replicas == 1
+        assert_results_equal(
+            fresh_result(AGG, 1, 1), con.execute(AGG)
+        )
+        with pytest.raises(ValueError):
+            db.remove_shard()
+
+    def test_resize_without_sharded_connection_raises(self, db):
+        db.connect("CPU").execute(AGG)
+        with pytest.raises(RuntimeError):
+            db.add_shard()
+
+    def test_migration_is_incremental(self, db):
+        """The staged layout migrates a bounded number of tables per
+        query boundary, not all at once."""
+        rng = np.random.default_rng(61)
+        for name in ("extra_a", "extra_b", "extra_c"):
+            db.create_table(name, {
+                "k": rng.integers(0, 400, 4000).astype(np.int64),
+                "v": rng.random(4000).astype(np.float64),
+            })
+        con = db.connect("SHARD:4xCPU,replicas=2")
+        con.execute(AGG)
+        backend = con.backend
+        backend.request_resize(5)
+        assert backend.topology_pending()
+        assert backend.cluster_nodes() == 5         # staged target
+        assert backend.partitioner.n_shards == 4    # not committed yet
+        assert len(backend._staged._pending_tables) == 4
+        migrated = backend.cluster_stats().ranges_migrated
+        backend.query_boundary()                    # moves 2 of 4 tables
+        assert backend.cluster_stats().ranges_migrated > migrated
+        assert backend.topology_pending()
+        assert len(backend._staged._pending_tables) == 2
+        boundaries = 0
+        while backend.topology_pending():
+            backend.query_boundary()
+            boundaries += 1
+        assert boundaries >= 1
+        assert backend.partitioner.n_shards == 5
+
+
+class TestResizeUnderTraffic:
+    def test_in_flight_batches_drain_against_old_layout(self, db):
+        con = db.connect("SHARD:4xCPU,replicas=2")
+        clean = con.execute(GROUPED)
+        futures = [con.submit(GROUPED) for _ in range(4)]
+        db.add_shard()                              # mid-batch
+        backend = con.backend
+        # the resize is staged, not torn through the running batch
+        assert backend.topology_pending()
+        assert backend.partitioner.n_shards == 4
+        for future in futures:
+            assert_results_equal(clean, future.result())
+        con.drain()
+        # the drained batch let the migration finish and commit
+        assert not backend.topology_pending()
+        assert backend.partitioner.n_shards == 5
+        assert_results_equal(
+            fresh_result(GROUPED, 5, 2), con.execute(GROUPED)
+        )
+
+    def test_new_admissions_route_to_new_layout(self, db):
+        con = db.connect("SHARD:4xCPU,replicas=2")
+        clean = con.execute(GROUPED)
+        db.add_shard()
+        futures = [con.submit(GROUPED) for _ in range(3)]
+        results = [future.result() for future in futures]
+        for result in results:
+            assert_results_equal(clean, result, rtol=1e-5)
+        assert con.backend.partitioner.n_shards == 5
+
+    def test_cancel_mid_migration_leaves_no_partial_layout(self, db):
+        con = db.connect("SHARD:4xCPU,replicas=2")
+        clean = con.execute(GROUPED)
+        futures = [con.submit(GROUPED) for _ in range(3)]
+        db.add_shard()
+        backend = con.backend
+        assert backend.topology_pending()
+        assert futures[1].cancel()
+        with pytest.raises(QueryCancelled):
+            futures[1].result()
+        assert_results_equal(clean, futures[0].result())
+        assert_results_equal(clean, futures[2].result())
+        con.drain()
+        # no half-migrated layout survives the cancelled batch
+        assert not backend.topology_pending()
+        assert backend.partitioner.n_shards == 5
+        assert backend.partitioner.migration_done or \
+            backend.partitioner._pending_tables is None
+        assert_results_equal(
+            fresh_result(GROUPED, 5, 2), con.execute(GROUPED)
+        )
+
+    def test_cancel_everything_still_commits(self, db):
+        con = db.connect("SHARD:4xCPU,replicas=2")
+        con.execute(AGG)
+        futures = [con.submit(AGG) for _ in range(2)]
+        db.remove_shard()
+        for future in futures:
+            future.cancel()
+        con.drain()
+        backend = con.backend
+        assert not backend.topology_pending()
+        assert backend.partitioner.n_shards == 3
+        assert_results_equal(
+            fresh_result(AGG, 3, 2), con.execute(AGG)
+        )
+
+
+class TestResizeInvalidation:
+    def test_commit_bumps_version_and_purges_traces(self, db):
+        db.create_table("dim", {
+            "k": np.arange(400, dtype=np.int64),
+            "w": np.linspace(0.0, 1.0, 400),
+        })
+        join = ("SELECT sum(v) AS s FROM fact JOIN dim "
+                "ON fact.k = dim.k WHERE w < 0.5")
+        con = db.connect("SHARD:4xCPU,replicas=2")
+        con.execute(join)
+        con.execute(join)                   # memoise the join trace
+        spec = con.engine
+        assert any(
+            key[1] == spec and entry.placements is not None
+            for key, entry in db.plan_cache._entries.items()
+        )
+        version = db.catalog.version
+        db.add_shard()
+        assert db.catalog.version > version
+        assert not any(
+            key[1] == spec and entry.placements is not None
+            for key, entry in db.plan_cache._entries.items()
+        )
+        assert_results_equal(
+            db.connect("CPU").execute(join), con.execute(join),
+            rtol=1e-5,
+        )

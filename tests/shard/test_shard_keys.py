@@ -137,6 +137,55 @@ class TestKeyedPartitioner:
         )
         assert_results_equal(expected, got, rtol=0)
 
+    def test_range_skew_splits_hot_band_instead_of_folding(self):
+        """Satellite fix (PR 10): a heavily skewed key distribution
+        used to leave range shards empty — equal-width bands over the
+        key domain folded nearly every row into the hot band's shard.
+        Band boundaries now come from the *observed* key histogram
+        (recursive weighted-median splits of the heaviest band), so the
+        hot band is split and every shard holds rows whenever there are
+        at least as many distinct keys as shards."""
+        rng = np.random.default_rng(17)
+        db = repro.Database()
+        hot = rng.integers(0, 10, 2900)           # 97% of rows, keys 0..9
+        tail = rng.integers(10, 10_000, 100)      # thin tail to 10k
+        keys = np.concatenate([hot, tail]).astype(np.int64)
+        db.create_table("skew", {
+            "k": keys,
+            "v": np.arange(keys.size, dtype=np.int32),
+        })
+        part = ShardPartitioner(
+            db.catalog, 4, shard_keys={"skew": "k"},
+        )
+        counts = [c.row_count("skew") for c in part.catalogs]
+        assert sum(counts) == keys.size
+        assert min(counts) > 0, f"empty shard under skew: {counts}"
+        assert max(counts) < keys.size
+        con = db.connect("SHARD:4xMS,key=skew.k")
+        expected = db.connect("MS").execute(
+            "SELECT k, sum(v) AS s, count(*) AS n FROM skew GROUP BY k"
+        )
+        got = con.execute(
+            "SELECT k, sum(v) AS s, count(*) AS n FROM skew GROUP BY k"
+        )
+        assert_results_equal(expected, got, rtol=0)
+
+    def test_skew_bands_weighted_median_properties(self):
+        from repro.shard.partition import band_placement, skew_bands
+
+        values = np.array([1.0] * 90 + [2.0] * 5 + [3.0] * 5)
+        cuts = skew_bands(values, 3)
+        assert cuts.size == 2
+        counts = np.bincount(band_placement(values, cuts), minlength=3)
+        assert (counts > 0).all()
+        # fewer distinct keys than bands: bands collapse to the
+        # distinct values instead of manufacturing empty ones
+        assert skew_bands(np.full(100, 5.0), 4).size == 0
+        two = skew_bands(np.array([1.0] * 99 + [9.0]), 4)
+        assert two.size == 1
+        placed = band_placement(np.array([1.0, 9.0]), two)
+        assert placed.tolist() == [0, 1]
+
     def test_replication_threshold_boundary(self):
         """255 rows replicate, 256 partition (the documented policy
         boundary), and a declared key on a replicated table is moot."""
